@@ -1,0 +1,125 @@
+//! Closed forms for omega networks of a×a switches (`a = 2^g`) — the §3
+//! generalization.
+//!
+//! With `N = a^m` and one base-`a` digit (`g` bits) consumed per stage:
+//!
+//! * scheme 1 carries `M + (m−j)·g` bits at layer `j`:
+//!   `CC₁ = n·[(m+1)·M + g·m(m+1)/2]`;
+//! * scheme 2 carries `M + N/a^j` bits at layer `j`, and in the worst case
+//!   (destinations splitting at the earliest stages, `n = a^k`) has `a^j`
+//!   active links up to layer `k` and `n` afterwards.
+//!
+//! Setting `g = 1` recovers equations 2 and 3 of the paper; the tests
+//! assert that, and the cross-crate tests assert agreement with the
+//! simulated a-ary network link-by-link.
+
+/// Scheme-1 cost on an a-ary omega network.
+///
+/// # Panics
+///
+/// Panics if `m` or `g` is zero.
+pub fn scheme1_ary(n: u64, m: u32, g: u32, m_bits: u64) -> u64 {
+    assert!(m > 0 && g > 0, "need at least one stage and a 2x2 switch");
+    let (m, g) = (m as u64, g as u64);
+    n * ((m + 1) * m_bits + g * m * (m + 1) / 2)
+}
+
+/// Worst-case scheme-2 cost on an a-ary omega network for `n = a^k`
+/// destinations: `Σ_{j=0}^{k} a^j (M + N/a^j) + Σ_{j=k+1}^{m} n (M + N/a^j)`.
+///
+/// # Panics
+///
+/// Panics if `m` or `g` is zero, `n` is not a power of `a`, or `n > a^m`.
+pub fn scheme2_ary_worst(n: u64, m: u32, g: u32, m_bits: u64) -> u64 {
+    assert!(m > 0 && g > 0, "need at least one stage and a 2x2 switch");
+    let big_n = 1u64 << (m * g);
+    assert!(n >= 1 && n <= big_n, "destination count out of range");
+    assert!(
+        n.is_power_of_two() && n.trailing_zeros().is_multiple_of(g),
+        "n must be a power of the radix"
+    );
+    let k = n.trailing_zeros() / g;
+    let mut cost = 0;
+    for j in 0..=k {
+        cost += (1u64 << (g * j)) * (m_bits + (big_n >> (g * j)));
+    }
+    for j in (k + 1)..=m {
+        cost += n * (m_bits + (big_n >> (g * j)));
+    }
+    cost
+}
+
+/// The scheme-1/scheme-2 break-even on an a-ary network: the smallest
+/// power-of-`a` destination count at which scheme 2 is no more expensive,
+/// or `None`.
+///
+/// # Panics
+///
+/// Panics if `m` or `g` is zero.
+pub fn break_even_ary(m: u32, g: u32, m_bits: u64) -> Option<u64> {
+    (0..=m).map(|k| 1u64 << (g * k)).find(|&n| {
+        scheme2_ary_worst(n, m, g, m_bits) <= scheme1_ary(n, m, g, m_bits)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multicast;
+
+    #[test]
+    fn radix_two_recovers_the_papers_equations() {
+        for m in 1u32..=12 {
+            let big_n = 1u64 << m;
+            for k in 0..=m {
+                let n = 1u64 << k;
+                for m_bits in [0u64, 20, 40, 100] {
+                    assert_eq!(
+                        scheme1_ary(n, m, 1, m_bits),
+                        multicast::scheme1(n, big_n, m_bits)
+                    );
+                    assert_eq!(
+                        scheme2_ary_worst(n, m, 1, m_bits),
+                        multicast::scheme2_worst(n, big_n, m_bits)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_switches_cheapen_both_schemes() {
+        // Same N = 4096, built three ways; cost falls with radix.
+        let shapes = [(12u32, 1u32), (6, 2), (4, 3), (3, 4)];
+        // 1 and 4096 = a^m are powers of every one of these radices.
+        for n in [1u64, 4096] {
+            let mut prev1 = u64::MAX;
+            let mut prev2 = u64::MAX;
+            for &(m, g) in &shapes {
+                let c1 = scheme1_ary(n, m, g, 20);
+                let c2 = scheme2_ary_worst(n, m, g, 20);
+                assert!(c1 <= prev1, "scheme1 rose at radix 2^{g} for n={n}");
+                assert!(c2 <= prev2, "scheme2 rose at radix 2^{g} for n={n}");
+                prev1 = c1;
+                prev2 = c2;
+            }
+        }
+    }
+
+    #[test]
+    fn break_even_exists_and_matches_radix_two_result() {
+        assert_eq!(
+            break_even_ary(10, 1, 20),
+            crate::break_even_scheme2(1024, 20)
+        );
+        for (m, g) in [(5u32, 2u32), (4, 3), (2, 4)] {
+            assert!(break_even_ary(m, g, 20).is_some(), "m={m} g={g}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of the radix")]
+    fn rejects_non_radix_powers() {
+        scheme2_ary_worst(2, 4, 2, 20); // n=2 is not a power of 4
+    }
+}

@@ -1,0 +1,49 @@
+//! Closed-form communication-cost models from Stenström (ISCA 1989).
+//!
+//! Everything in the paper's §3 (multicast schemes) and §4 (protocol cost
+//! models) is reproduced here twice:
+//!
+//! * as the paper's **closed forms** (equations 2, 3, 5, 6 and 8–12), and
+//! * as the **stage sums** they were derived from (the per-stage tables in
+//!   §3.2 and §3.3), which serve as ground truth in tests.
+//!
+//! The test suites assert the two agree bit-for-bit over large parameter
+//! grids, and the `tmc-omeganet` integration tests assert that the simulated
+//! network reproduces the same numbers link-by-link.
+//!
+//! # Conventions
+//!
+//! * `n` — number of destinations (a power of two in the closed forms),
+//! * `n1` — size of the region of adjacently placed tasks (`n ≤ n1 ≤ N`),
+//! * `big_n` — the machine size `N` (number of caches/ports),
+//! * `m_bits` — message payload size, the paper's `M`,
+//! * costs are exact bit counts (`u64`); differences may be negative and are
+//!   `i64`.
+//!
+//! # Example
+//!
+//! ```
+//! use tmc_analytic::multicast;
+//!
+//! // Figure 5's setup: N = 1024, M = 20. Scheme 2's worst case overtakes
+//! // scheme 1 once the destination count passes the break-even point.
+//! assert!(multicast::scheme2_worst(1, 1024, 20) > multicast::scheme1(1, 1024, 20));
+//! assert!(multicast::scheme2_worst(64, 1024, 20) < multicast::scheme1(64, 1024, 20));
+//! assert_eq!(tmc_analytic::break_even_scheme2(1024, 20), Some(64));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aary;
+pub mod breakeven;
+pub mod markov;
+pub mod multicast;
+pub mod paper_tables;
+pub mod protocol_cost;
+pub mod state_memory;
+
+pub use breakeven::{break_even_scheme2, cheapest_scheme, Scheme};
+pub use markov::TwoStateChain;
+pub use protocol_cost::{ProtocolCostModel, TwoModeThreshold};
+pub use state_memory::StateMemoryModel;

@@ -1,0 +1,402 @@
+//! Multicast communication-cost models (paper §3, equations 2–8).
+//!
+//! Every closed form is paired with the stage-sum it was derived from; the
+//! tests assert they agree exactly over a dense parameter grid, so the
+//! closed forms inherit the stage tables' status as ground truth.
+//!
+//! A reproduction note: the paper's printed stage table for scheme 3
+//! contains a typo (`2(l−1)` where consistency with its own eq. 5 requires
+//! the tag to shrink per stage); our stage sum uses the shrinking-tag
+//! version, which reproduces eq. 5 exactly.
+
+/// Exact log₂ of a power of two.
+///
+/// # Panics
+///
+/// Panics if `x` is not a positive power of two.
+pub fn log2_exact(x: u64) -> u32 {
+    assert!(x.is_power_of_two(), "{x} is not a power of two");
+    x.trailing_zeros()
+}
+
+fn to_u64(v: i128, what: &str) -> u64 {
+    u64::try_from(v).unwrap_or_else(|_| panic!("negative {what} cost: {v}"))
+}
+
+// ---------------------------------------------------------------------
+// Scheme 1 (eq. 2): n replicated destination-tag unicasts.
+// ---------------------------------------------------------------------
+
+/// Scheme 1 closed form (eq. 2): `CC₁ = n(log N + 1)(2M + log N)/2`.
+///
+/// Exact for any `n ≥ 0` (not only powers of two): scheme 1's cost is
+/// strictly linear in the number of destinations.
+///
+/// # Panics
+///
+/// Panics if `big_n` is not a power of two.
+pub fn scheme1(n: u64, big_n: u64, m_bits: u64) -> u64 {
+    let m = log2_exact(big_n) as u64;
+    // (m+1)(2M+m) is always even: if m is odd, m+1 is even; else 2M+m is.
+    n * (m + 1) * (2 * m_bits + m) / 2
+}
+
+/// Scheme 1 stage sum: `n · Σ_{i=0}^{m} (M + m − i)`.
+///
+/// # Panics
+///
+/// Panics if `big_n` is not a power of two.
+pub fn scheme1_stagesum(n: u64, big_n: u64, m_bits: u64) -> u64 {
+    let m = log2_exact(big_n) as u64;
+    n * (0..=m).map(|i| m_bits + (m - i)).sum::<u64>()
+}
+
+// ---------------------------------------------------------------------
+// Scheme 2 (eq. 3): bit-vector routing, unconstrained worst case.
+// ---------------------------------------------------------------------
+
+/// Scheme 2 worst-case closed form (eq. 3):
+/// `CC₂ = n(M log N − M log n + 2M − 1) + N(log n + 2) − M`.
+///
+/// Worst case = the destinations split the routing tree at each of the
+/// first `log n` stages (see
+/// [`DestSet::worst_case_spread`](../../tmc_omeganet/destset/struct.DestSet.html#method.worst_case_spread)).
+///
+/// # Panics
+///
+/// Panics unless `n` and `big_n` are powers of two with `n ≤ big_n`.
+pub fn scheme2_worst(n: u64, big_n: u64, m_bits: u64) -> u64 {
+    let m = log2_exact(big_n) as i128;
+    let k = log2_exact(n) as i128;
+    assert!(n <= big_n, "more destinations than ports");
+    let (n, big_n, m_bits) = (n as i128, big_n as i128, m_bits as i128);
+    let cc = n * (m_bits * m - m_bits * k + 2 * m_bits - 1) + big_n * (k + 2) - m_bits;
+    to_u64(cc, "scheme 2 worst-case")
+}
+
+/// Scheme 2 worst-case stage sum:
+/// `Σ_{i=0}^{k} 2^i (M + N/2^i) + Σ_{i=k+1}^{m} 2^k (M + N/2^i)`.
+///
+/// # Panics
+///
+/// Panics unless `n` and `big_n` are powers of two with `n ≤ big_n`.
+pub fn scheme2_worst_stagesum(n: u64, big_n: u64, m_bits: u64) -> u64 {
+    let m = log2_exact(big_n);
+    let k = log2_exact(n);
+    assert!(n <= big_n, "more destinations than ports");
+    let mut cc = 0;
+    for i in 0..=k {
+        cc += (1u64 << i) * (m_bits + (big_n >> i));
+    }
+    for i in k + 1..=m {
+        cc += n * (m_bits + (big_n >> i));
+    }
+    cc
+}
+
+/// Eq. 4: `CC₂ − CC₁` for the unconstrained worst case (signed).
+///
+/// # Panics
+///
+/// Panics unless `n` and `big_n` are powers of two with `n ≤ big_n`.
+pub fn cc2_minus_cc1(n: u64, big_n: u64, m_bits: u64) -> i64 {
+    scheme2_worst(n, big_n, m_bits) as i64 - scheme1(n, big_n, m_bits) as i64
+}
+
+// ---------------------------------------------------------------------
+// Scheme 2 constrained to an n1-region (eq. 6).
+// ---------------------------------------------------------------------
+
+/// Scheme 2 worst case when the `n` destinations lie among `n1` adjacently
+/// placed ports (eq. 6):
+/// `CC₂′ = n(M log n₁ − M log n + 2M − 1) + n₁ log n + M(log N − log n₁ − 1) + 2N`.
+///
+/// With `n == n1` this is also the *best* case of unconstrained scheme 2
+/// (an adjacent destination block forks only at the last `log n` stages).
+///
+/// # Panics
+///
+/// Panics unless `n ≤ n1 ≤ big_n` are all powers of two.
+pub fn scheme2_region_worst(n: u64, n1: u64, big_n: u64, m_bits: u64) -> u64 {
+    let m = log2_exact(big_n) as i128;
+    let l = log2_exact(n1) as i128;
+    let k = log2_exact(n) as i128;
+    assert!(n <= n1 && n1 <= big_n, "need n ≤ n1 ≤ N");
+    let (n, n1, big_n, m_bits) = (n as i128, n1 as i128, big_n as i128, m_bits as i128);
+    let cc = n * (m_bits * l - m_bits * k + 2 * m_bits - 1)
+        + n1 * k
+        + m_bits * (m - l - 1)
+        + 2 * big_n;
+    to_u64(cc, "scheme 2 region worst-case")
+}
+
+/// Stage sum behind eq. 6:
+/// `Σ_{i=0}^{m−l−1}(M + N/2^i) + Σ_{i=m−l}^{m−l+k} 2^{i−(m−l)}(M + N/2^i)
+///  + Σ_{i=m−l+k+1}^{m} 2^k (M + N/2^i)`.
+///
+/// # Panics
+///
+/// Panics unless `n ≤ n1 ≤ big_n` are all powers of two.
+pub fn scheme2_region_worst_stagesum(n: u64, n1: u64, big_n: u64, m_bits: u64) -> u64 {
+    let m = log2_exact(big_n);
+    let l = log2_exact(n1);
+    let k = log2_exact(n);
+    assert!(n <= n1 && n1 <= big_n, "need n ≤ n1 ≤ N");
+    let mut cc = 0;
+    // Single message descends to the region for the first m−l stages.
+    for i in 0..(m - l) {
+        cc += m_bits + (big_n >> i);
+    }
+    // Then it forks once per stage for k stages (worst case in the region)…
+    for i in (m - l)..=(m - l + k) {
+        cc += (1u64 << (i - (m - l))) * (m_bits + (big_n >> i));
+    }
+    // …and rides 2^k parallel copies to the leaves.
+    for i in (m - l + k + 1)..=m {
+        cc += n * (m_bits + (big_n >> i));
+    }
+    cc
+}
+
+/// Exact scheme-2 cost for an aligned block of `n` adjacent destinations
+/// (the best case): eq. 6 at `n1 = n`.
+///
+/// # Panics
+///
+/// Panics unless `n ≤ big_n` are powers of two.
+pub fn scheme2_adjacent(n: u64, big_n: u64, m_bits: u64) -> u64 {
+    scheme2_region_worst(n, n, big_n, m_bits)
+}
+
+// ---------------------------------------------------------------------
+// Scheme 3 (eq. 5): broadcast-tag routing over a 2^l block of neighbors.
+// ---------------------------------------------------------------------
+
+/// Scheme 3 closed form (eq. 5):
+/// `CC₃ = n₁(2M + 4) − log n₁(log n₁ + M + 3) + log N(log N + M + 1) − M − 4`.
+///
+/// `n1` is the number of destinations (a power of two, adjacently placed).
+///
+/// # Panics
+///
+/// Panics unless `n1 ≤ big_n` are powers of two.
+pub fn scheme3(n1: u64, big_n: u64, m_bits: u64) -> u64 {
+    let m = log2_exact(big_n) as i128;
+    let l = log2_exact(n1) as i128;
+    assert!(n1 <= big_n, "more destinations than ports");
+    let (n1, m_bits) = (n1 as i128, m_bits as i128);
+    let cc = n1 * (2 * m_bits + 4) - l * (l + m_bits + 3) + m * (m + m_bits + 1) - m_bits - 4;
+    to_u64(cc, "scheme 3")
+}
+
+/// Stage sum behind eq. 5 (with the shrinking 2-bit-per-stage tag):
+/// `Σ_{i=0}^{m−l}(M + 2(m − i)) + Σ_{i=1}^{l} 2^i (M + 2(l − i))`.
+///
+/// # Panics
+///
+/// Panics unless `n1 ≤ big_n` are powers of two.
+pub fn scheme3_stagesum(n1: u64, big_n: u64, m_bits: u64) -> u64 {
+    let m = log2_exact(big_n) as u64;
+    let l = log2_exact(n1) as u64;
+    assert!(n1 <= big_n, "more destinations than ports");
+    let mut cc = 0;
+    for i in 0..=(m - l) {
+        cc += m_bits + 2 * (m - i);
+    }
+    for i in 1..=l {
+        cc += (1u64 << i) * (m_bits + 2 * (l - i));
+    }
+    cc
+}
+
+/// Eq. 7: `CC₃ − CC₂′` (signed), for destinations within an `n1`-region.
+///
+/// # Panics
+///
+/// Panics unless `n ≤ n1 ≤ big_n` are powers of two.
+pub fn cc3_minus_cc2_region(n: u64, n1: u64, big_n: u64, m_bits: u64) -> i64 {
+    scheme3(n1, big_n, m_bits) as i64 - scheme2_region_worst(n, n1, big_n, m_bits) as i64
+}
+
+// ---------------------------------------------------------------------
+// Scheme 4 (eq. 8): the combined scheme.
+// ---------------------------------------------------------------------
+
+/// Combined-scheme cost (eq. 8): `CC₄ = min(CC₁, CC₂′, CC₃)` for `n`
+/// destinations among `n1` adjacent ports. Scheme 3 must address the whole
+/// region, so its cost is evaluated at `n1`.
+///
+/// # Panics
+///
+/// Panics unless `n ≤ n1 ≤ big_n` are powers of two.
+pub fn combined(n: u64, n1: u64, big_n: u64, m_bits: u64) -> u64 {
+    scheme1(n, big_n, m_bits)
+        .min(scheme2_region_worst(n, n1, big_n, m_bits))
+        .min(scheme3(n1, big_n, m_bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The parameter grid used by the agreement tests: every (N, n1, n)
+    /// power-of-two triple with n ≤ n1 ≤ N ≤ 4096, crossed with several M.
+    fn grid() -> impl Iterator<Item = (u64, u64, u64, u64)> {
+        (1u32..=12).flat_map(|m| {
+            (0..=m).flat_map(move |l| {
+                (0..=l).flat_map(move |k| {
+                    [0u64, 1, 20, 40, 100].into_iter().map(move |m_bits| {
+                        (1u64 << k, 1u64 << l, 1u64 << m, m_bits)
+                    })
+                })
+            })
+        })
+    }
+
+    #[test]
+    fn scheme1_closed_equals_stagesum() {
+        for (n, _, big_n, m_bits) in grid() {
+            assert_eq!(
+                scheme1(n, big_n, m_bits),
+                scheme1_stagesum(n, big_n, m_bits),
+                "n={n} N={big_n} M={m_bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheme2_closed_equals_stagesum() {
+        for (n, _, big_n, m_bits) in grid() {
+            assert_eq!(
+                scheme2_worst(n, big_n, m_bits),
+                scheme2_worst_stagesum(n, big_n, m_bits),
+                "n={n} N={big_n} M={m_bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheme2_region_closed_equals_stagesum() {
+        for (n, n1, big_n, m_bits) in grid() {
+            assert_eq!(
+                scheme2_region_worst(n, n1, big_n, m_bits),
+                scheme2_region_worst_stagesum(n, n1, big_n, m_bits),
+                "n={n} n1={n1} N={big_n} M={m_bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheme3_closed_equals_stagesum() {
+        for (_, n1, big_n, m_bits) in grid() {
+            assert_eq!(
+                scheme3(n1, big_n, m_bits),
+                scheme3_stagesum(n1, big_n, m_bits),
+                "n1={n1} N={big_n} M={m_bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn region_worst_reduces_to_unconstrained_at_full_region() {
+        // With n1 = N the "region" is the whole machine and eq. 6 must
+        // collapse to eq. 3.
+        for (n, _, big_n, m_bits) in grid() {
+            assert_eq!(
+                scheme2_region_worst(n, big_n, big_n, m_bits),
+                scheme2_worst(n, big_n, m_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn adjacent_is_never_worse_than_spread() {
+        for (n, _, big_n, m_bits) in grid() {
+            assert!(
+                scheme2_adjacent(n, big_n, m_bits) <= scheme2_worst(n, big_n, m_bits),
+                "n={n} N={big_n} M={m_bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn region_constraint_tightens_the_worst_case() {
+        // A smaller region can only reduce the worst-case cost.
+        for (n, n1, big_n, m_bits) in grid() {
+            if n1 < big_n {
+                assert!(
+                    scheme2_region_worst(n, n1, big_n, m_bits)
+                        <= scheme2_worst(n, big_n, m_bits),
+                    "n={n} n1={n1} N={big_n} M={m_bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheme3_singleton_is_a_tagged_unicast() {
+        // l = 0: one path, 2-bit tag per stage: (m+1)(M+m).
+        for m in 1u32..=12 {
+            let big_n = 1u64 << m;
+            for m_bits in [0u64, 20, 100] {
+                assert_eq!(
+                    scheme3(1, big_n, m_bits),
+                    (m as u64 + 1) * (m_bits + m as u64)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn differences_match_their_operands() {
+        for (n, n1, big_n, m_bits) in grid() {
+            assert_eq!(
+                cc2_minus_cc1(n, big_n, m_bits),
+                scheme2_worst(n, big_n, m_bits) as i64 - scheme1(n, big_n, m_bits) as i64
+            );
+            assert_eq!(
+                cc3_minus_cc2_region(n, n1, big_n, m_bits),
+                scheme3(n1, big_n, m_bits) as i64
+                    - scheme2_region_worst(n, n1, big_n, m_bits) as i64
+            );
+        }
+    }
+
+    #[test]
+    fn combined_is_the_pointwise_minimum() {
+        for (n, n1, big_n, m_bits) in grid() {
+            let c = combined(n, n1, big_n, m_bits);
+            assert!(c <= scheme1(n, big_n, m_bits));
+            assert!(c <= scheme2_region_worst(n, n1, big_n, m_bits));
+            assert!(c <= scheme3(n1, big_n, m_bits));
+            assert!(
+                c == scheme1(n, big_n, m_bits)
+                    || c == scheme2_region_worst(n, n1, big_n, m_bits)
+                    || c == scheme3(n1, big_n, m_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn paper_figure5_setup_spot_values() {
+        // N = 1024, M = 20 (Figure 5): scheme 1 at n = 1 costs
+        // (10+1)(20+5) = 275 bits.
+        assert_eq!(scheme1(1, 1024, 20), 275);
+        // Scheme 2 at n = 1 carries the kilobit vector: far more.
+        assert!(scheme2_worst(1, 1024, 20) > 2000);
+        // By n = 64 scheme 2 has won (its cost grows ~n·M, scheme 1 ~n·275).
+        assert!(scheme2_worst(64, 1024, 20) < scheme1(64, 1024, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn non_power_of_two_n_rejected_by_scheme2() {
+        scheme2_worst(3, 8, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "more destinations than ports")]
+    fn scheme3_rejects_oversized_region() {
+        scheme3(16, 8, 20);
+    }
+}

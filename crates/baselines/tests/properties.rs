@@ -1,0 +1,127 @@
+//! Property-based oracle tests for every baseline protocol.
+
+use proptest::prelude::*;
+use tmc_baselines::{
+    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem,
+    NoCacheSystem, SoftwareMarkedSystem, UpdateOnlySystem,
+};
+use tmc_core::Mode;
+use tmc_memsys::{BlockAddr, CacheGeometry, ReferenceMemory, WordAddr};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read(usize, u64),
+    Write(usize, u64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..4, 0u64..24).prop_map(|(p, a)| Op::Read(p, a)),
+            (0usize..4, 0u64..24).prop_map(|(p, a)| Op::Write(p, a)),
+        ],
+        1..250,
+    )
+}
+
+fn check(sys: &mut dyn CoherentSystem, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut oracle = ReferenceMemory::new();
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Read(p, a) => {
+                let addr = WordAddr::new(a);
+                prop_assert_eq!(
+                    sys.read(p, addr),
+                    oracle.read(addr),
+                    "{} step {}",
+                    sys.name(),
+                    i
+                );
+            }
+            Op::Write(p, a) => {
+                let addr = WordAddr::new(a);
+                let v = oracle.stamp();
+                sys.write(p, addr, v);
+                oracle.write(addr, v);
+            }
+        }
+    }
+    sys.flush();
+    for (a, v) in oracle.iter() {
+        prop_assert_eq!(sys.peek_word(a), v, "{} post-flush", sys.name());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_cache_is_an_oracle(ops in arb_ops()) {
+        check(&mut NoCacheSystem::new(4), &ops)?;
+    }
+
+    #[test]
+    fn directory_invalidate_matches_oracle(ops in arb_ops()) {
+        check(
+            &mut DirectoryInvalidateSystem::with_geometry(4, CacheGeometry::new(1, 2)),
+            &ops,
+        )?;
+    }
+
+    #[test]
+    fn update_only_matches_oracle(ops in arb_ops()) {
+        check(
+            &mut UpdateOnlySystem::with_geometry(4, CacheGeometry::new(1, 2)),
+            &ops,
+        )?;
+    }
+
+    #[test]
+    fn two_mode_adapters_match_oracle(ops in arb_ops(), pick in 0usize..3) {
+        let mut sys: Box<dyn CoherentSystem> = match pick {
+            0 => Box::new(two_mode_fixed(4, Mode::DistributedWrite)),
+            1 => Box::new(two_mode_fixed(4, Mode::GlobalRead)),
+            _ => Box::new(two_mode_adaptive(4, 16)),
+        };
+        check(sys.as_mut(), &ops)?;
+    }
+
+    #[test]
+    fn software_marking_is_coherent_when_all_shared_blocks_are_tagged(ops in arb_ops()) {
+        let mut sys = SoftwareMarkedSystem::new(4);
+        // Everything in this workload may be shared: mark it all.
+        for b in 0..8 {
+            sys.mark_noncacheable(BlockAddr::new(b));
+        }
+        check(&mut sys, &ops)?;
+    }
+
+    /// Traffic sanity across all baselines: monotone, and zero only until
+    /// the first reference.
+    #[test]
+    fn traffic_is_monotone_everywhere(ops in arb_ops()) {
+        let mut systems: Vec<Box<dyn CoherentSystem>> = vec![
+            Box::new(NoCacheSystem::new(4)),
+            Box::new(DirectoryInvalidateSystem::new(4)),
+            Box::new(UpdateOnlySystem::new(4)),
+            Box::new(two_mode_fixed(4, Mode::GlobalRead)),
+        ];
+        for sys in &mut systems {
+            let mut last = 0;
+            for &op in &ops {
+                match op {
+                    Op::Read(p, a) => {
+                        sys.read(p, WordAddr::new(a));
+                    }
+                    Op::Write(p, a) => {
+                        sys.write(p, WordAddr::new(a), 1);
+                    }
+                }
+                let now = sys.total_traffic_bits();
+                prop_assert!(now >= last, "{} went backwards", sys.name());
+                last = now;
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion benches for the three multicast schemes and the combined
+//! selector on the simulated omega network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmc_omeganet::{DestSet, Omega, SchemeKind, TrafficMatrix};
+
+fn bench_cast(c: &mut Criterion) {
+    let net = Omega::new(10).expect("N = 1024");
+    let mut group = c.benchmark_group("multicast_cast");
+    group.sample_size(30);
+    for &n in &[8usize, 64, 512] {
+        let spread = DestSet::worst_case_spread(1024, n).expect("valid");
+        let adjacent = DestSet::adjacent(1024, 0, n).expect("valid");
+        for (kind, label) in [
+            (SchemeKind::Replicated, "scheme1"),
+            (SchemeKind::BitVector, "scheme2"),
+            (SchemeKind::BroadcastTag, "scheme3"),
+            (SchemeKind::Combined, "combined"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/spread"), n),
+                &spread,
+                |b, dests| {
+                    let mut traffic = TrafficMatrix::new(&net);
+                    b.iter(|| {
+                        traffic.clear();
+                        net.multicast(kind, 3, dests, 20, &mut traffic).unwrap()
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}/adjacent"), n),
+                &adjacent,
+                |b, dests| {
+                    let mut traffic = TrafficMatrix::new(&net);
+                    b.iter(|| {
+                        traffic.clear();
+                        net.multicast(kind, 3, dests, 20, &mut traffic).unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cost_only(c: &mut Criterion) {
+    let net = Omega::new(10).expect("N = 1024");
+    let dests = DestSet::worst_case_spread(1024, 64).expect("valid");
+    c.bench_function("multicast_cost/combined_n64", |b| {
+        b.iter(|| net.multicast_cost(SchemeKind::Combined, &dests, 20).unwrap())
+    });
+    c.bench_function("multicast_cost/cheapest_scheme_n64", |b| {
+        b.iter(|| net.cheapest_scheme(&dests, 20))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(400))
+        .sample_size(10)
+        .without_plots();
+    targets = bench_cast, bench_cost_only
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benches for whole-protocol transaction throughput: the
+//! two-mode protocol against the baselines on identical workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmc_baselines::{
+    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem,
+    NoCacheSystem, UpdateOnlySystem,
+};
+use tmc_bench::drive;
+use tmc_core::Mode;
+use tmc_simcore::SimRng;
+use tmc_workload::{Placement, SharedBlockWorkload, Trace};
+
+const N_PROCS: usize = 16;
+
+fn workload(w: f64) -> Trace {
+    SharedBlockWorkload::new(8, 16, w)
+        .references(1_200)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(N_PROCS, &mut SimRng::seed_from(42))
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_throughput");
+    group.sample_size(10);
+    group.sampling_mode(criterion::SamplingMode::Flat);
+    for &w in &[0.05f64, 0.5] {
+        let trace = workload(w);
+        group.bench_with_input(BenchmarkId::new("two_mode_dw", w), &trace, |b, t| {
+            b.iter(|| {
+                let mut sys = two_mode_fixed(N_PROCS, Mode::DistributedWrite);
+                drive(&mut sys, t)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("two_mode_gr", w), &trace, |b, t| {
+            b.iter(|| {
+                let mut sys = two_mode_fixed(N_PROCS, Mode::GlobalRead);
+                drive(&mut sys, t)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("two_mode_adaptive", w), &trace, |b, t| {
+            b.iter(|| {
+                let mut sys = two_mode_adaptive(N_PROCS, 64);
+                drive(&mut sys, t)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("directory_invalidate", w), &trace, |b, t| {
+            b.iter(|| {
+                let mut sys = DirectoryInvalidateSystem::new(N_PROCS);
+                drive(&mut sys, t)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("update_only", w), &trace, |b, t| {
+            b.iter(|| {
+                let mut sys = UpdateOnlySystem::new(N_PROCS);
+                drive(&mut sys, t)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("no_cache", w), &trace, |b, t| {
+            b.iter(|| {
+                let mut sys = NoCacheSystem::new(N_PROCS);
+                drive(&mut sys, t)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_ops(c: &mut Criterion) {
+    c.bench_function("two_mode/read_hit", |b| {
+        let mut sys = two_mode_fixed(16, Mode::DistributedWrite);
+        sys.write(0, tmc_memsys::WordAddr::new(0), 1);
+        b.iter(|| sys.read(0, tmc_memsys::WordAddr::new(0)))
+    });
+    c.bench_function("two_mode/gr_remote_read", |b| {
+        let mut sys = two_mode_fixed(16, Mode::GlobalRead);
+        sys.write(0, tmc_memsys::WordAddr::new(0), 1);
+        b.iter(|| sys.read(1, tmc_memsys::WordAddr::new(0)))
+    });
+    c.bench_function("two_mode/dw_update_write", |b| {
+        let mut sys = two_mode_fixed(16, Mode::DistributedWrite);
+        sys.write(0, tmc_memsys::WordAddr::new(0), 1);
+        for p in 1..8 {
+            sys.read(p, tmc_memsys::WordAddr::new(0));
+        }
+        b.iter(|| sys.write(0, tmc_memsys::WordAddr::new(0), 2))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(400))
+        .sample_size(10)
+        .without_plots();
+    targets = bench_protocols, bench_single_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablations over the design choices DESIGN.md calls out: the consistency
+//! multicast scheme, the OWNER-pointer bypass, and the mode policy — all
+//! measured as traffic on the same workload.
+
+use tmc_baselines::TwoModeAdapter;
+use tmc_bench::{drive, Table};
+use tmc_core::{Mode, ModePolicy, System, SystemConfig};
+use tmc_omeganet::SchemeKind;
+use tmc_simcore::SimRng;
+use tmc_workload::{Placement, SharedBlockWorkload, StencilWorkload};
+
+fn run(cfg: SystemConfig, name: &'static str, trace: &tmc_workload::Trace) -> (String, f64) {
+    let mut sys = TwoModeAdapter::new(System::new(cfg).expect("valid"), name);
+    let report = drive(&mut sys, trace);
+    sys.inner().check_invariants().expect("invariants hold");
+    (name.to_string(), report.bits_per_ref)
+}
+
+fn main() {
+    let n_procs = 16;
+    let rng = SimRng::seed_from(7);
+    let shared = SharedBlockWorkload::new(8, 16, 0.1)
+        .references(20_000)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(n_procs, &mut rng.fork(1));
+    let stencil = StencilWorkload::new(8, 4, 40)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(n_procs, &mut rng.fork(2));
+
+    for (wl_name, trace) in [("shared-block w=0.1", &shared), ("stencil 8x4x40", &stencil)] {
+        // Ablation 1: multicast scheme, with the protocol pinned to
+        // distributed write so updates actually multicast.
+        let mut t = Table::new(vec!["multicast scheme".into(), "bits/ref".into()]);
+        for (scheme, name) in [
+            (SchemeKind::Replicated, "scheme 1 (replicated)"),
+            (SchemeKind::BitVector, "scheme 2 (bit-vector)"),
+            (SchemeKind::BroadcastTag, "scheme 3 (broadcast-tag)"),
+            (SchemeKind::Combined, "scheme 4 (combined, eq.8)"),
+        ] {
+            let cfg = SystemConfig::new(n_procs)
+                .multicast(scheme)
+                .mode_policy(ModePolicy::Fixed(Mode::DistributedWrite));
+            let (_, bits) = run(cfg, name, trace);
+            t.row(vec![name.to_string(), format!("{bits:.1}")]);
+        }
+        t.print(&format!("Ablation: multicast scheme ({wl_name})"));
+
+        // Ablation 2: OWNER bypass on/off (global-read mode exercises it).
+        let mut t = Table::new(vec!["owner bypass".into(), "bits/ref".into()]);
+        for (bypass, name) in [(true, "on (paper)"), (false, "off (via memory)")] {
+            let cfg = SystemConfig::new(n_procs)
+                .owner_bypass(bypass)
+                .mode_policy(ModePolicy::Fixed(Mode::GlobalRead));
+            let (_, bits) = run(cfg, if bypass { "bypass-on" } else { "bypass-off" }, trace);
+            t.row(vec![name.to_string(), format!("{bits:.1}")]);
+        }
+        t.print(&format!("Ablation: OWNER-pointer bypass ({wl_name})"));
+
+        // Ablation 3: mode policy.
+        let mut t = Table::new(vec!["mode policy".into(), "bits/ref".into()]);
+        for (policy, name) in [
+            (ModePolicy::Fixed(Mode::DistributedWrite), "fixed distributed-write"),
+            (ModePolicy::Fixed(Mode::GlobalRead), "fixed global-read"),
+            (ModePolicy::Adaptive { window: 64 }, "adaptive (sect. 5)"),
+        ] {
+            let cfg = SystemConfig::new(n_procs).mode_policy(policy);
+            let (_, bits) = run(cfg, "policy", trace);
+            t.row(vec![name.to_string(), format!("{bits:.1}")]);
+        }
+        t.print(&format!("Ablation: mode policy ({wl_name})"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Replays a saved text trace (see `tmc_workload::format_trace`) through a
+//! chosen protocol and reports traffic and counters.
+//!
+//! ```text
+//! Usage: replay TRACE_FILE [PROTOCOL]
+//!   PROTOCOL  no-cache | dir | update | dw | gr | adaptive (default: adaptive)
+//! ```
+
+use tmc_baselines::{
+    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem,
+    NoCacheSystem, UpdateOnlySystem,
+};
+use tmc_bench::drive;
+use tmc_core::Mode;
+use tmc_workload::parse_trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: replay TRACE_FILE [no-cache|dir|update|dw|gr|adaptive]");
+        std::process::exit(2);
+    };
+    let protocol = args.get(1).map(String::as_str).unwrap_or("adaptive");
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let trace = match parse_trace(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let n_procs = trace.n_procs().next_power_of_two().max(2);
+
+    let mut sys: Box<dyn CoherentSystem> = match protocol {
+        "no-cache" => Box::new(NoCacheSystem::new(n_procs)),
+        "dir" => Box::new(DirectoryInvalidateSystem::new(n_procs)),
+        "update" => Box::new(UpdateOnlySystem::new(n_procs)),
+        "dw" => Box::new(two_mode_fixed(n_procs, Mode::DistributedWrite)),
+        "gr" => Box::new(two_mode_fixed(n_procs, Mode::GlobalRead)),
+        "adaptive" => Box::new(two_mode_adaptive(n_procs, 64)),
+        other => {
+            eprintln!("unknown protocol {other}");
+            std::process::exit(2);
+        }
+    };
+
+    let report = drive(sys.as_mut(), &trace);
+    println!("trace      : {path}");
+    println!("references : {}", report.references);
+    println!("write frac : {:.3}", trace.write_fraction());
+    println!("protocol   : {}", sys.name());
+    println!("traffic    : {} bits ({:.2} bits/ref)", report.total_bits, report.bits_per_ref);
+    println!("\ncounters:\n{}", sys.counters());
+}

@@ -1,0 +1,86 @@
+//! The empirical twin of Figure 8: instead of the closed forms, run every
+//! protocol through the full trace-driven simulator on the §4 workload
+//! (n tasks share blocks, one writer per block, write fraction w) and
+//! measure bits per reference on the simulated network.
+//!
+//! Expected shapes (paper): the update-based protocols are flat-ish in w at
+//! low w and grow with w; global read falls with w; the two-mode adaptive
+//! protocol tracks the lower envelope of the two fixed modes; the
+//! directory-invalidate (write-once-equivalent) baseline peaks in the
+//! middle (the w(1−w) hump); no-cache is the 2−w reference line.
+
+use tmc_baselines::{
+    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem,
+    NoCacheSystem, UpdateOnlySystem,
+};
+use tmc_bench::{drive_steady_state, Table};
+use tmc_core::Mode;
+use tmc_simcore::SimRng;
+use tmc_workload::{Placement, SharedBlockWorkload};
+
+const N_PROCS: usize = 16;
+const N_TASKS: usize = 8;
+const N_BLOCKS: u64 = 16;
+const REFS: usize = 24_000;
+const WARMUP: usize = 4_000;
+
+fn run_one(sys: &mut dyn CoherentSystem, w: f64, seed: u64) -> f64 {
+    let trace = SharedBlockWorkload::new(N_TASKS, N_BLOCKS, w)
+        .references(REFS)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(N_PROCS, &mut SimRng::seed_from(seed));
+    drive_steady_state(sys, &trace, WARMUP).bits_per_ref
+}
+
+fn main() {
+    let ws = [0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+    let mut t = Table::new(vec![
+        "w".into(),
+        "no-cache".into(),
+        "dir-invalidate".into(),
+        "update-only".into(),
+        "two-mode DW".into(),
+        "two-mode GR".into(),
+        "two-mode adaptive".into(),
+        "winner".into(),
+    ]);
+    println!(
+        "\nTrace-driven run: N={N_PROCS} processors, n={N_TASKS} sharing tasks, \
+         {N_BLOCKS} blocks, {REFS} refs ({WARMUP} warm-up), bits/reference:"
+    );
+    for (i, &w) in ws.iter().enumerate() {
+        let seed = 1000 + i as u64;
+        let mut results: Vec<(&'static str, f64)> = Vec::new();
+        let mut nc = NoCacheSystem::new(N_PROCS);
+        results.push(("no-cache", run_one(&mut nc, w, seed)));
+        let mut dir = DirectoryInvalidateSystem::new(N_PROCS);
+        results.push(("dir-invalidate", run_one(&mut dir, w, seed)));
+        let mut upd = UpdateOnlySystem::new(N_PROCS);
+        results.push(("update-only", run_one(&mut upd, w, seed)));
+        let mut dw = two_mode_fixed(N_PROCS, Mode::DistributedWrite);
+        results.push(("two-mode DW", run_one(&mut dw, w, seed)));
+        let mut gr = two_mode_fixed(N_PROCS, Mode::GlobalRead);
+        results.push(("two-mode GR", run_one(&mut gr, w, seed)));
+        let mut ad = two_mode_adaptive(N_PROCS, 64);
+        results.push(("two-mode adaptive", run_one(&mut ad, w, seed)));
+
+        let winner = results
+            .iter()
+            .skip(1) // exclude the no-cache reference from "winner"
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("nonempty")
+            .0;
+        let mut cells = vec![format!("{w:.2}")];
+        cells.extend(results.iter().map(|(_, b)| format!("{b:.1}")));
+        cells.push(winner.to_string());
+        t.row(cells);
+    }
+    t.print("Figure 8 (empirical): measured bits per reference");
+
+    let w1 = 2.0 / (N_TASKS as f64 + 2.0);
+    println!(
+        "Two-mode threshold for n={N_TASKS}: w1 = {w1:.3}. Expect the fixed-DW\n\
+         column to win below it, fixed-GR above it, and the adaptive column to\n\
+         track whichever fixed mode is cheaper."
+    );
+}

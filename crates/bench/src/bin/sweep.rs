@@ -1,0 +1,76 @@
+//! A parameterized experiment runner for scripting your own sweeps.
+//!
+//! ```text
+//! Usage: sweep [PROTOCOL] [N_PROCS] [N_TASKS] [W] [REFS] [SEED]
+//!   PROTOCOL  no-cache | dir | update | dw | gr | adaptive | all (default: all)
+//!   N_PROCS   power of two (default 16)
+//!   N_TASKS   sharing tasks (default 8)
+//!   W         write fraction 0..=1 (default 0.2)
+//!   REFS      references (default 20000)
+//!   SEED      RNG seed (default 1)
+//! ```
+//!
+//! Output is CSV on stdout: `protocol,n_procs,n_tasks,w,refs,bits_per_ref,msgs`.
+
+use tmc_baselines::{
+    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem,
+    NoCacheSystem, UpdateOnlySystem,
+};
+use tmc_bench::drive;
+use tmc_core::Mode;
+use tmc_simcore::SimRng;
+use tmc_workload::{Placement, SharedBlockWorkload};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [no-cache|dir|update|dw|gr|adaptive|all] [N_PROCS] [N_TASKS] [W] [REFS] [SEED]"
+    );
+    std::process::exit(2)
+}
+
+fn build(protocol: &str, n_procs: usize) -> Option<Box<dyn CoherentSystem>> {
+    Some(match protocol {
+        "no-cache" => Box::new(NoCacheSystem::new(n_procs)),
+        "dir" => Box::new(DirectoryInvalidateSystem::new(n_procs)),
+        "update" => Box::new(UpdateOnlySystem::new(n_procs)),
+        "dw" => Box::new(two_mode_fixed(n_procs, Mode::DistributedWrite)),
+        "gr" => Box::new(two_mode_fixed(n_procs, Mode::GlobalRead)),
+        "adaptive" => Box::new(two_mode_adaptive(n_procs, 64)),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = |i: usize, default: &str| args.get(i).cloned().unwrap_or_else(|| default.into());
+    let protocol = arg(0, "all");
+    let n_procs: usize = arg(1, "16").parse().unwrap_or_else(|_| usage());
+    let n_tasks: usize = arg(2, "8").parse().unwrap_or_else(|_| usage());
+    let w: f64 = arg(3, "0.2").parse().unwrap_or_else(|_| usage());
+    let refs: usize = arg(4, "20000").parse().unwrap_or_else(|_| usage());
+    let seed: u64 = arg(5, "1").parse().unwrap_or_else(|_| usage());
+    if !n_procs.is_power_of_two() || n_tasks > n_procs || !(0.0..=1.0).contains(&w) {
+        usage();
+    }
+
+    let names: Vec<&str> = if protocol == "all" {
+        vec!["no-cache", "dir", "update", "dw", "gr", "adaptive"]
+    } else {
+        vec![protocol.as_str()]
+    };
+
+    println!("protocol,n_procs,n_tasks,w,refs,bits_per_ref,msgs");
+    for name in names {
+        let Some(mut sys) = build(name, n_procs) else { usage() };
+        let trace = SharedBlockWorkload::new(n_tasks, 2 * n_tasks as u64, w)
+            .references(refs)
+            .placement(Placement::Adjacent { base: 0 })
+            .generate(n_procs, &mut SimRng::seed_from(seed));
+        let report = drive(sys.as_mut(), &trace);
+        println!(
+            "{name},{n_procs},{n_tasks},{w},{refs},{:.2},{}",
+            report.bits_per_ref,
+            sys.counters().get("msgs_total")
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Regenerates Table 2: break-even destination count between multicast
+//! schemes 1 and 2 as a function of machine size N and message size M —
+//! from the paper's own equations 2 and 3, cross-checked against the
+//! simulated network link-by-link.
+
+use tmc_analytic::break_even_scheme2;
+use tmc_bench::Table;
+use tmc_omeganet::{DestSet, Omega, SchemeKind};
+
+/// The values printed in the paper's Table 2, for side-by-side comparison.
+const PAPER: &[(u64, [u64; 3])] = &[
+    (64, [16, 1, 1]),
+    (128, [32, 4, 1]),
+    (256, [32, 8, 4]),
+    (512, [64, 16, 8]),
+    (1024, [128, 32, 16]),
+];
+const MS: [u64; 3] = [0, 40, 100];
+
+/// Finds the break-even empirically: measure both schemes' exact costs on
+/// the simulated network with worst-case-spread destinations.
+fn empirical_break_even(big_n: u64, m_bits: u64) -> Option<u64> {
+    let net = Omega::with_ports(big_n as usize).expect("supported size");
+    let mut n = 1u64;
+    while n <= big_n {
+        let dests = DestSet::worst_case_spread(big_n as usize, n as usize).expect("valid");
+        let c1 = net
+            .multicast_cost(SchemeKind::Replicated, &dests, m_bits)
+            .expect("valid");
+        let c2 = net
+            .multicast_cost(SchemeKind::BitVector, &dests, m_bits)
+            .expect("valid");
+        if c2 <= c1 {
+            return Some(n);
+        }
+        n *= 2;
+    }
+    None
+}
+
+fn main() {
+    let mut t = Table::new(vec![
+        "N".into(),
+        "M=0 (eqs)".into(),
+        "M=0 (net)".into(),
+        "M=0 paper".into(),
+        "M=40 (eqs)".into(),
+        "M=40 (net)".into(),
+        "M=40 paper".into(),
+        "M=100 (eqs)".into(),
+        "M=100 (net)".into(),
+        "M=100 paper".into(),
+    ]);
+    for &(big_n, paper) in PAPER {
+        let mut cells = vec![big_n.to_string()];
+        for (i, &m_bits) in MS.iter().enumerate() {
+            let eqs = break_even_scheme2(big_n, m_bits);
+            let net = empirical_break_even(big_n, m_bits);
+            assert_eq!(eqs, net, "analytic and simulated break-even must agree");
+            cells.push(eqs.map_or("-".into(), |v| v.to_string()));
+            cells.push(net.map_or("-".into(), |v| v.to_string()));
+            cells.push(paper[i].to_string());
+        }
+        t.row(cells);
+    }
+    t.print("Table 2: break-even n between scheme 1 and scheme 2");
+
+    println!(
+        "(eqs) = from the paper's equations 2 and 3; (net) = measured on the\n\
+         simulated omega network with worst-case-spread destinations. The two\n\
+         agree exactly. The paper's printed table sits ~2x below the values its\n\
+         own equations give (see EXPERIMENTS.md); the trends it proves — break-\n\
+         even decreasing in M, increasing in N — hold in both."
+    );
+}

@@ -1,0 +1,221 @@
+//! Experiment harness: table formatting and trace-driven protocol runs.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper;
+//! this library holds the shared plumbing. See `DESIGN.md` (experiment
+//! index) and `EXPERIMENTS.md` (recorded outputs) at the repository root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tmc_baselines::CoherentSystem;
+use tmc_workload::{Op, Trace};
+
+/// A plain-text table printer with right-aligned numeric columns.
+///
+/// # Example
+///
+/// ```
+/// use tmc_bench::Table;
+///
+/// let mut t = Table::new(vec!["n".into(), "cost".into()]);
+/// t.row(vec!["1".into(), "275".into()]);
+/// let s = t.render();
+/// assert!(s.contains("275"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{c:>w$}", w = w));
+            }
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout under a title.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==\n{}", self.render());
+    }
+}
+
+/// Outcome of driving one protocol over one trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// References executed.
+    pub references: usize,
+    /// Total bits across all links (flush excluded).
+    pub total_bits: u64,
+    /// Bits per reference.
+    pub bits_per_ref: f64,
+}
+
+/// Drives `sys` through `trace` (writes use a running stamp as the value)
+/// and reports traffic per reference. The flush at the end is *not*
+/// billed to the per-reference figure, matching the paper's steady-state
+/// cost models.
+pub fn drive(sys: &mut dyn CoherentSystem, trace: &Trace) -> RunReport {
+    let mut stamp = 1u64;
+    for r in trace.iter() {
+        match r.op {
+            Op::Read => {
+                let _ = sys.read(r.proc, r.addr);
+            }
+            Op::Write => {
+                sys.write(r.proc, r.addr, stamp);
+                stamp += 1;
+            }
+        }
+    }
+    let total_bits = sys.total_traffic_bits();
+    RunReport {
+        references: trace.len(),
+        total_bits,
+        bits_per_ref: if trace.is_empty() {
+            0.0
+        } else {
+            total_bits as f64 / trace.len() as f64
+        },
+    }
+}
+
+/// Drives only the tail of a run: executes `warmup` references unbilled
+/// (by subtracting their traffic), then reports per-reference traffic over
+/// the remainder — the steady-state figure the paper's models describe.
+pub fn drive_steady_state(
+    sys: &mut dyn CoherentSystem,
+    trace: &Trace,
+    warmup: usize,
+) -> RunReport {
+    let mut stamp = 1u64;
+    let mut warm_bits = 0u64;
+    let mut measured = 0usize;
+    for (i, r) in trace.iter().enumerate() {
+        if i == warmup {
+            warm_bits = sys.total_traffic_bits();
+        }
+        match r.op {
+            Op::Read => {
+                let _ = sys.read(r.proc, r.addr);
+            }
+            Op::Write => {
+                sys.write(r.proc, r.addr, stamp);
+                stamp += 1;
+            }
+        }
+        if i >= warmup {
+            measured += 1;
+        }
+    }
+    if trace.len() <= warmup {
+        return RunReport {
+            references: 0,
+            total_bits: 0,
+            bits_per_ref: 0.0,
+        };
+    }
+    let total_bits = sys.total_traffic_bits() - warm_bits;
+    RunReport {
+        references: measured,
+        total_bits,
+        bits_per_ref: total_bits as f64 / measured as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmc_baselines::NoCacheSystem;
+    use tmc_simcore::SimRng;
+    use tmc_workload::SharedBlockWorkload;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a".into(), "value".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].contains("longer"));
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn drive_accumulates_traffic() {
+        let mut rng = SimRng::seed_from(1);
+        let trace = SharedBlockWorkload::new(4, 4, 0.3)
+            .references(200)
+            .generate(8, &mut rng);
+        let mut sys = NoCacheSystem::new(8);
+        let report = drive(&mut sys, &trace);
+        assert_eq!(report.references, 200);
+        assert!(report.total_bits > 0);
+        assert!((report.bits_per_ref - report.total_bits as f64 / 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_excludes_warmup() {
+        let mut rng = SimRng::seed_from(1);
+        let trace = SharedBlockWorkload::new(4, 4, 0.3)
+            .references(400)
+            .generate(8, &mut rng);
+        let mut a = NoCacheSystem::new(8);
+        let full = drive(&mut a, &trace);
+        let mut b = NoCacheSystem::new(8);
+        let tail = drive_steady_state(&mut b, &trace, 100);
+        assert_eq!(tail.references, 300);
+        assert!(tail.total_bits < full.total_bits);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the protocol engine.
+
+use std::error::Error;
+use std::fmt;
+
+use tmc_omeganet::NetError;
+
+/// Errors surfaced by [`crate::System`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A processor index at or beyond the machine size.
+    BadProcessor {
+        /// The rejected processor index.
+        proc: usize,
+        /// Number of processors in the machine.
+        n_procs: usize,
+    },
+    /// Configuration rejected at construction.
+    BadConfig(String),
+    /// An underlying network error (should not escape a correctly
+    /// constructed system; surfaced rather than panicking).
+    Net(NetError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadProcessor { proc, n_procs } => {
+                write!(f, "processor {proc} out of range for {n_procs}-processor machine")
+            }
+            CoreError::BadConfig(why) => write!(f, "invalid system configuration: {why}"),
+            CoreError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for CoreError {
+    fn from(e: NetError) -> Self {
+        CoreError::Net(e)
+    }
+}
+
+/// A violated protocol invariant, found by
+/// [`crate::System::check_invariants`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Human-readable description of what failed, naming the block and
+    /// caches involved.
+    pub what: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol invariant violated: {}", self.what)
+    }
+}
+
+impl Error for InvariantViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::BadProcessor { proc: 9, n_procs: 8 };
+        assert!(e.to_string().contains("processor 9"));
+        let n: CoreError = NetError::EmptyDestSet.into();
+        assert!(n.source().is_some());
+        assert!(CoreError::BadConfig("x".into()).to_string().contains('x'));
+        let v = InvariantViolation { what: "two owners".into() };
+        assert!(v.to_string().contains("two owners"));
+    }
+}

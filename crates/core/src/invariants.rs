@@ -1,0 +1,138 @@
+//! Whole-system protocol invariants.
+//!
+//! [`System::check_invariants`] sweeps every block known to any component
+//! and verifies the structural guarantees the protocol is supposed to
+//! maintain. Tests call it after every transaction; it is `O(entries)` and
+//! allocation-light, so property tests can afford it.
+
+use std::collections::BTreeSet;
+
+use tmc_memsys::BlockAddr;
+
+use crate::error::InvariantViolation;
+use crate::state::{Mode, Validity};
+use crate::system::System;
+
+impl System {
+    /// Verifies the protocol's structural invariants:
+    ///
+    /// 1. the block store and the unique Owned line agree for every block;
+    /// 2. a valid non-owner copy implies an owner exists (no orphans);
+    /// 3. only the owner's copy may be modified;
+    /// 4. distributed-write mode: the present vector equals the exact set
+    ///    of caches holding valid copies, and every copy's data equals the
+    ///    owner's;
+    /// 5. global-read mode: no other valid copy exists, and every present
+    ///    flag (beyond the owner) points at a cache holding an *invalid*
+    ///    entry for the block.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] found.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let fail = |what: String| Err(InvariantViolation { what });
+
+        // Collect every block any component knows about.
+        let mut blocks: BTreeSet<BlockAddr> = self.store.iter().map(|(b, _)| b).collect();
+        for cache in &self.caches {
+            blocks.extend(cache.iter().map(|(b, _)| b));
+        }
+
+        for block in blocks {
+            let mut owners: Vec<usize> = Vec::new();
+            let mut valid_holders: Vec<usize> = Vec::new();
+            let mut invalid_holders: Vec<usize> = Vec::new();
+            for (c, cache) in self.caches.iter().enumerate() {
+                if let Some(line) = cache.peek(block) {
+                    match line.validity {
+                        Validity::Owned => {
+                            owners.push(c);
+                            valid_holders.push(c);
+                        }
+                        Validity::UnOwned => valid_holders.push(c),
+                        Validity::Invalid => invalid_holders.push(c),
+                    }
+                    if line.modified && !line.is_owned() {
+                        return fail(format!(
+                            "{block}: non-owner C{c} has the modified bit set"
+                        ));
+                    }
+                }
+            }
+
+            if owners.len() > 1 {
+                return fail(format!("{block}: multiple owners {owners:?}"));
+            }
+            let stored = self.store.owner(block).map(|c| c.port());
+            match (owners.first().copied(), stored) {
+                (Some(o), Some(s)) if o != s => {
+                    return fail(format!(
+                        "{block}: block store says C{s} but C{o} holds the owned line"
+                    ));
+                }
+                (Some(o), None) => {
+                    return fail(format!(
+                        "{block}: C{o} owns the block but the block store entry is invalid"
+                    ));
+                }
+                (None, Some(s)) => {
+                    return fail(format!(
+                        "{block}: block store names C{s} but no cache holds an owned line"
+                    ));
+                }
+                _ => {}
+            }
+
+            let Some(owner) = owners.first().copied() else {
+                // Unowned block: no valid copies may survive.
+                if let Some(&c) = valid_holders.first() {
+                    return fail(format!(
+                        "{block}: orphan valid copy at C{c} with no owner anywhere"
+                    ));
+                }
+                continue;
+            };
+
+            let line = self.caches[owner].peek(block).expect("owner line exists");
+            if !line.present.contains(owner) {
+                return fail(format!(
+                    "{block}: owner C{owner}'s own present flag is clear"
+                ));
+            }
+
+            match line.mode {
+                Mode::DistributedWrite => {
+                    let present: Vec<usize> = line.present.iter().collect();
+                    if present != valid_holders {
+                        return fail(format!(
+                            "{block} (DW): present vector {present:?} != valid copies {valid_holders:?}"
+                        ));
+                    }
+                    for &c in &valid_holders {
+                        let copy = self.caches[c].peek(block).expect("listed");
+                        if copy.data != line.data {
+                            return fail(format!(
+                                "{block} (DW): C{c}'s copy diverges from owner C{owner}'s data"
+                            ));
+                        }
+                    }
+                }
+                Mode::GlobalRead => {
+                    if let Some(&c) = valid_holders.iter().find(|&&c| c != owner) {
+                        return fail(format!(
+                            "{block} (GR): C{c} holds a valid copy besides owner C{owner}"
+                        ));
+                    }
+                    for p in line.present.iter().filter(|&p| p != owner) {
+                        if !invalid_holders.contains(&p) {
+                            return fail(format!(
+                                "{block} (GR): present flag for C{p} but it holds no invalid entry"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,1116 @@
+//! The protocol engine: a whole simulated machine executing the two-mode
+//! consistency protocol, one reference at a time.
+//!
+//! Every public access ([`System::read`] / [`System::write`]) runs as an
+//! atomic transaction: the full message sequence of §2.2 is generated,
+//! routed over the simulated omega network (billing every link), applied to
+//! the cache/memory state, and logged. The paper defines the protocol
+//! without transient states, so atomic transactions are the faithful
+//! execution model; timing (with link contention) is layered on optionally
+//! and never affects correctness.
+
+use tmc_memsys::{
+    BlockAddr, BlockStore, CacheArray, CacheId, MainMemory, ModuleMap, WordAddr,
+};
+use tmc_omeganet::{DestSet, LinkSchedule, Omega, TrafficMatrix};
+use tmc_simcore::{CounterSet, Histogram, SimTime};
+
+use crate::config::{ModePolicy, SystemConfig};
+use crate::error::CoreError;
+use crate::msg::{Destination, MsgKind, TraceEvent, TransactionLog};
+use crate::state::{CacheLine, Mode, StateName, Validity};
+
+/// What one access cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessStats {
+    /// The value read (for writes: the value written).
+    pub value: u64,
+    /// Bits this transaction pushed across network links.
+    pub cost_bits: u64,
+    /// Messages sent (multicasts count once).
+    pub messages: usize,
+    /// Transaction latency in cycles, when the timing model is enabled.
+    pub latency_cycles: Option<u64>,
+}
+
+/// How a cache found a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lookup {
+    /// No entry at all.
+    Missing,
+    /// Entry present, V = 0.
+    InvalidEntry,
+    /// Valid, not owned.
+    UnOwnedHit,
+    /// Valid and owned.
+    OwnedHit,
+}
+
+/// A full simulated machine running the two-mode protocol.
+///
+/// `System` is `Clone`, so verification tools can branch execution — the
+/// bounded model checker in `tests/model_check.rs` explores every reachable
+/// protocol state of small machines this way.
+///
+/// # Example
+///
+/// ```
+/// use tmc_core::{System, SystemConfig};
+/// use tmc_memsys::WordAddr;
+///
+/// let mut sys = System::new(SystemConfig::new(4))?;
+/// sys.write(0, WordAddr::new(16), 7)?;
+/// assert_eq!(sys.read(1, WordAddr::new(16))?, 7);
+/// assert!(sys.traffic().total_bits() > 0);
+/// sys.check_invariants().expect("protocol invariants hold");
+/// # Ok::<(), tmc_core::CoreError>(())
+/// ```
+#[derive(Clone)]
+pub struct System {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) net: Omega,
+    pub(crate) traffic: TrafficMatrix,
+    pub(crate) caches: Vec<CacheArray<CacheLine>>,
+    pub(crate) memory: MainMemory,
+    pub(crate) store: BlockStore,
+    pub(crate) modules: ModuleMap,
+    counters: CounterSet,
+    log: TransactionLog,
+    schedule: Option<LinkSchedule>,
+    now: SimTime,
+    latencies: Histogram,
+    txn_bits: u64,
+    txn_msgs: usize,
+    /// Fault injection: the next `nak_budget` ownership offers are refused
+    /// (never the last remaining candidate, so handoff always terminates).
+    nak_budget: usize,
+}
+
+impl System {
+    /// Builds a machine from `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] if the network cannot be built for
+    /// the requested cache count.
+    pub fn new(cfg: SystemConfig) -> Result<Self, CoreError> {
+        let net = Omega::with_ports(cfg.n_caches)
+            .map_err(|e| CoreError::BadConfig(e.to_string()))?;
+        if net.ports() != cfg.n_caches {
+            return Err(CoreError::BadConfig(format!(
+                "cache count {} is not a power of two",
+                cfg.n_caches
+            )));
+        }
+        let traffic = TrafficMatrix::new(&net);
+        let schedule = cfg.timing.map(|_| LinkSchedule::new(&net));
+        Ok(System {
+            caches: (0..cfg.n_caches)
+                .map(|_| CacheArray::new(cfg.geometry))
+                .collect(),
+            memory: MainMemory::new(cfg.spec),
+            store: BlockStore::new(),
+            modules: ModuleMap::new(cfg.n_caches),
+            counters: CounterSet::new(),
+            log: TransactionLog::new(),
+            schedule,
+            now: SimTime::ZERO,
+            latencies: Histogram::new(),
+            txn_bits: 0,
+            txn_msgs: 0,
+            nak_budget: 0,
+            net,
+            traffic,
+            cfg,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Public accessors.
+    // ------------------------------------------------------------------
+
+    /// Number of processors (= caches = memory modules = network ports).
+    pub fn n_procs(&self) -> usize {
+        self.cfg.n_caches
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Cumulative per-link traffic (the communication-cost ledger).
+    pub fn traffic(&self) -> &TrafficMatrix {
+        &self.traffic
+    }
+
+    /// Event counters (hits, misses, transfers, multicasts, …).
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// Transaction-latency histogram (empty unless timing is enabled).
+    pub fn latencies(&self) -> &Histogram {
+        &self.latencies
+    }
+
+    /// Drains the transaction log (empty unless logging is enabled).
+    pub fn take_log(&mut self) -> Vec<TraceEvent> {
+        self.log.drain()
+    }
+
+    /// Table 1 classification of `proc`'s entry for `block`, or `None` if
+    /// the cache has no entry.
+    pub fn state_name(&self, proc: usize, block: BlockAddr) -> Option<StateName> {
+        self.caches[proc]
+            .peek(block)
+            .map(|l| l.state_name(CacheId(proc as u16)))
+    }
+
+    /// The owner recorded in the block store.
+    pub fn owner_of(&self, block: BlockAddr) -> Option<CacheId> {
+        self.store.owner(block)
+    }
+
+    /// The present-flag vector at `block`'s owner, if the block is owned.
+    pub fn present_set(&self, block: BlockAddr) -> Option<Vec<usize>> {
+        let o = self.store.owner(block)?;
+        let line = self.caches[o.port()].peek(block)?;
+        Some(line.present.iter().collect())
+    }
+
+    /// The consistency mode at `block`'s owner, if owned.
+    pub fn mode_of(&self, block: BlockAddr) -> Option<Mode> {
+        let o = self.store.owner(block)?;
+        self.caches[o.port()].peek(block).map(|l| l.mode)
+    }
+
+    /// Reads `addr`'s current value without generating any traffic — the
+    /// test oracle's view (owner copy if owned, else memory).
+    pub fn peek_word(&self, addr: WordAddr) -> u64 {
+        let block = self.cfg.spec.block_of(addr);
+        let offset = self.cfg.spec.offset_of(addr);
+        if let Some(o) = self.store.owner(block) {
+            if let Some(line) = self.caches[o.port()].peek(block) {
+                return line.data.word(offset);
+            }
+        }
+        self.memory.read_block(block).word(offset)
+    }
+
+    /// Injects `n` negative acknowledgements into upcoming ownership
+    /// offers (replacement case 5b). The final remaining candidate always
+    /// accepts so handoff terminates.
+    pub fn inject_offer_naks(&mut self, n: usize) {
+        self.nak_budget = n;
+    }
+
+    /// A canonical encoding of the machine's *protocol* state: per-cache
+    /// line states (validity, mode, modified bit, present vector, OWNER
+    /// hint) plus the block store. Data values, traffic tallies, clocks and
+    /// counters are deliberately excluded — the protocol's control behavior
+    /// does not depend on them, so two machines with equal fingerprints are
+    /// protocol-equivalent. Used by the bounded model checker to detect
+    /// revisited states.
+    pub fn protocol_fingerprint(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for cache in &self.caches {
+            let mut entries: Vec<(BlockAddr, &CacheLine)> = cache.iter().collect();
+            entries.sort_by_key(|&(b, _)| b);
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (block, line) in entries {
+                out.extend_from_slice(&block.index().to_le_bytes());
+                out.push(match line.validity {
+                    crate::state::Validity::Invalid => 0,
+                    crate::state::Validity::UnOwned => 1,
+                    crate::state::Validity::Owned => 2,
+                });
+                out.push(u8::from(line.mode.dw_bit()));
+                out.push(u8::from(line.modified));
+                for p in line.present.iter() {
+                    out.extend_from_slice(&(p as u16).to_le_bytes());
+                }
+                out.push(0xFF);
+                match line.owner_hint {
+                    Some(c) => out.extend_from_slice(&c.0.to_le_bytes()),
+                    None => out.extend_from_slice(&u16::MAX.to_le_bytes()),
+                }
+            }
+            out.push(0xFE);
+        }
+        let mut owners: Vec<(BlockAddr, CacheId)> = self.store.iter().collect();
+        owners.sort_by_key(|&(b, _)| b);
+        for (block, owner) in owners {
+            out.extend_from_slice(&block.index().to_le_bytes());
+            out.extend_from_slice(&owner.0.to_le_bytes());
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Message plumbing.
+    // ------------------------------------------------------------------
+
+    fn home_port(&self, block: BlockAddr) -> usize {
+        self.modules.module_of(block)
+    }
+
+    fn send(&mut self, kind: MsgKind, from: usize, to: usize, payload_bits: u64) {
+        let receipt = self
+            .net
+            .unicast(from, to, payload_bits, &mut self.traffic)
+            .expect("ports are valid by construction");
+        self.txn_bits += receipt.cost_bits;
+        self.txn_msgs += 1;
+        self.counters.incr("msgs_total");
+        self.counters.add("bits_total", receipt.cost_bits);
+        self.counters.add(kind.bits_counter(), receipt.cost_bits);
+        if let (Some(sched), Some(model)) = (self.schedule.as_mut(), self.cfg.timing) {
+            self.now = sched.timed_unicast(&self.net, model, from, to, payload_bits, self.now);
+        }
+        if self.cfg.log_transactions {
+            self.log.push(TraceEvent::Msg {
+                kind,
+                from,
+                to: Destination::Unicast(to),
+                payload_bits,
+                cost_bits: receipt.cost_bits,
+            });
+        }
+    }
+
+    /// Multicasts to `dests` (must be nonempty) and returns the ports that
+    /// actually received the message (scheme 3 may widen the set).
+    fn mcast(
+        &mut self,
+        kind: MsgKind,
+        from: usize,
+        dests: &DestSet,
+        payload_bits: u64,
+    ) -> Vec<usize> {
+        let receipt = self
+            .net
+            .multicast(self.cfg.multicast, from, dests, payload_bits, &mut self.traffic)
+            .expect("dest sets are valid by construction");
+        self.txn_bits += receipt.cost_bits;
+        self.txn_msgs += 1;
+        self.counters.incr("msgs_total");
+        self.counters.add("bits_total", receipt.cost_bits);
+        self.counters.add(kind.bits_counter(), receipt.cost_bits);
+        if let (Some(sched), Some(model)) = (self.schedule.as_mut(), self.cfg.timing) {
+            let arrivals = sched
+                .timed_multicast(&self.net, model, receipt.scheme, from, dests, payload_bits, self.now)
+                .expect("validated");
+            if let Some(latest) = arrivals.iter().map(|&(_, t)| t).max() {
+                self.now = latest;
+            }
+        }
+        if self.cfg.log_transactions {
+            self.log.push(TraceEvent::Msg {
+                kind,
+                from,
+                to: Destination::Multicast {
+                    ports: receipt.delivered.clone(),
+                    scheme: receipt.scheme,
+                },
+                payload_bits,
+                cost_bits: receipt.cost_bits,
+            });
+        }
+        receipt.delivered
+    }
+
+    fn log_state(&mut self, cache: usize, block: BlockAddr) -> Option<StateName> {
+        self.state_name(cache, block)
+    }
+
+    fn note_state_change(
+        &mut self,
+        cache: usize,
+        block: BlockAddr,
+        from: Option<StateName>,
+    ) {
+        if self.cfg.log_transactions {
+            let to = self.state_name(cache, block);
+            if from != to {
+                self.log.push(TraceEvent::StateChange { cache, block, from, to });
+            }
+        }
+    }
+
+    fn note(&mut self, text: String) {
+        if self.cfg.log_transactions {
+            self.log.push(TraceEvent::Note(text));
+        }
+    }
+
+    /// Sets the departure time of the *next* transaction. Used by the
+    /// concurrent driver ([`crate::driver`]) to model per-processor issue
+    /// times: link occupancy handles an earlier-than-now departure
+    /// correctly (the message simply queues behind whatever holds the
+    /// links).
+    pub fn depart_at(&mut self, t: SimTime) {
+        self.now = t;
+    }
+
+    fn txn_begin(&mut self) -> SimTime {
+        self.txn_bits = 0;
+        self.txn_msgs = 0;
+        self.now
+    }
+
+    fn txn_end(&mut self, start: SimTime, value: u64) -> AccessStats {
+        let latency = self.cfg.timing.map(|_| self.now - start);
+        if let Some(l) = latency {
+            self.latencies.record(l);
+        }
+        AccessStats {
+            value,
+            cost_bits: self.txn_bits,
+            messages: self.txn_msgs,
+            latency_cycles: latency,
+        }
+    }
+
+    fn check_proc(&self, proc: usize) -> Result<(), CoreError> {
+        if proc < self.cfg.n_caches {
+            Ok(())
+        } else {
+            Err(CoreError::BadProcessor {
+                proc,
+                n_procs: self.cfg.n_caches,
+            })
+        }
+    }
+
+    fn lookup(&self, proc: usize, block: BlockAddr) -> Lookup {
+        match self.caches[proc].peek(block) {
+            None => Lookup::Missing,
+            Some(line) => match line.validity {
+                Validity::Invalid => Lookup::InvalidEntry,
+                Validity::UnOwned => Lookup::UnOwnedHit,
+                Validity::Owned => Lookup::OwnedHit,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public transactions.
+    // ------------------------------------------------------------------
+
+    /// Processor `proc` reads `addr`. Returns the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadProcessor`] for an out-of-range processor.
+    pub fn read(&mut self, proc: usize, addr: WordAddr) -> Result<u64, CoreError> {
+        self.read_stats(proc, addr).map(|s| s.value)
+    }
+
+    /// Like [`System::read`] but returns the full [`AccessStats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadProcessor`] for an out-of-range processor.
+    pub fn read_stats(&mut self, proc: usize, addr: WordAddr) -> Result<AccessStats, CoreError> {
+        self.check_proc(proc)?;
+        let block = self.cfg.spec.block_of(addr);
+        let offset = self.cfg.spec.offset_of(addr);
+        let start = self.txn_begin();
+        let value = match self.lookup(proc, block) {
+            Lookup::OwnedHit | Lookup::UnOwnedHit => {
+                self.counters.incr("read_hit");
+                self.caches[proc]
+                    .get(block)
+                    .expect("hit verified")
+                    .data
+                    .word(offset)
+            }
+            Lookup::InvalidEntry => {
+                self.counters.incr("read_miss_invalid");
+                self.read_invalid(proc, block, offset)
+            }
+            Lookup::Missing => {
+                self.counters.incr("read_miss_cold");
+                self.read_cold(proc, block, offset)
+            }
+        };
+        self.note_block_ref(block, false);
+        Ok(self.txn_end(start, value))
+    }
+
+    /// Processor `proc` writes `value` to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadProcessor`] for an out-of-range processor.
+    pub fn write(&mut self, proc: usize, addr: WordAddr, value: u64) -> Result<(), CoreError> {
+        self.write_stats(proc, addr, value).map(|_| ())
+    }
+
+    /// Like [`System::write`] but returns the full [`AccessStats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadProcessor`] for an out-of-range processor.
+    pub fn write_stats(
+        &mut self,
+        proc: usize,
+        addr: WordAddr,
+        value: u64,
+    ) -> Result<AccessStats, CoreError> {
+        self.check_proc(proc)?;
+        let block = self.cfg.spec.block_of(addr);
+        let offset = self.cfg.spec.offset_of(addr);
+        let start = self.txn_begin();
+        match self.lookup(proc, block) {
+            Lookup::OwnedHit => {
+                self.counters.incr("write_hit_owner");
+            }
+            Lookup::UnOwnedHit => {
+                self.counters.incr("write_hit_unowned");
+                self.acquire_ownership_from_unowned(proc, block);
+            }
+            Lookup::InvalidEntry | Lookup::Missing => {
+                self.counters.incr("write_miss");
+                self.load_with_ownership(proc, block);
+            }
+        }
+        self.perform_owned_write(proc, block, offset, value);
+        self.note_block_ref(block, true);
+        Ok(self.txn_end(start, value))
+    }
+
+    /// Software mode directive (operations 6 and 7 of §2.2): make `proc`
+    /// the owner of `addr`'s block if it is not already, then put the block
+    /// in `mode`. A DW→GR switch invalidates all other copies; a GR→DW
+    /// switch clears the present vector to the owner alone (invalid-entry
+    /// holders re-register on their next miss — see DESIGN.md).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadProcessor`] for an out-of-range processor.
+    pub fn set_mode(&mut self, proc: usize, addr: WordAddr, mode: Mode) -> Result<(), CoreError> {
+        self.check_proc(proc)?;
+        let block = self.cfg.spec.block_of(addr);
+        let start = self.txn_begin();
+        match self.lookup(proc, block) {
+            Lookup::OwnedHit => {}
+            Lookup::UnOwnedHit => self.acquire_ownership_from_unowned(proc, block),
+            Lookup::InvalidEntry | Lookup::Missing => self.load_with_ownership(proc, block),
+        }
+        self.switch_mode_at_owner(proc, block, mode);
+        let _ = self.txn_end(start, 0);
+        Ok(())
+    }
+
+    /// Writes back every modified owned copy (end-of-run sync), billing the
+    /// write-back messages. States are unchanged apart from the M bits.
+    pub fn flush(&mut self) {
+        for proc in 0..self.cfg.n_caches {
+            let dirty: Vec<BlockAddr> = self.caches[proc]
+                .iter()
+                .filter(|(_, l)| l.is_owned() && l.modified)
+                .map(|(b, _)| b)
+                .collect();
+            for block in dirty {
+                let data = self.caches[proc]
+                    .peek(block)
+                    .expect("listed above")
+                    .data
+                    .clone();
+                let h = self.home_port(block);
+                self.send(MsgKind::WriteBack, proc, h, self.cfg.sizing.block_transfer_bits());
+                self.counters.incr("writebacks");
+                self.memory.write_block(block, data);
+                self.caches[proc].peek_mut(block).expect("listed").modified = false;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read paths.
+    // ------------------------------------------------------------------
+
+    /// Read miss, no entry (§2.2 case 2, "copy is nonexistent").
+    fn read_cold(&mut self, proc: usize, block: BlockAddr, offset: usize) -> u64 {
+        let h = self.home_port(block);
+        self.send(MsgKind::LoadReq, proc, h, self.cfg.sizing.request_bits());
+        match self.store.owner(block) {
+            None => self.load_from_memory(proc, block, offset, h),
+            Some(o) => {
+                self.send(MsgKind::FwdLoad, h, o.port(), self.cfg.sizing.request_bits());
+                self.serve_load_from_owner(o.port(), proc, block, offset)
+            }
+        }
+    }
+
+    /// Read miss on an invalid entry (§2.2 case 2, "state = Invalid"): use
+    /// the OWNER field to bypass the memory module.
+    fn read_invalid(&mut self, proc: usize, block: BlockAddr, offset: usize) -> u64 {
+        let hint = self.caches[proc]
+            .peek(block)
+            .and_then(|l| l.owner_hint)
+            .filter(|_| self.cfg.owner_bypass);
+        match hint {
+            Some(target) => {
+                self.send(
+                    MsgKind::DirectLoadReq,
+                    proc,
+                    target.port(),
+                    self.cfg.sizing.request_bits(),
+                );
+                let target_owns = self.caches[target.port()]
+                    .peek(block)
+                    .is_some_and(|l| l.is_owned());
+                if target_owns {
+                    self.serve_load_from_owner(target.port(), proc, block, offset)
+                } else {
+                    // Stale hint (possible after a GR→DW switch followed by
+                    // ownership movement): bounce through the memory module.
+                    self.counters.incr("redirects");
+                    self.note(format!(
+                        "stale OWNER hint at C{proc} for {block}: redirect via memory"
+                    ));
+                    let h = self.home_port(block);
+                    self.send(MsgKind::Redirect, target.port(), h, self.cfg.sizing.request_bits());
+                    match self.store.owner(block) {
+                        Some(o) => {
+                            self.send(MsgKind::FwdLoad, h, o.port(), self.cfg.sizing.request_bits());
+                            self.serve_load_from_owner(o.port(), proc, block, offset)
+                        }
+                        None => self.load_from_memory(proc, block, offset, h),
+                    }
+                }
+            }
+            None => self.read_cold(proc, block, offset),
+        }
+    }
+
+    /// Memory serves the block; requester becomes the exclusive owner in
+    /// the policy's initial mode.
+    fn load_from_memory(&mut self, proc: usize, block: BlockAddr, offset: usize, h: usize) -> u64 {
+        let data = self.memory.read_block(block).clone();
+        self.send(MsgKind::BlockReply, h, proc, self.cfg.sizing.block_transfer_bits());
+        let value = data.word(offset);
+        let before = self.log_state(proc, block);
+        let line = CacheLine::owned_exclusive(
+            data,
+            CacheId(proc as u16),
+            self.cfg.mode_policy.initial_mode(),
+            self.cfg.n_caches,
+        );
+        self.install_line(proc, block, line);
+        self.store.set_owner(block, CacheId(proc as u16));
+        self.note_state_change(proc, block, before);
+        value
+    }
+
+    /// The owner answers a plain load (no ownership): §2.2 cases 2(b) and
+    /// the invalid-entry variants.
+    fn serve_load_from_owner(
+        &mut self,
+        owner: usize,
+        proc: usize,
+        block: BlockAddr,
+        offset: usize,
+    ) -> u64 {
+        let before_owner = self.log_state(owner, block);
+        let (mode, data, value) = {
+            let line = self.caches[owner]
+                .peek_mut(block)
+                .expect("block store names an owner without a line");
+            debug_assert!(line.is_owned());
+            line.present.insert(proc);
+            (line.mode, line.data.clone(), line.data.word(offset))
+        };
+        match mode {
+            Mode::DistributedWrite => {
+                // 2(b)i: the owner sends a copy; requester holds it UnOwned.
+                self.send(MsgKind::BlockReply, owner, proc, self.cfg.sizing.block_transfer_bits());
+                let before = self.log_state(proc, block);
+                let line = CacheLine::unowned(data, CacheId(owner as u16), self.cfg.n_caches);
+                self.install_line(proc, block, line);
+                self.note_state_change(proc, block, before);
+            }
+            Mode::GlobalRead => {
+                // 2(b)ii: only the requested datum (plus the owner id when
+                // the requester has no entry yet) crosses the network.
+                self.counters.incr("read_remote_gr");
+                let has_entry = self.caches[proc].peek(block).is_some();
+                let bits = if has_entry {
+                    self.cfg.sizing.datum_bits()
+                } else {
+                    self.cfg.sizing.datum_bits()
+                        + self.cfg.n_caches.trailing_zeros() as u64
+                };
+                self.send(MsgKind::DatumReply, owner, proc, bits);
+                let before = self.log_state(proc, block);
+                if has_entry {
+                    let entry = self.caches[proc].peek_mut(block).expect("entry present");
+                    entry.owner_hint = Some(CacheId(owner as u16));
+                } else {
+                    let line = CacheLine::invalid_hint(
+                        CacheId(owner as u16),
+                        self.cfg.n_caches,
+                        self.cfg.spec.words_per_block(),
+                    );
+                    self.install_line(proc, block, line);
+                }
+                self.note_state_change(proc, block, before);
+                if let Some(line) = self.caches[owner].peek_mut(block) {
+                    line.window_remote_reads += 1;
+                }
+            }
+        }
+        self.note_state_change(owner, block, before_owner);
+        value
+    }
+
+    // ------------------------------------------------------------------
+    // Write paths.
+    // ------------------------------------------------------------------
+
+    /// The write itself, once `proc` owns the block (§2.2 cases 3(a)–(c)).
+    fn perform_owned_write(&mut self, proc: usize, block: BlockAddr, offset: usize, value: u64) {
+        let (mode, exclusive, mut others) = {
+            let me = CacheId(proc as u16);
+            let line = self.caches[proc].peek_mut(block).expect("owner has a line");
+            debug_assert!(line.is_owned());
+            line.data.set_word(offset, value);
+            line.modified = true;
+            let mut others = line.present.clone();
+            others.remove(proc);
+            (line.mode, line.is_exclusive(me), others)
+        };
+        if mode == Mode::DistributedWrite && !exclusive && !others.is_empty() {
+            // 3(b): distribute the write to all caches with a copy.
+            self.counters.incr("updates_multicast");
+            let delivered = self.mcast(
+                MsgKind::UpdateWrite,
+                proc,
+                &others,
+                self.cfg.sizing.update_bits(),
+            );
+            for dest in delivered {
+                if dest == proc {
+                    continue;
+                }
+                if let Some(line) = self.caches[dest].peek_mut(block) {
+                    if line.is_valid() {
+                        line.data.set_word(offset, value);
+                    }
+                }
+                others.remove(dest);
+            }
+            debug_assert!(others.is_empty(), "scheme must cover all copy holders");
+        }
+    }
+
+    /// §2.2 case 3(d): write hit on an UnOwned copy — ownership request via
+    /// the memory module.
+    fn acquire_ownership_from_unowned(&mut self, proc: usize, block: BlockAddr) {
+        let h = self.home_port(block);
+        self.send(MsgKind::OwnershipReq, proc, h, self.cfg.sizing.request_bits());
+        let old = self
+            .store
+            .owner(block)
+            .expect("an UnOwned copy implies an owner")
+            .port();
+        debug_assert_ne!(old, proc, "owner cannot hold an UnOwned copy");
+        self.store.set_owner(block, CacheId(proc as u16));
+        self.send(MsgKind::FwdOwnership, h, old, self.cfg.sizing.request_bits());
+        self.transfer_ownership(old, proc, block, /* requester_has_data */ true);
+    }
+
+    /// §2.2 case 4: write miss — load with ownership via the memory module.
+    fn load_with_ownership(&mut self, proc: usize, block: BlockAddr) {
+        let h = self.home_port(block);
+        self.send(MsgKind::LoadOwnReq, proc, h, self.cfg.sizing.request_bits());
+        match self.store.owner(block) {
+            None => {
+                let _ = self.load_from_memory(proc, block, 0, h);
+            }
+            Some(o) => {
+                let old = o.port();
+                debug_assert_ne!(old, proc, "an owner never write-misses");
+                self.store.set_owner(block, CacheId(proc as u16));
+                self.send(MsgKind::FwdLoadOwn, h, old, self.cfg.sizing.request_bits());
+                {
+                    let line = self.caches[old].peek_mut(block).expect("owner line");
+                    line.present.insert(proc);
+                }
+                self.transfer_ownership(old, proc, block, /* requester_has_data */ false);
+            }
+        }
+    }
+
+    /// Moves ownership (and the state field, and the data when the new
+    /// owner needs it) from `old` to `new`. Handles both modes:
+    ///
+    /// * distributed write: the old owner's copy remains valid as UnOwned;
+    /// * global read: the old owner announces the new owner to all
+    ///   invalid-entry holders and invalidates its own copy.
+    fn transfer_ownership(
+        &mut self,
+        old: usize,
+        new: usize,
+        block: BlockAddr,
+        requester_has_data: bool,
+    ) {
+        self.counters.incr("ownership_transfers");
+        let before_old = self.log_state(old, block);
+        let (mode, modified, data, mut present) = {
+            let line = self.caches[old].peek_mut(block).expect("old owner line");
+            debug_assert!(line.is_owned());
+            line.present.insert(new);
+            (
+                line.mode,
+                line.modified,
+                line.data.clone(),
+                line.present.clone(),
+            )
+        };
+        let send_data = !requester_has_data || mode == Mode::GlobalRead;
+        let bits = if send_data {
+            self.cfg.sizing.block_and_state_bits(self.cfg.n_caches)
+        } else {
+            self.cfg.sizing.state_transfer_bits(self.cfg.n_caches)
+        };
+        self.send(MsgKind::OwnershipXfer, old, new, bits);
+
+        match mode {
+            Mode::DistributedWrite => {
+                // Old owner's copy stays valid, demoted to UnOwned; the M
+                // bit (write-back responsibility) travels with ownership.
+                let line = self.caches[old].peek_mut(block).expect("old owner line");
+                line.validity = Validity::UnOwned;
+                line.modified = false;
+                line.owner_hint = Some(CacheId(new as u16));
+                line.present = DestSet::empty(self.cfg.n_caches);
+                line.reset_window();
+            }
+            Mode::GlobalRead => {
+                // 3(d)ii / 4(b)ii: distribute the new owner id to invalid
+                // copies, then invalidate the old owner's own copy.
+                let mut announce = present.clone();
+                announce.remove(old);
+                announce.remove(new);
+                if !announce.is_empty() {
+                    self.counters.incr("owner_announce_multicast");
+                    let delivered = self.mcast(
+                        MsgKind::NewOwnerAnnounce,
+                        old,
+                        &announce,
+                        self.cfg.sizing.new_owner_bits(self.cfg.n_caches),
+                    );
+                    for dest in delivered {
+                        if let Some(line) = self.caches[dest].peek_mut(block) {
+                            if !line.is_valid() {
+                                line.owner_hint = Some(CacheId(new as u16));
+                            }
+                        }
+                    }
+                }
+                let line = self.caches[old].peek_mut(block).expect("old owner line");
+                line.validity = Validity::Invalid;
+                line.modified = false;
+                line.owner_hint = Some(CacheId(new as u16));
+                line.present = DestSet::empty(self.cfg.n_caches);
+                line.reset_window();
+            }
+        }
+        self.note_state_change(old, block, before_old);
+
+        // Install the owned line at the new owner.
+        let before_new = self.log_state(new, block);
+        present.insert(new);
+        let new_data = if send_data {
+            data
+        } else {
+            self.caches[new]
+                .peek(block)
+                .expect("requester said it has data")
+                .data
+                .clone()
+        };
+        let line = CacheLine {
+            validity: Validity::Owned,
+            mode,
+            modified,
+            present,
+            owner_hint: Some(CacheId(new as u16)),
+            data: new_data,
+            window_refs: 0,
+            window_remote_reads: 0,
+            window_writes: 0,
+        };
+        self.install_line(new, block, line);
+        self.note_state_change(new, block, before_new);
+    }
+
+    // ------------------------------------------------------------------
+    // Replacement (§2.2 case 5).
+    // ------------------------------------------------------------------
+
+    /// Installs `line` for `block` at `proc`, first running the replacement
+    /// actions for whatever the insertion would evict.
+    fn install_line(&mut self, proc: usize, block: BlockAddr, line: CacheLine) {
+        if let Some((victim, _)) = self.caches[proc].would_evict(block) {
+            self.replace(proc, victim);
+        }
+        let evicted = self.caches[proc].insert(block, line);
+        debug_assert!(evicted.is_none(), "replacement must have freed the way");
+    }
+
+    /// Runs the §2.2 case-5 actions for `victim` at `proc` and drops the
+    /// entry.
+    fn replace(&mut self, proc: usize, victim: BlockAddr) {
+        self.counters.incr("replacements");
+        let before = self.log_state(proc, victim);
+        let h = self.home_port(victim);
+        let line = self.caches[proc].peek(victim).expect("victim exists").clone();
+        match line.validity {
+            Validity::Owned => {
+                let me = CacheId(proc as u16);
+                if line.is_exclusive(me) {
+                    // 5(a): tell memory, write back if modified.
+                    if line.modified {
+                        self.send(MsgKind::WriteBack, proc, h, self.cfg.sizing.block_transfer_bits());
+                        self.counters.incr("writebacks");
+                        self.memory.write_block(victim, line.data.clone());
+                    } else {
+                        self.send(MsgKind::ReplaceNotice, proc, h, self.cfg.sizing.request_bits());
+                    }
+                    self.store.clear(victim);
+                } else {
+                    // 5(b): hand ownership to a cache in the present vector.
+                    self.handoff_ownership(proc, victim, &line);
+                }
+            }
+            Validity::UnOwned | Validity::Invalid => {
+                // 5(c): via memory, ask the owner to clear our present flag.
+                self.send(MsgKind::ReplaceNotice, proc, h, self.cfg.sizing.request_bits());
+                if let Some(o) = self.store.owner(victim) {
+                    self.send(MsgKind::FwdPresenceClear, h, o.port(), self.cfg.sizing.request_bits());
+                    if let Some(oline) = self.caches[o.port()].peek_mut(victim) {
+                        oline.present.remove(proc);
+                    }
+                }
+            }
+        }
+        self.caches[proc].remove(victim);
+        self.note_state_change(proc, victim, before);
+    }
+
+    /// §2.2 case 5(b): the replacing owner offers ownership to candidates
+    /// from its present vector until one accepts; the acceptor then runs the
+    /// regular ownership-request handshake through the memory module.
+    fn handoff_ownership(&mut self, proc: usize, block: BlockAddr, line: &CacheLine) {
+        let h = self.home_port(block);
+        let candidates: Vec<usize> =
+            line.present.iter().filter(|&p| p != proc).collect();
+        debug_assert!(!candidates.is_empty(), "nonexclusive implies other copies");
+        let mut accepted = None;
+        for (i, &cand) in candidates.iter().enumerate() {
+            self.send(MsgKind::OwnershipOffer, proc, cand, self.cfg.sizing.request_bits());
+            let last = i + 1 == candidates.len();
+            if self.nak_budget > 0 && !last {
+                self.nak_budget -= 1;
+                self.counters.incr("offer_nak");
+                self.send(MsgKind::OfferNak, cand, proc, self.cfg.sizing.ack_bits());
+                continue;
+            }
+            self.send(MsgKind::OfferAck, cand, proc, self.cfg.sizing.ack_bits());
+            accepted = Some(cand);
+            break;
+        }
+        let cand = accepted.expect("final candidate always accepts");
+        self.note(format!("C{proc} hands ownership of {block} to C{cand}"));
+
+        // The acceptor requests ownership "according to the protocol":
+        // through the memory module, which updates the block store.
+        self.send(MsgKind::OwnershipReq, cand, h, self.cfg.sizing.request_bits());
+        self.store.set_owner(block, CacheId(cand as u16));
+        self.send(MsgKind::FwdOwnership, h, proc, self.cfg.sizing.request_bits());
+
+        // Transfer the state field (and data in GR mode, where the
+        // candidate only has an invalid entry). The departing cache's own
+        // present flag is cleared as part of the transferred state.
+        let bits = match line.mode {
+            Mode::DistributedWrite => self.cfg.sizing.state_transfer_bits(self.cfg.n_caches),
+            Mode::GlobalRead => self.cfg.sizing.block_and_state_bits(self.cfg.n_caches),
+        };
+        self.send(MsgKind::OwnershipXfer, proc, cand, bits);
+        let mut present = line.present.clone();
+        present.remove(proc);
+        present.insert(cand);
+
+        match line.mode {
+            Mode::DistributedWrite => {
+                let before = self.log_state(cand, block);
+                let cline = self.caches[cand]
+                    .peek_mut(block)
+                    .expect("present flag implies a resident copy");
+                debug_assert!(cline.is_valid(), "DW present flags mark valid copies");
+                cline.validity = Validity::Owned;
+                cline.mode = Mode::DistributedWrite;
+                cline.modified = line.modified;
+                cline.present = present;
+                cline.owner_hint = Some(CacheId(cand as u16));
+                cline.reset_window();
+                self.note_state_change(cand, block, before);
+            }
+            Mode::GlobalRead => {
+                let before = self.log_state(cand, block);
+                {
+                    let cline = self.caches[cand]
+                        .peek_mut(block)
+                        .expect("present flag implies a resident entry");
+                    debug_assert!(!cline.is_valid(), "GR present flags mark invalid entries");
+                    cline.validity = Validity::Owned;
+                    cline.mode = Mode::GlobalRead;
+                    cline.modified = line.modified;
+                    cline.data = line.data.clone();
+                    cline.present = present.clone();
+                    cline.owner_hint = Some(CacheId(cand as u16));
+                    cline.reset_window();
+                }
+                self.note_state_change(cand, block, before);
+                // Announce the new owner to the remaining invalid entries.
+                let mut announce = present;
+                announce.remove(cand);
+                if !announce.is_empty() {
+                    self.counters.incr("owner_announce_multicast");
+                    let delivered = self.mcast(
+                        MsgKind::NewOwnerAnnounce,
+                        proc,
+                        &announce,
+                        self.cfg.sizing.new_owner_bits(self.cfg.n_caches),
+                    );
+                    for dest in delivered {
+                        if let Some(dline) = self.caches[dest].peek_mut(block) {
+                            if !dline.is_valid() {
+                                dline.owner_hint = Some(CacheId(cand as u16));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.counters.incr("ownership_transfers");
+    }
+
+    // ------------------------------------------------------------------
+    // Mode switching (§2.2 cases 6 and 7) and the adaptive policy (§5).
+    // ------------------------------------------------------------------
+
+    /// Switches the mode of an already-owned block in place.
+    fn switch_mode_at_owner(&mut self, owner: usize, block: BlockAddr, target: Mode) {
+        let current = self.caches[owner].peek(block).expect("owner line").mode;
+        if current == target {
+            return;
+        }
+        let before = self.log_state(owner, block);
+        match target {
+            Mode::DistributedWrite => {
+                // Case 6: set DW. The GR present vector marked invalid
+                // entries; clear it to the owner alone (see DESIGN.md).
+                self.counters.incr("mode_switch_to_dw");
+                let line = self.caches[owner].peek_mut(block).expect("owner line");
+                line.mode = Mode::DistributedWrite;
+                let mut fresh = DestSet::empty(self.cfg.n_caches);
+                fresh.insert(owner);
+                line.present = fresh;
+                line.reset_window();
+            }
+            Mode::GlobalRead => {
+                // Case 7: clear DW; if copies exist, invalidate them. The
+                // present vector is retained — the invalidated caches are
+                // exactly the invalid-entry holders GR mode tracks.
+                self.counters.incr("mode_switch_to_gr");
+                let mut others = {
+                    let line = self.caches[owner].peek_mut(block).expect("owner line");
+                    line.mode = Mode::GlobalRead;
+                    line.reset_window();
+                    let mut o = line.present.clone();
+                    o.remove(owner);
+                    o
+                };
+                if !others.is_empty() {
+                    self.counters.incr("invalidate_multicast");
+                    let delivered = self.mcast(
+                        MsgKind::Invalidate,
+                        owner,
+                        &others,
+                        self.cfg.sizing.invalidate_bits(),
+                    );
+                    for dest in delivered {
+                        if let Some(line) = self.caches[dest].peek_mut(block) {
+                            if line.is_valid() && !line.is_owned() {
+                                let b = self.log_state(dest, block);
+                                let line =
+                                    self.caches[dest].peek_mut(block).expect("checked");
+                                line.validity = Validity::Invalid;
+                                line.owner_hint = Some(CacheId(owner as u16));
+                                self.note_state_change(dest, block, b);
+                            }
+                        }
+                        others.remove(dest);
+                    }
+                    debug_assert!(others.is_empty(), "invalidation must reach all copies");
+                }
+            }
+        }
+        self.note_state_change(owner, block, before);
+    }
+
+    /// Feeds the §5 measurement counters at the block's owner and runs the
+    /// adaptive switch at window boundaries.
+    fn note_block_ref(&mut self, block: BlockAddr, is_write: bool) {
+        let ModePolicy::Adaptive { window } = self.cfg.mode_policy else {
+            return;
+        };
+        let Some(owner) = self.store.owner(block) else {
+            return;
+        };
+        let owner = owner.port();
+        let decision = {
+            let Some(line) = self.caches[owner].peek_mut(block) else {
+                return;
+            };
+            line.window_refs += 1;
+            if is_write {
+                line.window_writes += 1;
+            }
+            if line.window_refs < window {
+                return;
+            }
+            let n_sharers = line.present.len().max(1) as f64;
+            let w_est = line.window_writes as f64 / line.window_refs as f64;
+            let w1 = 2.0 / (n_sharers + 2.0);
+            let desired = if w_est <= w1 {
+                Mode::DistributedWrite
+            } else {
+                Mode::GlobalRead
+            };
+            line.reset_window();
+            (desired != line.mode).then_some(desired)
+        };
+        if let Some(target) = decision {
+            self.counters.incr("adaptive_switches");
+            self.note(format!("adaptive switch of {block} to {target}"));
+            self.switch_mode_at_owner(owner, block, target);
+        }
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("n_caches", &self.cfg.n_caches)
+            .field("owned_blocks", &self.store.owned_blocks())
+            .field("traffic_bits", &self.traffic.total_bits())
+            .finish()
+    }
+}

@@ -1,0 +1,596 @@
+//! Protocol behaviour tests: the §2.2 scenarios, replacement, mode
+//! switching, ownership migration, and value-level coherence against a
+//! program-order oracle.
+
+use tmc_core::{Mode, ModePolicy, StateName, System, SystemConfig};
+use tmc_memsys::{BlockSpec, CacheGeometry, ReferenceMemory, WordAddr};
+use tmc_omeganet::SchemeKind;
+use tmc_simcore::SimRng;
+
+fn addr(a: u64) -> WordAddr {
+    WordAddr::new(a)
+}
+
+fn small_system() -> System {
+    System::new(SystemConfig::new(4)).expect("valid config")
+}
+
+#[test]
+fn cold_write_makes_exclusive_owner_in_global_read() {
+    let mut sys = small_system();
+    sys.write(0, addr(0), 5).unwrap();
+    // Paper case 4(a): loaded from memory, Owned Exclusively Global Read.
+    assert_eq!(
+        sys.state_name(0, sys.config().spec.block_of(addr(0))),
+        Some(StateName::OwnedExclusivelyGlobalRead)
+    );
+    assert_eq!(sys.owner_of(sys.config().spec.block_of(addr(0))).unwrap().port(), 0);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn figure2_like_distributed_state() {
+    // Reconstruct the flavor of Figure 2: owner with a modified copy in
+    // distributed-write mode, one sharer with an UnOwned copy, the block
+    // store pointing at the owner.
+    let mut sys = small_system();
+    let block = sys.config().spec.block_of(addr(0));
+    sys.write(1, addr(0), 7).unwrap(); // C1 owns
+    sys.set_mode(1, addr(0), Mode::DistributedWrite).unwrap();
+    assert_eq!(sys.read(2, addr(0)).unwrap(), 7); // C2 loads a copy
+    sys.write(1, addr(0), 8).unwrap(); // distributed write
+
+    assert_eq!(
+        sys.state_name(1, block),
+        Some(StateName::OwnedNonExclusivelyDistributedWrite)
+    );
+    assert_eq!(sys.state_name(2, block), Some(StateName::UnOwned));
+    assert_eq!(sys.state_name(3, block), None); // no entry at all
+    assert_eq!(sys.owner_of(block).unwrap().port(), 1);
+    assert_eq!(sys.present_set(block).unwrap(), vec![1, 2]);
+    // The sharer sees the distributed write without any further traffic.
+    let before = sys.traffic().total_bits();
+    assert_eq!(sys.read(2, addr(0)).unwrap(), 8);
+    assert_eq!(sys.traffic().total_bits(), before, "read hit is local");
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn global_read_keeps_a_single_copy() {
+    let mut sys = small_system();
+    let block = sys.config().spec.block_of(addr(16));
+    sys.write(0, addr(16), 11).unwrap(); // owner in GR mode (default)
+    assert_eq!(sys.read(3, addr(16)).unwrap(), 11);
+    // 2(b)ii: requester holds an Invalid entry with the OWNER field set.
+    assert_eq!(sys.state_name(3, block), Some(StateName::Invalid));
+    assert_eq!(
+        sys.state_name(0, block),
+        Some(StateName::OwnedNonExclusivelyGlobalRead)
+    );
+    // Every further read crosses the network again.
+    let before = sys.traffic().total_bits();
+    assert_eq!(sys.read(3, addr(16)).unwrap(), 11);
+    assert!(sys.traffic().total_bits() > before, "GR reads are remote");
+    // Owner writes stay local (no copies to update).
+    let before = sys.traffic().total_bits();
+    sys.write(0, addr(16), 12).unwrap();
+    assert_eq!(sys.traffic().total_bits(), before, "GR owner write is local");
+    assert_eq!(sys.read(3, addr(16)).unwrap(), 12);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn second_gr_read_uses_owner_bypass() {
+    let mut sys = small_system();
+    sys.write(0, addr(16), 1).unwrap();
+    assert_eq!(sys.read(3, addr(16)).unwrap(), 1); // installs invalid entry
+    let c = sys.counters().get("read_miss_invalid");
+    assert_eq!(sys.read(3, addr(16)).unwrap(), 1); // direct to owner
+    assert_eq!(sys.counters().get("read_miss_invalid"), c + 1);
+    assert_eq!(sys.counters().get("redirects"), 0, "hint was fresh");
+}
+
+#[test]
+fn write_by_sharer_migrates_ownership_dw() {
+    let mut sys = small_system();
+    let block = sys.config().spec.block_of(addr(0));
+    sys.write(0, addr(0), 1).unwrap();
+    sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap();
+    sys.read(2, addr(0)).unwrap(); // C2 takes a copy
+    sys.write(2, addr(1), 9).unwrap(); // write hit on UnOwned → 3(d)i
+    assert_eq!(sys.owner_of(block).unwrap().port(), 2);
+    assert_eq!(sys.state_name(0, block), Some(StateName::UnOwned));
+    assert_eq!(
+        sys.state_name(2, block),
+        Some(StateName::OwnedNonExclusivelyDistributedWrite)
+    );
+    // Both copies coherent after the distributed write.
+    assert_eq!(sys.read(0, addr(1)).unwrap(), 9);
+    assert_eq!(sys.read(2, addr(1)).unwrap(), 9);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn write_by_reader_migrates_ownership_gr() {
+    let mut sys = small_system();
+    let block = sys.config().spec.block_of(addr(0));
+    sys.write(0, addr(0), 1).unwrap(); // GR owner
+    sys.read(1, addr(0)).unwrap(); // invalid entry at C1
+    sys.read(2, addr(0)).unwrap(); // invalid entry at C2
+    sys.write(1, addr(0), 2).unwrap(); // write miss (invalid) → 4(b)ii
+    assert_eq!(sys.owner_of(block).unwrap().port(), 1);
+    assert_eq!(sys.state_name(0, block), Some(StateName::Invalid));
+    // The other invalid entry learned the new owner.
+    assert_eq!(sys.read(2, addr(0)).unwrap(), 2);
+    assert_eq!(sys.counters().get("redirects"), 0, "announce kept hints fresh");
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn dw_to_gr_switch_invalidates_copies() {
+    let mut sys = small_system();
+    let block = sys.config().spec.block_of(addr(0));
+    sys.write(0, addr(0), 1).unwrap();
+    sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap();
+    sys.read(1, addr(0)).unwrap();
+    sys.read(2, addr(0)).unwrap();
+    assert_eq!(sys.present_set(block).unwrap(), vec![0, 1, 2]);
+    sys.set_mode(0, addr(0), Mode::GlobalRead).unwrap(); // case 7
+    assert_eq!(sys.state_name(1, block), Some(StateName::Invalid));
+    assert_eq!(sys.state_name(2, block), Some(StateName::Invalid));
+    // The present vector survives: it now marks the invalid entries.
+    assert_eq!(sys.present_set(block).unwrap(), vec![0, 1, 2]);
+    assert!(sys.counters().get("invalidate_multicast") >= 1);
+    assert_eq!(sys.read(1, addr(0)).unwrap(), 1);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn stale_hint_redirects_through_memory() {
+    let mut sys = small_system();
+    sys.write(0, addr(0), 1).unwrap(); // C0 owns, GR
+    sys.read(3, addr(0)).unwrap(); // C3 invalid entry, hint → C0
+    sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap(); // clears P
+    // Ownership moves in DW mode — no announcement to C3.
+    sys.read(1, addr(0)).unwrap();
+    sys.write(1, addr(0), 2).unwrap();
+    assert_eq!(sys.owner_of(sys.config().spec.block_of(addr(0))).unwrap().port(), 1);
+    // C3's hint still points at C0: the read must bounce and still succeed.
+    assert_eq!(sys.read(3, addr(0)).unwrap(), 2);
+    assert!(sys.counters().get("redirects") >= 1);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn exclusive_modified_replacement_writes_back() {
+    let mut sys = System::new(
+        SystemConfig::new(4).geometry(CacheGeometry::new(1, 1)), // one slot!
+    )
+    .unwrap();
+    sys.write(0, addr(0), 77).unwrap(); // block 0 in the only slot
+    sys.write(0, addr(4), 88).unwrap(); // evicts block 0 → write-back
+    assert!(sys.counters().get("writebacks") >= 1);
+    // Block 0 is gone from every cache but its value lives in memory.
+    assert_eq!(sys.peek_word(addr(0)), 77);
+    assert_eq!(sys.owner_of(sys.config().spec.block_of(addr(0))), None);
+    assert_eq!(sys.read(1, addr(0)).unwrap(), 77);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn unowned_replacement_clears_present_flag() {
+    let mut sys = System::new(
+        SystemConfig::new(4).geometry(CacheGeometry::new(1, 1)),
+    )
+    .unwrap();
+    let block0 = sys.config().spec.block_of(addr(0));
+    sys.write(0, addr(0), 1).unwrap();
+    sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap();
+    sys.read(1, addr(0)).unwrap(); // C1 holds UnOwned copy
+    assert_eq!(sys.present_set(block0).unwrap(), vec![0, 1]);
+    sys.read(1, addr(4)).unwrap(); // evicts C1's copy → 5(c)
+    assert_eq!(sys.present_set(block0).unwrap(), vec![0]);
+    assert_eq!(
+        sys.state_name(0, block0),
+        Some(StateName::OwnedExclusivelyDistributedWrite),
+        "owner reverts to exclusive once the last sharer drops"
+    );
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn nonexclusive_owner_replacement_hands_off_ownership() {
+    let mut sys = System::new(
+        SystemConfig::new(4).geometry(CacheGeometry::new(1, 1)),
+    )
+    .unwrap();
+    let block0 = sys.config().spec.block_of(addr(0));
+    sys.write(0, addr(0), 5).unwrap();
+    sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap();
+    sys.read(1, addr(0)).unwrap(); // sharer
+    sys.write(0, addr(0), 6).unwrap(); // owner modified
+    sys.read(0, addr(4)).unwrap(); // owner evicts block 0 → 5(b)
+    // Ownership (and the modified bit) moved to the sharer.
+    assert_eq!(sys.owner_of(block0).unwrap().port(), 1);
+    assert_eq!(
+        sys.state_name(1, block0),
+        Some(StateName::OwnedExclusivelyDistributedWrite)
+    );
+    assert_eq!(sys.read(1, addr(0)).unwrap(), 6);
+    assert!(sys.counters().get("ownership_transfers") >= 1);
+    sys.check_invariants().unwrap();
+    // The value was never written back yet; flushing persists it.
+    sys.flush();
+    assert_eq!(sys.peek_word(addr(0)), 6);
+}
+
+#[test]
+fn gr_owner_replacement_hands_off_to_invalid_holder() {
+    let mut sys = System::new(
+        SystemConfig::new(4).geometry(CacheGeometry::new(1, 1)),
+    )
+    .unwrap();
+    let block0 = sys.config().spec.block_of(addr(0));
+    sys.write(0, addr(0), 9).unwrap(); // GR owner
+    sys.read(2, addr(0)).unwrap(); // C2: invalid entry in P
+    sys.read(0, addr(4)).unwrap(); // owner evicts block 0
+    assert_eq!(sys.owner_of(block0).unwrap().port(), 2);
+    assert_eq!(sys.read(2, addr(0)).unwrap(), 9, "data travelled with ownership");
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn offer_naks_are_survivable() {
+    let mut sys = System::new(
+        SystemConfig::new(8).geometry(CacheGeometry::new(1, 1)),
+    )
+    .unwrap();
+    sys.write(0, addr(0), 1).unwrap();
+    sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap();
+    for c in 1..6 {
+        sys.read(c, addr(0)).unwrap();
+    }
+    sys.inject_offer_naks(3);
+    sys.read(0, addr(4)).unwrap(); // owner replacement with 5 candidates
+    assert_eq!(sys.counters().get("offer_nak"), 3);
+    let block0 = sys.config().spec.block_of(addr(0));
+    assert!(sys.owner_of(block0).is_some());
+    assert_eq!(sys.read(7, addr(0)).unwrap(), 1);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn adaptive_policy_converges_to_the_cheaper_mode() {
+    // Low write fraction → distributed write; high → global read.
+    for (w, expect) in [(0.05, Mode::DistributedWrite), (0.8, Mode::GlobalRead)] {
+        let mut sys = System::new(
+            SystemConfig::new(8).mode_policy(ModePolicy::Adaptive { window: 32 }),
+        )
+        .unwrap();
+        let mut rng = SimRng::seed_from(99);
+        let block = sys.config().spec.block_of(addr(0));
+        // Warm up sharers.
+        sys.write(0, addr(0), 0).unwrap();
+        for c in 1..5 {
+            sys.read(c, addr(0)).unwrap();
+        }
+        for i in 0..400u64 {
+            if rng.gen_bool(w) {
+                sys.write(0, addr(0), i).unwrap();
+            } else {
+                let c = 1 + (rng.next_u64() % 4) as usize;
+                sys.read(c, addr(0)).unwrap();
+            }
+            sys.check_invariants().unwrap();
+        }
+        assert_eq!(sys.mode_of(block), Some(expect), "w = {w}");
+        if expect == Mode::DistributedWrite {
+            // The block starts in global read, so reaching DW proves the
+            // adaptive controller actually switched.
+            assert!(sys.counters().get("adaptive_switches") >= 1);
+        }
+    }
+}
+
+#[test]
+fn bypass_off_routes_via_memory_and_stays_coherent() {
+    let mut sys = System::new(SystemConfig::new(4).owner_bypass(false)).unwrap();
+    sys.write(0, addr(0), 3).unwrap();
+    sys.read(1, addr(0)).unwrap();
+    let with_bypass_off = {
+        sys.read(1, addr(0)).unwrap();
+        sys.counters().get("read_miss_invalid")
+    };
+    assert!(with_bypass_off >= 1);
+    assert_eq!(sys.read(1, addr(0)).unwrap(), 3);
+    assert_eq!(sys.counters().get("redirects"), 0);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn gr_remote_read_is_cheaper_than_block_load() {
+    // The point of global-read mode: a remote read moves one datum, not a
+    // block. Compare the per-read marginal traffic of the two modes.
+    let mk = |mode| {
+        let mut sys = small_system();
+        sys.write(0, addr(0), 1).unwrap();
+        sys.set_mode(0, addr(0), mode).unwrap();
+        sys
+    };
+    let mut gr = mk(Mode::GlobalRead);
+    let s1 = gr.read_stats(1, addr(0)).unwrap();
+    let mut dw = mk(Mode::DistributedWrite);
+    let s2 = dw.read_stats(1, addr(0)).unwrap();
+    assert!(
+        s1.cost_bits < s2.cost_bits,
+        "GR first read ({}) should undercut DW block load ({})",
+        s1.cost_bits,
+        s2.cost_bits
+    );
+}
+
+#[test]
+fn every_message_lands_in_the_traffic_matrix() {
+    let mut sys = small_system();
+    sys.write(0, addr(0), 1).unwrap();
+    let stats = sys.read_stats(2, addr(0)).unwrap();
+    assert!(stats.messages >= 2);
+    assert_eq!(
+        sys.counters().get("bits_total"),
+        sys.traffic().total_bits(),
+        "counter and matrix agree"
+    );
+}
+
+#[test]
+fn per_kind_traffic_breakdown_sums_to_the_total() {
+    let mut sys = System::new(
+        SystemConfig::new(4).geometry(CacheGeometry::new(1, 1)),
+    )
+    .unwrap();
+    let mut rng = SimRng::seed_from(31);
+    for i in 0..400u64 {
+        let a = addr(4 * (i % 6));
+        let p = (rng.next_u64() % 4) as usize;
+        if rng.gen_bool(0.4) {
+            sys.write(p, a, i).unwrap();
+        } else {
+            sys.read(p, a).unwrap();
+        }
+        if i % 60 == 0 {
+            sys.set_mode(p, a, Mode::DistributedWrite).unwrap();
+        }
+    }
+    let by_kind: u64 = sys
+        .counters()
+        .iter()
+        .filter(|(name, _)| name.starts_with("bits["))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(by_kind, sys.counters().get("bits_total"));
+    assert_eq!(by_kind, sys.traffic().total_bits());
+    // A run with ownership churn must show transfer traffic explicitly.
+    assert!(sys.counters().get("bits[OwnershipXfer]") > 0);
+}
+
+#[test]
+fn timing_model_produces_latencies() {
+    let mut sys = System::new(
+        SystemConfig::new(4).timing(tmc_omeganet::TimingModel::default()),
+    )
+    .unwrap();
+    sys.write(0, addr(0), 1).unwrap();
+    let s = sys.read_stats(1, addr(0)).unwrap();
+    assert!(s.latency_cycles.unwrap() > 0);
+    assert!(sys.latencies().count() >= 2);
+    // A local hit has zero latency.
+    let s = sys.read_stats(0, addr(0)).unwrap();
+    assert_eq!(s.latency_cycles, Some(0));
+}
+
+#[test]
+fn transaction_log_records_messages_and_transitions() {
+    let mut sys = System::new(SystemConfig::new(4).log_transactions(true)).unwrap();
+    sys.write(0, addr(0), 1).unwrap();
+    sys.read(1, addr(0)).unwrap();
+    let log = sys.take_log();
+    assert!(!log.is_empty());
+    let has_msg = log
+        .iter()
+        .any(|e| matches!(e, tmc_core::TraceEvent::Msg { .. }));
+    let has_state = log
+        .iter()
+        .any(|e| matches!(e, tmc_core::TraceEvent::StateChange { .. }));
+    assert!(has_msg && has_state);
+    assert!(sys.take_log().is_empty(), "drained");
+}
+
+#[test]
+fn rejects_out_of_range_processor() {
+    let mut sys = small_system();
+    assert!(matches!(
+        sys.read(4, addr(0)),
+        Err(tmc_core::CoreError::BadProcessor { proc: 4, .. })
+    ));
+    assert!(sys.write(9, addr(0), 1).is_err());
+    assert!(sys.set_mode(4, addr(0), Mode::GlobalRead).is_err());
+}
+
+/// Randomized oracle run: arbitrary interleavings of reads, writes, mode
+/// switches across several machine shapes; every read checked against the
+/// program-order oracle, invariants checked throughout, memory checked
+/// after a final flush.
+fn oracle_run(seed: u64, cfg: SystemConfig, ops: usize, n_blocks: u64) {
+    let n = cfg.n_caches;
+    let spec = cfg.spec;
+    let mut sys = System::new(cfg).unwrap();
+    let mut oracle = ReferenceMemory::new();
+    let mut rng = SimRng::seed_from(seed);
+    for step in 0..ops {
+        let proc = rng.gen_range(0..n);
+        let block = rng.gen_range(0..n_blocks);
+        let offset = rng.gen_range(0..spec.words_per_block());
+        let a = spec.word_at(tmc_memsys::BlockAddr::new(block), offset);
+        match rng.gen_range(0..10) {
+            0..=5 => {
+                let got = sys.read(proc, a).unwrap();
+                assert_eq!(got, oracle.read(a), "seed {seed} step {step}: read {a}");
+            }
+            6..=8 => {
+                let v = oracle.stamp();
+                sys.write(proc, a, v).unwrap();
+                oracle.write(a, v);
+            }
+            _ => {
+                let mode = if rng.gen_bool(0.5) {
+                    Mode::DistributedWrite
+                } else {
+                    Mode::GlobalRead
+                };
+                sys.set_mode(proc, a, mode).unwrap();
+            }
+        }
+        if step % 16 == 0 {
+            sys.check_invariants()
+                .unwrap_or_else(|v| panic!("seed {seed} step {step}: {v}"));
+        }
+    }
+    sys.check_invariants().unwrap();
+    sys.flush();
+    for (a, v) in oracle.iter() {
+        assert_eq!(sys.peek_word(a), v, "seed {seed}: post-flush {a}");
+    }
+}
+
+#[test]
+fn oracle_default_geometry() {
+    for seed in 0..4 {
+        oracle_run(seed, SystemConfig::new(4), 1500, 8);
+    }
+}
+
+#[test]
+fn oracle_tiny_cache_heavy_replacement() {
+    for seed in 10..14 {
+        oracle_run(
+            seed,
+            SystemConfig::new(4).geometry(CacheGeometry::new(1, 1)),
+            1200,
+            6,
+        );
+    }
+}
+
+#[test]
+fn oracle_two_way_tiny_cache() {
+    for seed in 20..23 {
+        oracle_run(
+            seed,
+            SystemConfig::new(8).geometry(CacheGeometry::new(2, 1)),
+            1200,
+            10,
+        );
+    }
+}
+
+#[test]
+fn oracle_fixed_dw_policy() {
+    for seed in 30..33 {
+        oracle_run(
+            seed,
+            SystemConfig::new(4)
+                .mode_policy(ModePolicy::Fixed(Mode::DistributedWrite))
+                .geometry(CacheGeometry::new(2, 2)),
+            1500,
+            8,
+        );
+    }
+}
+
+#[test]
+fn oracle_adaptive_policy() {
+    for seed in 40..43 {
+        oracle_run(
+            seed,
+            SystemConfig::new(4).mode_policy(ModePolicy::Adaptive { window: 16 }),
+            1500,
+            8,
+        );
+    }
+}
+
+#[test]
+fn oracle_every_multicast_scheme() {
+    for (i, scheme) in [
+        SchemeKind::Replicated,
+        SchemeKind::BitVector,
+        SchemeKind::BroadcastTag,
+        SchemeKind::Combined,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        oracle_run(
+            50 + i as u64,
+            SystemConfig::new(8)
+                .multicast(scheme)
+                .mode_policy(ModePolicy::Fixed(Mode::DistributedWrite)),
+            1000,
+            8,
+        );
+    }
+}
+
+#[test]
+fn oracle_bypass_disabled() {
+    for seed in 60..62 {
+        oracle_run(seed, SystemConfig::new(4).owner_bypass(false), 1200, 8);
+    }
+}
+
+#[test]
+fn oracle_single_word_blocks() {
+    for seed in 70..72 {
+        oracle_run(
+            seed,
+            SystemConfig::new(4).block_spec(BlockSpec::new(0)),
+            1000,
+            8,
+        );
+    }
+}
+
+#[test]
+fn oracle_with_timing_enabled() {
+    oracle_run(
+        80,
+        SystemConfig::new(4).timing(tmc_omeganet::TimingModel::default()),
+        800,
+        8,
+    );
+}
+
+#[test]
+fn oracle_with_nak_injection() {
+    let cfg = SystemConfig::new(4).geometry(CacheGeometry::new(1, 1));
+    let n = cfg.n_caches;
+    let spec = cfg.spec;
+    let mut sys = System::new(cfg).unwrap();
+    let mut oracle = ReferenceMemory::new();
+    let mut rng = SimRng::seed_from(123);
+    for step in 0..800 {
+        if step % 50 == 0 {
+            sys.inject_offer_naks(2);
+        }
+        let proc = rng.gen_range(0..n);
+        let a = spec.word_at(tmc_memsys::BlockAddr::new(rng.gen_range(0..6)), 0);
+        if rng.gen_bool(0.4) {
+            let v = oracle.stamp();
+            sys.write(proc, a, v).unwrap();
+            oracle.write(a, v);
+        } else {
+            assert_eq!(sys.read(proc, a).unwrap(), oracle.read(a), "step {step}");
+        }
+        sys.check_invariants().unwrap();
+    }
+}

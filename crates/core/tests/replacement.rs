@@ -1,0 +1,211 @@
+//! Dedicated replacement-path tests (§2.2 case 5): every replacement
+//! flavor, chained across modes and across caches.
+
+use tmc_core::{Mode, StateName, System, SystemConfig};
+use tmc_memsys::{BlockSpec, CacheGeometry, WordAddr};
+
+fn addr(a: u64) -> WordAddr {
+    WordAddr::new(a)
+}
+
+/// A machine whose caches hold exactly one block, so every second distinct
+/// block forces a replacement.
+fn one_slot(n: usize) -> System {
+    System::new(SystemConfig::new(n).geometry(CacheGeometry::new(1, 1))).expect("valid")
+}
+
+#[test]
+fn clean_exclusive_replacement_sends_only_a_notice() {
+    let mut sys = one_slot(4);
+    sys.read(0, addr(0)).unwrap(); // owner, clean (never written)
+    let wb_before = sys.counters().get("writebacks");
+    sys.read(0, addr(4)).unwrap(); // evicts block 0
+    assert_eq!(sys.counters().get("writebacks"), wb_before, "clean: no write-back");
+    assert_eq!(sys.owner_of(sys.config().spec.block_of(addr(0))), None);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn chain_of_evictions_across_blocks() {
+    // One processor cycles through many blocks; each install evicts the
+    // previous block (owned exclusive, modified) — a write-back chain.
+    let mut sys = one_slot(2);
+    for i in 0..10u64 {
+        sys.write(0, addr(4 * i), i).unwrap();
+        sys.check_invariants().unwrap();
+    }
+    assert_eq!(sys.counters().get("writebacks"), 9);
+    // All values are recoverable.
+    for i in 0..10u64 {
+        assert_eq!(sys.read(1, addr(4 * i)).unwrap(), i);
+        sys.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn gr_invalid_entry_replacement_clears_presence() {
+    let mut sys = one_slot(4);
+    let block0 = sys.config().spec.block_of(addr(0));
+    sys.write(0, addr(0), 1).unwrap(); // GR owner
+    sys.read(1, addr(0)).unwrap(); // C1 invalid entry, in P
+    assert_eq!(sys.present_set(block0).unwrap(), vec![0, 1]);
+    sys.read(1, addr(4)).unwrap(); // C1 replaces its invalid entry → 5(c)
+    assert_eq!(sys.present_set(block0).unwrap(), vec![0]);
+    assert_eq!(
+        sys.state_name(0, block0),
+        Some(StateName::OwnedExclusivelyGlobalRead)
+    );
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn dangling_invalid_entry_replacement_is_harmless() {
+    // Create an invalid entry whose block later becomes unowned entirely
+    // (owner replaced its exclusive copy after a GR→DW switch cleared P).
+    let mut sys = one_slot(4);
+    sys.write(0, addr(0), 1).unwrap();
+    sys.read(3, addr(0)).unwrap(); // C3 invalid entry, P = {0, 3}
+    sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap(); // clears P to {0}
+    sys.write(0, addr(4), 2).unwrap(); // owner evicts block 0 (exclusive now)
+    assert_eq!(sys.owner_of(sys.config().spec.block_of(addr(0))), None);
+    // C3 still holds the dangling invalid entry; replacing it must not
+    // panic or corrupt anything.
+    sys.read(3, addr(8)).unwrap();
+    sys.check_invariants().unwrap();
+    // And the value survives in memory.
+    assert_eq!(sys.read(1, addr(0)).unwrap(), 1);
+}
+
+#[test]
+fn handoff_prefers_first_candidate_and_naks_move_on() {
+    let mut sys = System::new(
+        SystemConfig::new(8).geometry(CacheGeometry::new(1, 1)),
+    )
+    .unwrap();
+    let block0 = sys.config().spec.block_of(addr(0));
+    sys.write(2, addr(0), 5).unwrap();
+    sys.set_mode(2, addr(0), Mode::DistributedWrite).unwrap();
+    for c in [4, 5, 6] {
+        sys.read(c, addr(0)).unwrap();
+    }
+    // No NAKs: the lowest-numbered present cache (4) takes ownership.
+    sys.read(2, addr(4)).unwrap();
+    assert_eq!(sys.owner_of(block0).unwrap().port(), 4);
+    sys.check_invariants().unwrap();
+
+    // Again with one NAK injected: candidate 5 passes to 6.
+    let mut sys2 = System::new(
+        SystemConfig::new(8).geometry(CacheGeometry::new(1, 1)),
+    )
+    .unwrap();
+    sys2.write(2, addr(0), 5).unwrap();
+    sys2.set_mode(2, addr(0), Mode::DistributedWrite).unwrap();
+    for c in [5, 6] {
+        sys2.read(c, addr(0)).unwrap();
+    }
+    sys2.inject_offer_naks(1);
+    sys2.read(2, addr(4)).unwrap();
+    assert_eq!(sys2.owner_of(block0).unwrap().port(), 6);
+    assert_eq!(sys2.counters().get("offer_nak"), 1);
+    sys2.check_invariants().unwrap();
+}
+
+#[test]
+fn gr_handoff_announces_to_remaining_invalid_holders() {
+    let mut sys = System::new(
+        SystemConfig::new(8).geometry(CacheGeometry::new(1, 1)),
+    )
+    .unwrap();
+    let block0 = sys.config().spec.block_of(addr(0));
+    sys.write(0, addr(0), 9).unwrap(); // GR owner C0
+    for c in [3, 5, 7] {
+        sys.read(c, addr(0)).unwrap(); // invalid entries
+    }
+    sys.read(0, addr(4)).unwrap(); // C0 evicts → handoff to C3
+    let new_owner = sys.owner_of(block0).unwrap().port();
+    assert_eq!(new_owner, 3);
+    // C5 and C7 learned the new owner: their next reads go direct, no
+    // redirects.
+    assert_eq!(sys.read(5, addr(0)).unwrap(), 9);
+    assert_eq!(sys.read(7, addr(0)).unwrap(), 9);
+    assert_eq!(sys.counters().get("redirects"), 0);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn handoff_preserves_the_modified_bit_until_flush() {
+    let mut sys = one_slot(4);
+    sys.write(0, addr(0), 42).unwrap(); // modified at C0
+    sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap();
+    sys.read(1, addr(0)).unwrap();
+    sys.read(0, addr(4)).unwrap(); // handoff C0 → C1 (modified travels)
+    // Memory must still be stale (nobody wrote back).
+    assert_eq!(sys.counters().get("writebacks"), 0);
+    // Now evict at C1 too: the block is exclusive there, so this time the
+    // write-back happens.
+    sys.read(1, addr(8)).unwrap();
+    assert_eq!(sys.counters().get("writebacks"), 1);
+    assert_eq!(sys.read(2, addr(0)).unwrap(), 42);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn replacement_during_gr_install_of_invalid_entry() {
+    // A GR datum fetch installs an Invalid placeholder entry — even that
+    // install can evict, and the eviction must run the full protocol.
+    let mut sys = one_slot(4);
+    sys.write(1, addr(0), 7).unwrap(); // C1 owns block 0 (GR)
+    sys.write(2, addr(4), 8).unwrap(); // C2 owns block 1
+    // C2 reads block 0 remotely: installs an Invalid entry, which evicts
+    // C2's owned block 1 (exclusive modified) — write-back then install.
+    assert_eq!(sys.read(2, addr(0)).unwrap(), 7);
+    assert_eq!(sys.counters().get("writebacks"), 1);
+    assert_eq!(
+        sys.state_name(2, sys.config().spec.block_of(addr(0))),
+        Some(StateName::Invalid)
+    );
+    assert_eq!(sys.read(3, addr(4)).unwrap(), 8);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn flush_is_idempotent_and_complete() {
+    let mut sys = System::new(
+        SystemConfig::new(4).block_spec(BlockSpec::new(1)),
+    )
+    .unwrap();
+    for i in 0..8u64 {
+        sys.write((i % 4) as usize, addr(2 * i), i).unwrap();
+    }
+    sys.flush();
+    let wb = sys.counters().get("writebacks");
+    assert!(wb >= 1);
+    sys.flush(); // nothing left to write back
+    assert_eq!(sys.counters().get("writebacks"), wb);
+    for i in 0..8u64 {
+        assert_eq!(sys.peek_word(addr(2 * i)), i);
+    }
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn lru_keeps_the_hot_block_resident() {
+    // 1 set × 2 ways: the repeatedly-touched block must survive a stream
+    // of single-visit blocks.
+    let mut sys = System::new(
+        SystemConfig::new(4).geometry(CacheGeometry::new(1, 2)),
+    )
+    .unwrap();
+    let hot = addr(0);
+    sys.write(0, hot, 1).unwrap();
+    let mut hits = 0;
+    for i in 1..20u64 {
+        sys.read(0, hot).unwrap(); // refresh the hot block
+        let before = sys.counters().get("read_hit");
+        sys.read(0, addr(4 * i)).unwrap(); // visitor evicts the previous visitor
+        let _ = before;
+        hits = sys.counters().get("read_hit");
+    }
+    assert!(hits >= 19, "hot block must stay resident, got {hits} hits");
+    sys.check_invariants().unwrap();
+}

@@ -1,0 +1,298 @@
+//! A set-associative cache array generic over per-line protocol state.
+//!
+//! Each protocol in the workspace defines its own line type (state bits,
+//! present vector, data, …); this container supplies the geometry: set
+//! indexing by block address, way lookup by tag, and true-LRU replacement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::BlockAddr;
+
+/// Cache shape: number of sets and ways.
+///
+/// Total capacity is `sets × ways` blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    sets: usize,
+    ways: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sets` is a power of two and `ways ≥ 1`.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways >= 1, "cache needs at least one way");
+        CacheGeometry { sets, ways }
+    }
+
+    /// Number of sets.
+    pub fn sets(self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways per set.
+    pub fn ways(self) -> usize {
+        self.ways
+    }
+
+    /// Total block capacity.
+    pub fn capacity_blocks(self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// The set index for `block`.
+    pub fn set_of(self, block: BlockAddr) -> usize {
+        (block.index() as usize) & (self.sets - 1)
+    }
+}
+
+/// One occupied way.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Way<L> {
+    block: BlockAddr,
+    line: L,
+    /// Monotone use stamp; smallest = least recently used.
+    stamp: u64,
+}
+
+/// A set-associative, true-LRU cache array.
+///
+/// `L` is whatever per-line state a protocol needs. Lookups by
+/// [`CacheArray::get`]/[`CacheArray::get_mut`] refresh recency;
+/// [`CacheArray::peek`] does not.
+///
+/// # Example
+///
+/// ```
+/// use tmc_memsys::{BlockAddr, CacheArray, CacheGeometry};
+///
+/// // Direct-mapped, 1 set: every block contends for one way.
+/// let mut c: CacheArray<u32> = CacheArray::new(CacheGeometry::new(1, 1));
+/// assert!(c.insert(BlockAddr::new(1), 10).is_none());
+/// let evicted = c.insert(BlockAddr::new(2), 20);
+/// assert_eq!(evicted, Some((BlockAddr::new(1), 10)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheArray<L> {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Way<L>>>,
+    tick: u64,
+}
+
+impl<L> CacheArray<L> {
+    /// Creates an empty array with `geometry`.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        CacheArray {
+            geometry,
+            sets: (0..geometry.sets()).map(|_| Vec::new()).collect(),
+            tick: 0,
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `block`, refreshing its recency.
+    pub fn get(&mut self, block: BlockAddr) -> Option<&L> {
+        self.get_mut(block).map(|l| &*l)
+    }
+
+    /// Mutable lookup, refreshing recency.
+    pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut L> {
+        let stamp = self.next_stamp();
+        let set = &mut self.sets[self.geometry.set_of(block)];
+        let way = set.iter_mut().find(|w| w.block == block)?;
+        way.stamp = stamp;
+        Some(&mut way.line)
+    }
+
+    /// Looks up `block` without touching recency.
+    pub fn peek(&self, block: BlockAddr) -> Option<&L> {
+        self.sets[self.geometry.set_of(block)]
+            .iter()
+            .find(|w| w.block == block)
+            .map(|w| &w.line)
+    }
+
+    /// Mutable lookup without touching recency.
+    pub fn peek_mut(&mut self, block: BlockAddr) -> Option<&mut L> {
+        let set_idx = self.geometry.set_of(block);
+        self.sets[set_idx]
+            .iter_mut()
+            .find(|w| w.block == block)
+            .map(|w| &mut w.line)
+    }
+
+    /// The block that would be evicted to make room for `incoming`, if its
+    /// set is full and `incoming` is not already resident.
+    pub fn would_evict(&self, incoming: BlockAddr) -> Option<(BlockAddr, &L)> {
+        let set = &self.sets[self.geometry.set_of(incoming)];
+        if set.len() < self.geometry.ways() || set.iter().any(|w| w.block == incoming) {
+            return None;
+        }
+        set.iter()
+            .min_by_key(|w| w.stamp)
+            .map(|w| (w.block, &w.line))
+    }
+
+    /// Installs `line` for `block` (replacing any existing line for the same
+    /// block), evicting and returning the LRU way if the set is full.
+    pub fn insert(&mut self, block: BlockAddr, line: L) -> Option<(BlockAddr, L)> {
+        let stamp = self.next_stamp();
+        let ways = self.geometry.ways();
+        let set = &mut self.sets[self.geometry.set_of(block)];
+        if let Some(way) = set.iter_mut().find(|w| w.block == block) {
+            way.line = line;
+            way.stamp = stamp;
+            return None;
+        }
+        let evicted = if set.len() == ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .map(|(i, _)| i)
+                .expect("full set is nonempty");
+            let w = set.swap_remove(lru);
+            Some((w.block, w.line))
+        } else {
+            None
+        };
+        set.push(Way { block, line, stamp });
+        evicted
+    }
+
+    /// Removes `block`, returning its line if it was resident.
+    pub fn remove(&mut self, block: BlockAddr) -> Option<L> {
+        let set = &mut self.sets[self.geometry.set_of(block)];
+        let idx = set.iter().position(|w| w.block == block)?;
+        Some(set.swap_remove(idx).line)
+    }
+
+    /// Iterates over `(block, line)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &L)> {
+        self.sets
+            .iter()
+            .flatten()
+            .map(|w| (w.block, &w.line))
+    }
+
+    /// Iterates mutably over `(block, line)` pairs in unspecified order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (BlockAddr, &mut L)> {
+        self.sets
+            .iter_mut()
+            .flatten()
+            .map(|w| (w.block, &mut w.line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::new(i)
+    }
+
+    #[test]
+    fn hit_miss_and_reinsert() {
+        let mut c: CacheArray<u8> = CacheArray::new(CacheGeometry::new(2, 2));
+        assert!(c.get(b(4)).is_none());
+        assert!(c.insert(b(4), 1).is_none());
+        assert_eq!(c.get(b(4)), Some(&1));
+        // Re-inserting the same block replaces in place — no eviction.
+        assert!(c.insert(b(4), 2).is_none());
+        assert_eq!(c.peek(b(4)), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c: CacheArray<&str> = CacheArray::new(CacheGeometry::new(1, 2));
+        c.insert(b(0), "a");
+        c.insert(b(1), "b");
+        c.get(b(0)); // refresh a; b is now LRU
+        assert_eq!(c.would_evict(b(2)), Some((b(1), &"b")));
+        let evicted = c.insert(b(2), "c");
+        assert_eq!(evicted, Some((b(1), "b")));
+        assert!(c.peek(b(0)).is_some());
+        assert!(c.peek(b(2)).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_refresh_recency() {
+        let mut c: CacheArray<u8> = CacheArray::new(CacheGeometry::new(1, 2));
+        c.insert(b(0), 0);
+        c.insert(b(1), 1);
+        c.peek(b(0)); // must not rescue block 0
+        let evicted = c.insert(b(2), 2);
+        assert_eq!(evicted, Some((b(0), 0)));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c: CacheArray<u8> = CacheArray::new(CacheGeometry::new(2, 1));
+        c.insert(b(0), 0); // set 0
+        c.insert(b(1), 1); // set 1
+        assert_eq!(c.len(), 2);
+        // Block 2 maps to set 0 and evicts only from there.
+        let evicted = c.insert(b(2), 2);
+        assert_eq!(evicted, Some((b(0), 0)));
+        assert_eq!(c.peek(b(1)), Some(&1));
+    }
+
+    #[test]
+    fn would_evict_none_when_room_or_resident() {
+        let mut c: CacheArray<u8> = CacheArray::new(CacheGeometry::new(1, 2));
+        assert!(c.would_evict(b(0)).is_none()); // room
+        c.insert(b(0), 0);
+        c.insert(b(1), 1);
+        assert!(c.would_evict(b(0)).is_none()); // already resident
+        assert!(c.would_evict(b(2)).is_some()); // full, foreign block
+    }
+
+    #[test]
+    fn remove_and_iter() {
+        let mut c: CacheArray<u8> = CacheArray::new(CacheGeometry::new(4, 2));
+        for i in 0..6 {
+            c.insert(b(i), i as u8);
+        }
+        assert_eq!(c.remove(b(3)), Some(3));
+        assert_eq!(c.remove(b(3)), None);
+        let mut blocks: Vec<u64> = c.iter().map(|(bl, _)| bl.index()).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, [0, 1, 2, 4, 5]);
+        for (_, line) in c.iter_mut() {
+            *line += 10;
+        }
+        assert_eq!(c.peek(b(0)), Some(&10));
+    }
+
+    #[test]
+    fn capacity_accounts_geometry() {
+        let g = CacheGeometry::new(8, 4);
+        assert_eq!(g.capacity_blocks(), 32);
+        assert_eq!(g.set_of(b(13)), 13 % 8);
+    }
+}

@@ -1,0 +1,108 @@
+//! Block payloads.
+//!
+//! Blocks carry real word values so every protocol in the workspace can be
+//! checked for *value-level* coherence against the program-order oracle, not
+//! just for state-machine plausibility.
+
+use serde::{Deserialize, Serialize};
+
+/// The data portion of one block: `words_per_block` 64-bit words.
+///
+/// # Example
+///
+/// ```
+/// use tmc_memsys::BlockData;
+///
+/// let mut b = BlockData::zeroed(4);
+/// b.set_word(2, 0xdead);
+/// assert_eq!(b.word(2), 0xdead);
+/// assert_eq!(b.word(0), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockData {
+    words: Vec<u64>,
+}
+
+impl BlockData {
+    /// A block of `words` zeroed words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn zeroed(words: usize) -> Self {
+        assert!(words > 0, "a block holds at least one word");
+        BlockData {
+            words: vec![0; words],
+        }
+    }
+
+    /// A block initialized from explicit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty.
+    pub fn from_words(words: Vec<u64>) -> Self {
+        assert!(!words.is_empty(), "a block holds at least one word");
+        BlockData { words }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Always false: blocks are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Reads the word at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of range.
+    pub fn word(&self, offset: usize) -> u64 {
+        self.words[offset]
+    }
+
+    /// Writes the word at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of range.
+    pub fn set_word(&mut self, offset: usize, value: u64) {
+        self.words[offset] = value;
+    }
+
+    /// All words, in offset order.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_then_written() {
+        let mut b = BlockData::zeroed(8);
+        assert_eq!(b.len(), 8);
+        assert!(b.words().iter().all(|&w| w == 0));
+        b.set_word(7, 42);
+        assert_eq!(b.word(7), 42);
+    }
+
+    #[test]
+    fn from_words_preserves_content() {
+        let b = BlockData::from_words(vec![1, 2, 3]);
+        assert_eq!(b.words(), &[1, 2, 3]);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn rejects_empty_blocks() {
+        BlockData::zeroed(0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Main memory and the paper's block store.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{BlockAddr, BlockSpec, CacheId};
+use crate::data::BlockData;
+
+/// The machine's backing store: every block of the address space,
+/// materialized lazily as zeroed data.
+///
+/// Module interleaving is a routing concern ([`crate::addr::ModuleMap`]);
+/// `MainMemory` is the union of all modules' contents.
+///
+/// # Example
+///
+/// ```
+/// use tmc_memsys::{BlockAddr, BlockSpec, MainMemory};
+///
+/// let mut mem = MainMemory::new(BlockSpec::new(2));
+/// let b = BlockAddr::new(7);
+/// assert_eq!(mem.read_block(b).word(0), 0);
+/// let mut data = mem.read_block(b).clone();
+/// data.set_word(0, 99);
+/// mem.write_block(b, data);
+/// assert_eq!(mem.read_block(b).word(0), 99);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MainMemory {
+    spec: BlockSpec,
+    blocks: HashMap<BlockAddr, BlockData>,
+    zero: BlockData,
+}
+
+impl MainMemory {
+    /// Creates a memory with the given block geometry, all zeros.
+    pub fn new(spec: BlockSpec) -> Self {
+        MainMemory {
+            spec,
+            blocks: HashMap::new(),
+            zero: BlockData::zeroed(spec.words_per_block()),
+        }
+    }
+
+    /// Block geometry.
+    pub fn spec(&self) -> BlockSpec {
+        self.spec
+    }
+
+    /// Reads a block (zeros if never written).
+    pub fn read_block(&self, block: BlockAddr) -> &BlockData {
+        self.blocks.get(&block).unwrap_or(&self.zero)
+    }
+
+    /// Overwrites a block (a write-back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has the wrong word count for this memory's spec.
+    pub fn write_block(&mut self, block: BlockAddr, data: BlockData) {
+        assert_eq!(
+            data.len(),
+            self.spec.words_per_block(),
+            "block size mismatch on write-back"
+        );
+        self.blocks.insert(block, data);
+    }
+
+    /// Number of blocks ever written.
+    pub fn dirty_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// The paper's *block store* (§2.1): "Each memory module keeps track of the
+/// owner for each of its cached blocks … Each entry contains a valid bit (V)
+/// and an ID-field containing log₂ N bits storing the identification of the
+/// owner for the block."
+///
+/// An absent entry models `V = 0` (no cache owns the block).
+///
+/// # Example
+///
+/// ```
+/// use tmc_memsys::{BlockAddr, BlockStore, CacheId};
+///
+/// let mut store = BlockStore::new();
+/// let b = BlockAddr::new(3);
+/// assert_eq!(store.owner(b), None);
+/// store.set_owner(b, CacheId(5));
+/// assert_eq!(store.owner(b), Some(CacheId(5)));
+/// store.clear(b);
+/// assert_eq!(store.owner(b), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockStore {
+    owners: HashMap<BlockAddr, CacheId>,
+}
+
+impl BlockStore {
+    /// Creates an empty store (no block owned).
+    pub fn new() -> Self {
+        BlockStore::default()
+    }
+
+    /// The owner of `block`, or `None` if the entry is invalid.
+    pub fn owner(&self, block: BlockAddr) -> Option<CacheId> {
+        self.owners.get(&block).copied()
+    }
+
+    /// Marks `cache` as the owner of `block`.
+    pub fn set_owner(&mut self, block: BlockAddr, cache: CacheId) {
+        self.owners.insert(block, cache);
+    }
+
+    /// Clears the entry for `block` (the owner replaced its only copy).
+    pub fn clear(&mut self, block: BlockAddr) {
+        self.owners.remove(&block);
+    }
+
+    /// Number of currently owned blocks.
+    pub fn owned_blocks(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Iterates over `(block, owner)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, CacheId)> + '_ {
+        self.owners.iter().map(|(&b, &c)| (b, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_defaults_to_zero() {
+        let mem = MainMemory::new(BlockSpec::new(1));
+        assert_eq!(mem.read_block(BlockAddr::new(1000)).words(), &[0, 0]);
+        assert_eq!(mem.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn write_back_roundtrips() {
+        let mut mem = MainMemory::new(BlockSpec::new(1));
+        mem.write_block(BlockAddr::new(4), BlockData::from_words(vec![7, 8]));
+        assert_eq!(mem.read_block(BlockAddr::new(4)).words(), &[7, 8]);
+        assert_eq!(mem.dirty_blocks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn write_back_checks_geometry() {
+        let mut mem = MainMemory::new(BlockSpec::new(2));
+        mem.write_block(BlockAddr::new(0), BlockData::from_words(vec![1]));
+    }
+
+    #[test]
+    fn block_store_tracks_ownership_changes() {
+        let mut store = BlockStore::new();
+        let b = BlockAddr::new(9);
+        store.set_owner(b, CacheId(1));
+        store.set_owner(b, CacheId(2)); // ownership migrates
+        assert_eq!(store.owner(b), Some(CacheId(2)));
+        assert_eq!(store.owned_blocks(), 1);
+        store.clear(b);
+        assert_eq!(store.owned_blocks(), 0);
+    }
+
+    #[test]
+    fn block_store_iterates_entries() {
+        let mut store = BlockStore::new();
+        store.set_owner(BlockAddr::new(1), CacheId(0));
+        store.set_owner(BlockAddr::new(2), CacheId(3));
+        let mut entries: Vec<_> = store.iter().collect();
+        entries.sort();
+        assert_eq!(
+            entries,
+            [
+                (BlockAddr::new(1), CacheId(0)),
+                (BlockAddr::new(2), CacheId(3))
+            ]
+        );
+    }
+}

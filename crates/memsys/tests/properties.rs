@@ -1,0 +1,140 @@
+//! Property-based tests: the set-associative LRU cache against a naive
+//! reference model, and address-mapping roundtrips.
+
+use proptest::prelude::*;
+use tmc_memsys::{BlockAddr, BlockSpec, CacheArray, CacheGeometry, WordAddr};
+
+/// A deliberately naive model of a set-associative LRU cache: per set, a
+/// vector ordered most-recent-first.
+struct ModelCache {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<(BlockAddr, u32)>>,
+}
+
+impl ModelCache {
+    fn new(geometry: CacheGeometry) -> Self {
+        ModelCache {
+            sets: (0..geometry.sets()).map(|_| Vec::new()).collect(),
+            geometry,
+        }
+    }
+
+    fn get(&mut self, b: BlockAddr) -> Option<u32> {
+        let set = &mut self.sets[self.geometry.set_of(b)];
+        let pos = set.iter().position(|&(bb, _)| bb == b)?;
+        let entry = set.remove(pos);
+        set.insert(0, entry);
+        Some(set[0].1)
+    }
+
+    fn insert(&mut self, b: BlockAddr, v: u32) -> Option<(BlockAddr, u32)> {
+        let ways = self.geometry.ways();
+        let set = &mut self.sets[self.geometry.set_of(b)];
+        if let Some(pos) = set.iter().position(|&(bb, _)| bb == b) {
+            set.remove(pos);
+            set.insert(0, (b, v));
+            return None;
+        }
+        let evicted = if set.len() == ways { set.pop() } else { None };
+        set.insert(0, (b, v));
+        evicted
+    }
+
+    fn remove(&mut self, b: BlockAddr) -> Option<u32> {
+        let set = &mut self.sets[self.geometry.set_of(b)];
+        let pos = set.iter().position(|&(bb, _)| bb == b)?;
+        Some(set.remove(pos).1)
+    }
+
+    fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Get(u64),
+    Insert(u64, u32),
+    Remove(u64),
+    Peek(u64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..32).prop_map(CacheOp::Get),
+            (0u64..32, any::<u32>()).prop_map(|(b, v)| CacheOp::Insert(b, v)),
+            (0u64..32).prop_map(CacheOp::Remove),
+            (0u64..32).prop_map(CacheOp::Peek),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn cache_array_matches_naive_lru_model(
+        ops in arb_ops(),
+        sets_log in 0u32..=3,
+        ways in 1usize..=4,
+    ) {
+        let geometry = CacheGeometry::new(1 << sets_log, ways);
+        let mut real: CacheArray<u32> = CacheArray::new(geometry);
+        let mut model = ModelCache::new(geometry);
+        for op in ops {
+            match op {
+                CacheOp::Get(b) => {
+                    let b = BlockAddr::new(b);
+                    prop_assert_eq!(real.get(b).copied(), model.get(b));
+                }
+                CacheOp::Insert(b, v) => {
+                    let b = BlockAddr::new(b);
+                    let got = real.insert(b, v);
+                    let want = model.insert(b, v);
+                    prop_assert_eq!(got, want);
+                }
+                CacheOp::Remove(b) => {
+                    let b = BlockAddr::new(b);
+                    prop_assert_eq!(real.remove(b), model.remove(b));
+                }
+                CacheOp::Peek(b) => {
+                    // Peek must agree on membership and must NOT perturb
+                    // LRU order (the model simply doesn't touch it).
+                    let b = BlockAddr::new(b);
+                    let set = &model.sets[geometry.set_of(b)];
+                    let want = set.iter().find(|&&(bb, _)| bb == b).map(|&(_, v)| v);
+                    prop_assert_eq!(real.peek(b).copied(), want);
+                }
+            }
+            prop_assert_eq!(real.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn would_evict_predicts_insert(
+        ops in arb_ops(),
+        incoming in 0u64..32,
+    ) {
+        let geometry = CacheGeometry::new(2, 2);
+        let mut cache: CacheArray<u32> = CacheArray::new(geometry);
+        for op in ops {
+            if let CacheOp::Insert(b, v) = op {
+                cache.insert(BlockAddr::new(b), v);
+            }
+        }
+        let incoming = BlockAddr::new(incoming);
+        let predicted = cache.would_evict(incoming).map(|(b, &v)| (b, v));
+        let actual = cache.insert(incoming, 999);
+        prop_assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn block_spec_roundtrips(addr in any::<u64>(), offset_bits in 0u32..=12) {
+        let spec = BlockSpec::new(offset_bits);
+        let w = WordAddr::new(addr >> 4); // keep word_at from overflowing
+        let block = spec.block_of(w);
+        let off = spec.offset_of(w);
+        prop_assert!(off < spec.words_per_block());
+        prop_assert_eq!(spec.word_at(block, off), w);
+    }
+}

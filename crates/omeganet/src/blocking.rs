@@ -1,0 +1,169 @@
+//! Blocking analysis: which sets of simultaneous connections an omega
+//! network can route without link conflicts.
+//!
+//! An omega network is *blocking*: unlike a crossbar, two
+//! source–destination pairs may need the same link. (This is why the
+//! paper's cost metric charges contended links and why Figure 1's machine
+//! pays for traffic at all.) This module decides conflict-freedom for a
+//! set of connections and computes the link-disjointness profile —
+//! useful both for tests and for reasoning about worst-case workload
+//! placements.
+
+use std::collections::HashMap;
+
+use crate::error::NetError;
+use crate::topology::{LinkId, Omega, PortId};
+
+/// The result of checking a connection set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Routability {
+    /// Every connection gets disjoint links; the set is conflict-free.
+    ConflictFree,
+    /// At least two connections share a link; the first collision found.
+    Blocked {
+        /// The contended link.
+        link: LinkId,
+        /// Indices (into the request slice) of two colliding connections.
+        first: usize,
+        /// Second collider.
+        second: usize,
+    },
+}
+
+impl Omega {
+    /// Checks whether `pairs` (source, destination) can be routed
+    /// simultaneously without sharing any link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PortOutOfRange`] if any endpoint is invalid.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tmc_omeganet::blocking::Routability;
+    /// use tmc_omeganet::Omega;
+    ///
+    /// let net = Omega::new(3)?;
+    /// // The identity permutation routes conflict-free…
+    /// let id: Vec<(usize, usize)> = (0..8).map(|i| (i, i)).collect();
+    /// assert_eq!(net.check_routable(&id)?, Routability::ConflictFree);
+    /// // …but two sources whose paths merge collide.
+    /// let clash = [(0usize, 0usize), (4, 1)];
+    /// assert!(matches!(net.check_routable(&clash)?, Routability::Blocked { .. }));
+    /// # Ok::<(), tmc_omeganet::NetError>(())
+    /// ```
+    pub fn check_routable(&self, pairs: &[(PortId, PortId)]) -> Result<Routability, NetError> {
+        let mut used: HashMap<LinkId, usize> = HashMap::new();
+        for (idx, &(src, dst)) in pairs.iter().enumerate() {
+            self.check_port(src)?;
+            self.check_port(dst)?;
+            for link in self.route(src, dst) {
+                if let Some(&prev) = used.get(&link) {
+                    return Ok(Routability::Blocked {
+                        link,
+                        first: prev,
+                        second: idx,
+                    });
+                }
+                used.insert(link, idx);
+            }
+        }
+        Ok(Routability::ConflictFree)
+    }
+
+    /// Whether a full permutation (`perm[src] = dst`) is routable in one
+    /// pass. Omega networks admit exactly the permutations satisfying the
+    /// classic "non-conflicting window" condition; this checks it by direct
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PortOutOfRange`] if `perm` has the wrong length
+    /// or names an invalid port.
+    pub fn permutation_routable(&self, perm: &[PortId]) -> Result<bool, NetError> {
+        if perm.len() != self.ports() {
+            return Err(NetError::PortOutOfRange {
+                port: perm.len().saturating_sub(1),
+                n_ports: self.ports(),
+            });
+        }
+        let pairs: Vec<(PortId, PortId)> = perm.iter().copied().enumerate().collect();
+        Ok(self.check_routable(&pairs)? == Routability::ConflictFree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_shifts_route_conflict_free() {
+        let net = Omega::new(4).unwrap();
+        let n = net.ports();
+        // Identity and all cyclic shifts are classic omega-admissible
+        // permutations.
+        for shift in 0..n {
+            let perm: Vec<usize> = (0..n).map(|i| (i + shift) % n).collect();
+            assert!(
+                net.permutation_routable(&perm).unwrap(),
+                "shift {shift} must route"
+            );
+        }
+    }
+
+    #[test]
+    fn some_permutation_blocks() {
+        // Omega networks are blocking: for N ≥ 4 not every permutation
+        // routes. Find one by search to keep the test topology-honest.
+        let net = Omega::new(3).unwrap();
+        let n = net.ports();
+        let mut found_blocked = false;
+        // Try bit-reversal and a few structured permutations.
+        let bitrev: Vec<usize> = (0..n)
+            .map(|i| (0..3).fold(0, |acc, b| acc | (((i >> b) & 1) << (2 - b))))
+            .collect();
+        let swap_halves: Vec<usize> = (0..n).map(|i| i ^ (n >> 1)).collect();
+        for perm in [bitrev, swap_halves] {
+            if !net.permutation_routable(&perm).unwrap() {
+                found_blocked = true;
+            }
+        }
+        assert!(found_blocked, "expected at least one blocked permutation");
+    }
+
+    #[test]
+    fn collision_report_names_real_colliders() {
+        let net = Omega::new(3).unwrap();
+        // Sources 0 and 4 both shuffle into switch 0's inputs; sending both
+        // toward low destinations forces a shared output line somewhere.
+        let pairs = [(0usize, 0usize), (4, 1)];
+        match net.check_routable(&pairs).unwrap() {
+            Routability::Blocked { link, first, second } => {
+                assert_ne!(first, second);
+                let a = net.route(pairs[first].0, pairs[first].1);
+                let b = net.route(pairs[second].0, pairs[second].1);
+                assert!(a.contains(&link) && b.contains(&link));
+            }
+            Routability::ConflictFree => panic!("expected a collision"),
+        }
+    }
+
+    #[test]
+    fn duplicate_destination_always_blocks() {
+        let net = Omega::new(3).unwrap();
+        // Two connections to the same output must share the final link.
+        let pairs = [(1usize, 5usize), (2, 5)];
+        assert!(matches!(
+            net.check_routable(&pairs).unwrap(),
+            Routability::Blocked { link, .. } if link.layer == 3 && link.line == 5
+        ));
+    }
+
+    #[test]
+    fn validates_ports_and_lengths() {
+        let net = Omega::new(2).unwrap();
+        assert!(net.check_routable(&[(0, 9)]).is_err());
+        assert!(net.permutation_routable(&[0, 1]).is_err());
+    }
+}

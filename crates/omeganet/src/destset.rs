@@ -1,0 +1,408 @@
+//! Destination sets for multicast, with the constructors used by the
+//! paper's analysis.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::topology::{Omega, PortId};
+
+/// A set of destination ports for a multicast, sized for a specific network.
+///
+/// Internally a bitset; iteration is always in ascending port order. The
+/// constructors mirror the destination placements the paper analyzes:
+///
+/// * [`DestSet::adjacent`] — `n` consecutive ports (tasks allocated to
+///   adjacent processors, §3.3–3.4),
+/// * [`DestSet::worst_case_spread`] — `n` ports splitting the routing tree at
+///   the earliest stages (the scheme-2 worst case of eq. 3),
+/// * [`DestSet::subcube`] — an aligned 2^l subcube (the only sets scheme 3
+///   can address).
+///
+/// # Example
+///
+/// ```
+/// use tmc_omeganet::DestSet;
+///
+/// let d = DestSet::adjacent(16, 4, 4)?;
+/// assert_eq!(d.iter().collect::<Vec<_>>(), [4, 5, 6, 7]);
+/// assert!(d.is_subcube());
+/// # Ok::<(), tmc_omeganet::NetError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DestSet {
+    words: Vec<u64>,
+    n_ports: usize,
+    len: usize,
+}
+
+impl DestSet {
+    /// Creates an empty set for an `n_ports`-port network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_ports` is zero.
+    pub fn empty(n_ports: usize) -> Self {
+        assert!(n_ports > 0, "network must have at least one port");
+        DestSet {
+            words: vec![0; n_ports.div_ceil(64)],
+            n_ports,
+            len: 0,
+        }
+    }
+
+    /// Creates the full set `{0, …, n_ports−1}`.
+    pub fn all(n_ports: usize) -> Self {
+        let mut set = DestSet::empty(n_ports);
+        for p in 0..n_ports {
+            set.insert(p);
+        }
+        set
+    }
+
+    /// Creates a set from an iterator of ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PortOutOfRange`] if any port is `≥ n_ports`.
+    pub fn from_ports<I>(n_ports: usize, ports: I) -> Result<Self, NetError>
+    where
+        I: IntoIterator<Item = PortId>,
+    {
+        let mut set = DestSet::empty(n_ports);
+        for p in ports {
+            if p >= n_ports {
+                return Err(NetError::PortOutOfRange { port: p, n_ports });
+            }
+            set.insert(p);
+        }
+        Ok(set)
+    }
+
+    /// `n` consecutive ports starting at `base` — the "neighbors" placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PortOutOfRange`] if `base + n` exceeds the
+    /// network size.
+    pub fn adjacent(n_ports: usize, base: PortId, n: usize) -> Result<Self, NetError> {
+        if base + n > n_ports {
+            return Err(NetError::PortOutOfRange {
+                port: base + n.saturating_sub(1),
+                n_ports,
+            });
+        }
+        DestSet::from_ports(n_ports, base..base + n)
+    }
+
+    /// `n` ports spread maximally: `{i·N/n : i in 0..n}` for a power-of-two
+    /// `n`. These destinations differ in their most significant bits, so a
+    /// scheme-2 multicast forks at every one of the first `log₂ n` stages —
+    /// the worst case assumed by eq. 3 of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyDestSet`] if `n == 0` and
+    /// [`NetError::PortOutOfRange`] if `n > n_ports`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `n_ports` is not a power of two.
+    pub fn worst_case_spread(n_ports: usize, n: usize) -> Result<Self, NetError> {
+        assert!(n_ports.is_power_of_two(), "N must be a power of two");
+        if n == 0 {
+            return Err(NetError::EmptyDestSet);
+        }
+        assert!(n.is_power_of_two(), "n must be a power of two");
+        if n > n_ports {
+            return Err(NetError::PortOutOfRange {
+                port: n - 1,
+                n_ports,
+            });
+        }
+        let stride = n_ports / n;
+        DestSet::from_ports(n_ports, (0..n).map(|i| i * stride))
+    }
+
+    /// An aligned subcube: all ports agreeing with `base` outside the `l`
+    /// low bit positions. Size `2^l`; exactly the sets addressable by
+    /// scheme 3 when tasks sit on adjacent processors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PortOutOfRange`] if `base ≥ n_ports`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_ports` is not a power of two or `2^l > n_ports`.
+    pub fn subcube(n_ports: usize, base: PortId, l: u32) -> Result<Self, NetError> {
+        assert!(n_ports.is_power_of_two(), "N must be a power of two");
+        assert!(
+            (1usize << l) <= n_ports,
+            "subcube of 2^{l} ports exceeds the network"
+        );
+        if base >= n_ports {
+            return Err(NetError::PortOutOfRange {
+                port: base,
+                n_ports,
+            });
+        }
+        let anchor = base & !((1usize << l) - 1);
+        DestSet::from_ports(n_ports, (0..(1usize << l)).map(|low| anchor | low))
+    }
+
+    /// Network size this set was built for.
+    pub fn n_ports(&self) -> usize {
+        self.n_ports
+    }
+
+    /// Number of destinations in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `port` to the set. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn insert(&mut self, port: PortId) -> bool {
+        assert!(port < self.n_ports, "port {port} out of range");
+        let (w, b) = (port / 64, port % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        if fresh {
+            self.words[w] |= 1 << b;
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Removes `port` from the set. Returns `true` if it was present.
+    pub fn remove(&mut self, port: PortId) -> bool {
+        if port >= self.n_ports {
+            return false;
+        }
+        let (w, b) = (port / 64, port % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        if present {
+            self.words[w] &= !(1 << b);
+            self.len -= 1;
+        }
+        present
+    }
+
+    /// Whether `port` is in the set.
+    pub fn contains(&self, port: PortId) -> bool {
+        port < self.n_ports && self.words[port / 64] & (1 << (port % 64)) != 0
+    }
+
+    /// Iterates over member ports in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = PortId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    None
+                } else {
+                    let bit = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Validates that this set matches the network's size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::SizeMismatch`] on mismatch.
+    pub fn check_net(&self, net: &Omega) -> Result<(), NetError> {
+        if self.n_ports == net.ports() {
+            Ok(())
+        } else {
+            Err(NetError::SizeMismatch {
+                set_ports: self.n_ports,
+                net_ports: net.ports(),
+            })
+        }
+    }
+
+    /// Whether the members form an aligned subcube (including singletons and
+    /// the full set). Empty sets are not subcubes.
+    pub fn is_subcube(&self) -> bool {
+        self.subcube_spec().is_some()
+    }
+
+    /// If the members form a subcube, returns `(anchor, free_mask)`: the
+    /// common bits and a mask of the positions that vary. General subcubes
+    /// (any free-bit positions) are recognized, not only low-bit-aligned
+    /// ones.
+    pub fn subcube_spec(&self) -> Option<(PortId, usize)> {
+        if self.is_empty() || !self.len.is_power_of_two() {
+            return None;
+        }
+        let mut iter = self.iter();
+        let first = iter.next().expect("nonempty");
+        let mut free_mask = 0usize;
+        for p in self.iter() {
+            free_mask |= p ^ first;
+        }
+        if free_mask.count_ones() != self.len.trailing_zeros() {
+            return None;
+        }
+        // All 2^l combinations of free bits must be present; since we have
+        // exactly 2^l distinct members all differing from `first` only in
+        // free positions, membership is guaranteed by counting — but verify
+        // anchor bits to be safe against duplicates (impossible in a set).
+        let anchor = first & !free_mask;
+        for p in self.iter() {
+            if p & !free_mask != anchor {
+                return None;
+            }
+        }
+        Some((anchor, free_mask))
+    }
+
+    /// The smallest aligned low-bit subcube containing the whole set:
+    /// returns `(anchor, l)` with the set contained in
+    /// `{anchor .. anchor + 2^l}`. Used when upgrading an arbitrary set to a
+    /// scheme-3-addressable superset.
+    ///
+    /// Returns `None` for an empty set.
+    pub fn enclosing_low_subcube(&self) -> Option<(PortId, u32)> {
+        let first = self.iter().next()?;
+        let mut diff = 0usize;
+        for p in self.iter() {
+            diff |= p ^ first;
+        }
+        let l = if diff == 0 {
+            0
+        } else {
+            usize::BITS - diff.leading_zeros()
+        };
+        Some((first & !((1usize << l) - 1), l))
+    }
+}
+
+impl fmt::Debug for DestSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DestSet(N={}, {{", self.n_ports)?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}})")
+    }
+}
+
+impl<'a> IntoIterator for &'a DestSet {
+    type Item = PortId;
+    type IntoIter = Box<dyn Iterator<Item = PortId> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = DestSet::empty(128);
+        assert!(s.insert(0));
+        assert!(s.insert(127));
+        assert!(!s.insert(127));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0));
+        assert!(!s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_sorted_across_words() {
+        let s = DestSet::from_ports(256, [200usize, 3, 64, 65, 199]).unwrap();
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, [3, 64, 65, 199, 200]);
+    }
+
+    #[test]
+    fn from_ports_rejects_out_of_range() {
+        assert_eq!(
+            DestSet::from_ports(8, [8usize]),
+            Err(NetError::PortOutOfRange { port: 8, n_ports: 8 })
+        );
+    }
+
+    #[test]
+    fn adjacent_and_bounds() {
+        let s = DestSet::adjacent(8, 6, 2).unwrap();
+        assert_eq!(s.iter().collect::<Vec<_>>(), [6, 7]);
+        assert!(DestSet::adjacent(8, 6, 3).is_err());
+        assert_eq!(DestSet::adjacent(8, 0, 0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn worst_case_spread_has_maximal_prefixes() {
+        let s = DestSet::worst_case_spread(16, 4).unwrap();
+        assert_eq!(s.iter().collect::<Vec<_>>(), [0, 4, 8, 12]);
+        // Top two bits all distinct.
+        let tops: Vec<_> = s.iter().map(|p| p >> 2).collect();
+        assert_eq!(tops, [0, 1, 2, 3]);
+        assert!(DestSet::worst_case_spread(16, 0).is_err());
+        assert!(DestSet::worst_case_spread(16, 32).is_err());
+    }
+
+    #[test]
+    fn subcube_construction_and_recognition() {
+        let s = DestSet::subcube(32, 13, 2).unwrap();
+        assert_eq!(s.iter().collect::<Vec<_>>(), [12, 13, 14, 15]);
+        assert!(s.is_subcube());
+        assert_eq!(s.subcube_spec(), Some((12, 0b11)));
+
+        // A general (non-low-aligned) subcube is still recognized.
+        let g = DestSet::from_ports(16, [1usize, 3, 9, 11]).unwrap();
+        assert_eq!(g.subcube_spec(), Some((1, 0b1010)));
+
+        // Not a subcube: wrong structure despite power-of-two size.
+        let bad = DestSet::from_ports(16, [0usize, 1, 2, 4]).unwrap();
+        assert!(!bad.is_subcube());
+
+        // Size not a power of two.
+        let odd = DestSet::from_ports(16, [0usize, 1, 2]).unwrap();
+        assert!(!odd.is_subcube());
+
+        // Singleton and full set are subcubes.
+        assert!(DestSet::from_ports(8, [5usize]).unwrap().is_subcube());
+        assert!(DestSet::all(8).is_subcube());
+        assert!(!DestSet::empty(8).is_subcube());
+    }
+
+    #[test]
+    fn enclosing_low_subcube_is_tight() {
+        let s = DestSet::from_ports(64, [17usize, 18, 22]).unwrap();
+        let (anchor, l) = s.enclosing_low_subcube().unwrap();
+        assert_eq!((anchor, l), (16, 3));
+        let singleton = DestSet::from_ports(64, [9usize]).unwrap();
+        assert_eq!(singleton.enclosing_low_subcube(), Some((9, 0)));
+        assert_eq!(DestSet::empty(64).enclosing_low_subcube(), None);
+    }
+
+    #[test]
+    fn debug_lists_members() {
+        let s = DestSet::from_ports(8, [1usize, 4]).unwrap();
+        assert_eq!(format!("{s:?}"), "DestSet(N=8, {1, 4})");
+    }
+}

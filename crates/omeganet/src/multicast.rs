@@ -1,0 +1,584 @@
+//! The paper's three multicast schemes, plus the combined scheme (eq. 8).
+//!
+//! All three schemes are implemented twice over:
+//!
+//! * a *traversal* that walks the switch tree exactly as hardware would,
+//!   charging every crossed link in a [`TrafficMatrix`] and recording who
+//!   received the message, and
+//! * an exact *cost function* ([`Omega::multicast_cost`]) that computes the
+//!   same total in `O(n·m)` without touching a matrix — used by the combined
+//!   scheme to pick the cheapest option per cast, which is precisely the
+//!   selection the paper proposes in §5 ("hardware mechanisms could then use
+//!   the contents of these registers … to determine which of the schemes to
+//!   use").
+//!
+//! Scheme semantics (§3):
+//!
+//! 1. **Replicated unicasts** (scheme 1): one destination-tag-routed message
+//!    per destination; at layer `j` a message carries `M + (m − j)` bits.
+//! 2. **Bit-vector routing** (scheme 2, the paper's novel scheme): the
+//!    N-bit present vector is the routing tag; each switch splits the vector
+//!    and forwards halves only where a destination bit is set. At layer `j`
+//!    a message carries `M + N/2^j` bits.
+//! 3. **Broadcast-tag routing** (scheme 3, Wen 1976): a `2m`-bit tag
+//!    `b₀…b_{m−1} d₀…d_{m−1}`; `bᵢ = 1` broadcasts at stage `i`. Only
+//!    destination sets forming a subcube are addressable; at layer `j` a
+//!    message carries `M + 2(m − j)` bits.
+
+use serde::{Deserialize, Serialize};
+
+use crate::destset::DestSet;
+use crate::error::NetError;
+use crate::topology::{LinkId, Omega, PortId};
+use crate::traffic::TrafficMatrix;
+
+/// Which multicast scheme to use for a cast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Scheme 1: one routed unicast per destination.
+    Replicated,
+    /// Scheme 2: present-flag bit-vector routing.
+    BitVector,
+    /// Scheme 3: broadcast-tag routing (destinations are widened to the
+    /// enclosing low-bit subcube when they do not already form one).
+    BroadcastTag,
+    /// Scheme 4 (eq. 8): evaluate all three and use the cheapest.
+    Combined,
+}
+
+/// The concrete scheme a cast actually used (resolves [`SchemeKind::Combined`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeChoice {
+    /// Scheme 1 ran.
+    Replicated,
+    /// Scheme 2 ran.
+    BitVector,
+    /// Scheme 3 ran.
+    BroadcastTag,
+}
+
+/// Outcome of one multicast.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CastReceipt {
+    /// The scheme that was actually used.
+    pub scheme: SchemeChoice,
+    /// Ports that received the payload, ascending. For scheme 3 on a
+    /// non-subcube destination set this is a strict superset of the request
+    /// (the enclosing subcube); receivers without a matching cache line
+    /// simply ignore the message.
+    pub delivered: Vec<PortId>,
+    /// Total bits charged across all links — the cast's contribution to CC.
+    pub cost_bits: u64,
+    /// Number of link traversals (messages × hops).
+    pub links_crossed: usize,
+}
+
+impl Omega {
+    /// Sends `payload_bits` from `src` to the single port `dst`, charging
+    /// `traffic`. Equivalent to a one-destination scheme-1 cast.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PortOutOfRange`] for invalid ports.
+    pub fn unicast(
+        &self,
+        src: PortId,
+        dst: PortId,
+        payload_bits: u64,
+        traffic: &mut TrafficMatrix,
+    ) -> Result<CastReceipt, NetError> {
+        self.check_port(src)?;
+        self.check_port(dst)?;
+        let m = self.stages() as u64;
+        let mut cost = 0;
+        let mut links = 0;
+        for link in self.route(src, dst) {
+            let bits = payload_bits + (m - link.layer as u64);
+            traffic.add(link, bits);
+            cost += bits;
+            links += 1;
+        }
+        Ok(CastReceipt {
+            scheme: SchemeChoice::Replicated,
+            delivered: vec![dst],
+            cost_bits: cost,
+            links_crossed: links,
+        })
+    }
+
+    /// Multicasts `payload_bits` from `src` to `dests` using `kind`,
+    /// charging every crossed link in `traffic`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::EmptyDestSet`] if `dests` is empty,
+    /// * [`NetError::SizeMismatch`] if `dests` was built for another size,
+    /// * [`NetError::PortOutOfRange`] if `src` is invalid.
+    pub fn multicast(
+        &self,
+        kind: SchemeKind,
+        src: PortId,
+        dests: &DestSet,
+        payload_bits: u64,
+        traffic: &mut TrafficMatrix,
+    ) -> Result<CastReceipt, NetError> {
+        self.check_port(src)?;
+        dests.check_net(self)?;
+        if dests.is_empty() {
+            return Err(NetError::EmptyDestSet);
+        }
+        let receipt = match kind {
+            SchemeKind::Replicated => self.cast_replicated(src, dests, payload_bits, traffic),
+            SchemeKind::BitVector => self.cast_bitvector(src, dests, payload_bits, traffic),
+            SchemeKind::BroadcastTag => self.cast_broadcast_tag(src, dests, payload_bits, traffic),
+            SchemeKind::Combined => {
+                let choice = self.cheapest_scheme(dests, payload_bits);
+                let concrete = match choice {
+                    SchemeChoice::Replicated => SchemeKind::Replicated,
+                    SchemeChoice::BitVector => SchemeKind::BitVector,
+                    SchemeChoice::BroadcastTag => SchemeKind::BroadcastTag,
+                };
+                return self.multicast(concrete, src, dests, payload_bits, traffic);
+            }
+        };
+        Ok(receipt)
+    }
+
+    /// Exact communication cost of casting `payload_bits` to `dests` with
+    /// `kind`, without performing the cast. Source-independent: the cost of
+    /// every scheme depends only on the destination structure.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Omega::multicast`].
+    pub fn multicast_cost(
+        &self,
+        kind: SchemeKind,
+        dests: &DestSet,
+        payload_bits: u64,
+    ) -> Result<u64, NetError> {
+        dests.check_net(self)?;
+        if dests.is_empty() {
+            return Err(NetError::EmptyDestSet);
+        }
+        Ok(match kind {
+            SchemeKind::Replicated => self.cost_replicated(dests.len() as u64, payload_bits),
+            SchemeKind::BitVector => self.cost_bitvector(dests, payload_bits),
+            SchemeKind::BroadcastTag => self.cost_broadcast_tag(dests, payload_bits),
+            SchemeKind::Combined => {
+                let choice = self.cheapest_scheme(dests, payload_bits);
+                let concrete = match choice {
+                    SchemeChoice::Replicated => SchemeKind::Replicated,
+                    SchemeChoice::BitVector => SchemeKind::BitVector,
+                    SchemeChoice::BroadcastTag => SchemeKind::BroadcastTag,
+                };
+                self.multicast_cost(concrete, dests, payload_bits)?
+            }
+        })
+    }
+
+    /// The cheapest concrete scheme for this destination set and payload —
+    /// the selection rule of the combined scheme (eq. 8), using exact costs.
+    pub fn cheapest_scheme(&self, dests: &DestSet, payload_bits: u64) -> SchemeChoice {
+        let c1 = self.cost_replicated(dests.len() as u64, payload_bits);
+        let c2 = self.cost_bitvector(dests, payload_bits);
+        let c3 = self.cost_broadcast_tag(dests, payload_bits);
+        // Ties break toward the simpler scheme, matching the paper's
+        // preference order in Tables 3 and 4 (1 before 2 before 3).
+        if c1 <= c2 && c1 <= c3 {
+            SchemeChoice::Replicated
+        } else if c2 <= c3 {
+            SchemeChoice::BitVector
+        } else {
+            SchemeChoice::BroadcastTag
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Exact cost functions.
+    // ------------------------------------------------------------------
+
+    fn cost_replicated(&self, n: u64, payload: u64) -> u64 {
+        let m = self.stages() as u64;
+        // n · Σ_{j=0}^{m} (payload + m − j)
+        n * ((m + 1) * payload + m * (m + 1) / 2)
+    }
+
+    fn cost_bitvector(&self, dests: &DestSet, payload: u64) -> u64 {
+        let m = self.stages();
+        let n_ports = self.ports() as u64;
+        // Layer 0: one message with the full N-bit vector.
+        let mut cost = payload + n_ports;
+        // Layer j ≥ 1: one message per distinct j-bit destination prefix,
+        // carrying an N/2^j-bit subvector.
+        // `dests.iter()` is ascending, so equal prefixes are adjacent and a
+        // dedup per layer counts distinct prefixes. Walk fine → coarse:
+        // deduping at a coarse prefix first would undercount finer layers.
+        let mut prefixes: Vec<usize> = dests.iter().collect();
+        for j in (1..=m).rev() {
+            let shift = m - j;
+            prefixes.dedup_by_key(|d| *d >> shift);
+            cost += prefixes.len() as u64 * (payload + (n_ports >> j));
+        }
+        cost
+    }
+
+    fn cost_broadcast_tag(&self, dests: &DestSet, payload: u64) -> u64 {
+        let m = self.stages();
+        let free_mask = match dests.subcube_spec() {
+            Some((_, mask)) => mask,
+            None => {
+                let (_, l) = dests
+                    .enclosing_low_subcube()
+                    .expect("dests verified nonempty");
+                (1usize << l) - 1
+            }
+        };
+        let mut cost = 0u64;
+        let mut active = 1u64;
+        for j in 0..=m {
+            cost += active * (payload + 2 * (m - j) as u64);
+            if j < m {
+                // Stage j broadcasts when the bit it consumes (m−1−j) is free.
+                if free_mask >> (m - 1 - j) & 1 == 1 {
+                    active *= 2;
+                }
+            }
+        }
+        cost
+    }
+
+    // ------------------------------------------------------------------
+    // Traversals.
+    // ------------------------------------------------------------------
+
+    fn cast_replicated(
+        &self,
+        src: PortId,
+        dests: &DestSet,
+        payload: u64,
+        traffic: &mut TrafficMatrix,
+    ) -> CastReceipt {
+        let mut cost = 0;
+        let mut links = 0;
+        let mut delivered = Vec::with_capacity(dests.len());
+        for dst in dests.iter() {
+            let r = self
+                .unicast(src, dst, payload, traffic)
+                .expect("ports pre-validated");
+            cost += r.cost_bits;
+            links += r.links_crossed;
+            delivered.push(dst);
+        }
+        debug_assert_eq!(cost, self.cost_replicated(dests.len() as u64, payload));
+        CastReceipt {
+            scheme: SchemeChoice::Replicated,
+            delivered,
+            cost_bits: cost,
+            links_crossed: links,
+        }
+    }
+
+    fn cast_bitvector(
+        &self,
+        src: PortId,
+        dests: &DestSet,
+        payload: u64,
+        traffic: &mut TrafficMatrix,
+    ) -> CastReceipt {
+        let m = self.stages();
+        let n_ports = self.ports() as u64;
+        let mut cost = 0u64;
+        let mut links = 0usize;
+        let mut delivered = Vec::with_capacity(dests.len());
+
+        // Layer 0: source port into its stage-0 switch, full vector.
+        let layer0 = LinkId { layer: 0, line: src };
+        let bits0 = payload + n_ports;
+        traffic.add(layer0, bits0);
+        cost += bits0;
+        links += 1;
+
+        // Worklist of (stage about to be traversed, line entering it,
+        // destinations still covered by this copy of the message).
+        let all: Vec<PortId> = dests.iter().collect();
+        let mut work: Vec<(u32, usize, Vec<PortId>)> = vec![(0, src, all)];
+        while let Some((stage, line, subset)) = work.pop() {
+            let shuffled = self.shuffle(line);
+            let sw = shuffled >> 1;
+            let (zeros, ones): (Vec<PortId>, Vec<PortId>) = subset
+                .into_iter()
+                .partition(|&d| self.routing_bit(d, stage) == 0);
+            for (bit, group) in [(0usize, zeros), (1usize, ones)] {
+                if group.is_empty() {
+                    continue;
+                }
+                let out_line = (sw << 1) | bit;
+                let layer = stage + 1;
+                let bits = payload + (n_ports >> layer);
+                traffic.add(
+                    LinkId {
+                        layer,
+                        line: out_line,
+                    },
+                    bits,
+                );
+                cost += bits;
+                links += 1;
+                if layer == m {
+                    debug_assert_eq!(group, vec![out_line]);
+                    delivered.push(out_line);
+                } else {
+                    work.push((stage + 1, out_line, group));
+                }
+            }
+        }
+        delivered.sort_unstable();
+        debug_assert_eq!(cost, self.cost_bitvector(dests, payload));
+        CastReceipt {
+            scheme: SchemeChoice::BitVector,
+            delivered,
+            cost_bits: cost,
+            links_crossed: links,
+        }
+    }
+
+    fn cast_broadcast_tag(
+        &self,
+        src: PortId,
+        dests: &DestSet,
+        payload: u64,
+        traffic: &mut TrafficMatrix,
+    ) -> CastReceipt {
+        let m = self.stages();
+        // Widen to a subcube when needed: the enclosing low-bit subcube is
+        // the set an allocator placing tasks adjacently would address.
+        let (anchor, free_mask) = match dests.subcube_spec() {
+            Some(spec) => spec,
+            None => {
+                let (anchor, l) = dests
+                    .enclosing_low_subcube()
+                    .expect("dests verified nonempty");
+                (anchor, (1usize << l) - 1)
+            }
+        };
+        let mut cost = 0u64;
+        let mut links = 0usize;
+        let mut delivered = Vec::new();
+
+        let layer0 = LinkId { layer: 0, line: src };
+        let bits0 = payload + 2 * m as u64;
+        traffic.add(layer0, bits0);
+        cost += bits0;
+        links += 1;
+
+        let mut work: Vec<(u32, usize)> = vec![(0, src)];
+        while let Some((stage, line)) = work.pop() {
+            let shuffled = self.shuffle(line);
+            let sw = shuffled >> 1;
+            let bit_pos = m - 1 - stage;
+            let broadcast = free_mask >> bit_pos & 1 == 1;
+            let wanted_bits: &[usize] = if broadcast {
+                &[0, 1]
+            } else if anchor >> bit_pos & 1 == 1 {
+                &[1]
+            } else {
+                &[0]
+            };
+            for &bit in wanted_bits {
+                let out_line = (sw << 1) | bit;
+                let layer = stage + 1;
+                let bits = payload + 2 * (m - layer) as u64;
+                traffic.add(
+                    LinkId {
+                        layer,
+                        line: out_line,
+                    },
+                    bits,
+                );
+                cost += bits;
+                links += 1;
+                if layer == m {
+                    delivered.push(out_line);
+                } else {
+                    work.push((stage + 1, out_line));
+                }
+            }
+        }
+        delivered.sort_unstable();
+        debug_assert_eq!(cost, self.cost_broadcast_tag(dests, payload));
+        CastReceipt {
+            scheme: SchemeChoice::BroadcastTag,
+            delivered,
+            cost_bits: cost,
+            links_crossed: links,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(m: u32) -> (Omega, TrafficMatrix) {
+        let net = Omega::new(m).unwrap();
+        let t = TrafficMatrix::new(&net);
+        (net, t)
+    }
+
+    #[test]
+    fn unicast_matches_scheme1_per_hop_sizes() {
+        let (net, mut t) = setup(3);
+        let r = net.unicast(5, 2, 20, &mut t).unwrap();
+        // Layers carry M+3, M+2, M+1, M+0.
+        assert_eq!(r.cost_bits, 20 * 4 + 3 + 2 + 1);
+        assert_eq!(r.links_crossed, 4);
+        assert_eq!(t.total_bits(), r.cost_bits);
+        assert_eq!(r.delivered, vec![2]);
+    }
+
+    #[test]
+    fn replicated_cost_is_linear_in_destinations() {
+        let (net, mut t) = setup(4);
+        let d1 = DestSet::from_ports(16, [3usize]).unwrap();
+        let d4 = DestSet::from_ports(16, [3usize, 5, 9, 12]).unwrap();
+        let c1 = net
+            .multicast(SchemeKind::Replicated, 0, &d1, 20, &mut t)
+            .unwrap()
+            .cost_bits;
+        t.clear();
+        let c4 = net
+            .multicast(SchemeKind::Replicated, 0, &d4, 20, &mut t)
+            .unwrap()
+            .cost_bits;
+        assert_eq!(c4, 4 * c1);
+    }
+
+    #[test]
+    fn bitvector_delivers_exactly_the_requested_set() {
+        let (net, mut t) = setup(3);
+        // The paper's Figure 4 example: N=8, destinations {0, 2, 3, 6}.
+        let d = DestSet::from_ports(8, [0usize, 2, 3, 6]).unwrap();
+        for src in 0..8 {
+            t.clear();
+            let r = net
+                .multicast(SchemeKind::BitVector, src, &d, 20, &mut t)
+                .unwrap();
+            assert_eq!(r.delivered, vec![0, 2, 3, 6], "src {src}");
+            assert_eq!(r.cost_bits, t.total_bits());
+        }
+    }
+
+    #[test]
+    fn bitvector_layer_sizes_follow_the_paper_table() {
+        let (net, mut t) = setup(3);
+        let d = DestSet::all(8);
+        net.multicast(SchemeKind::BitVector, 0, &d, 10, &mut t)
+            .unwrap();
+        // Full broadcast: 1, 2, 4, 8 active links carrying M+8, M+4, M+2, M+1.
+        assert_eq!(t.layer_bits(0), 10 + 8);
+        assert_eq!(t.layer_bits(1), 2 * (10 + 4));
+        assert_eq!(t.layer_bits(2), 4 * (10 + 2));
+        assert_eq!(t.layer_bits(3), 8 * (10 + 1));
+    }
+
+    #[test]
+    fn broadcast_tag_on_aligned_subcube() {
+        let (net, mut t) = setup(3);
+        let d = DestSet::subcube(8, 4, 1).unwrap(); // {4, 5}
+        let r = net
+            .multicast(SchemeKind::BroadcastTag, 1, &d, 20, &mut t)
+            .unwrap();
+        assert_eq!(r.delivered, vec![4, 5]);
+        // Layers: 1·(M+6), 1·(M+4), 1·(M+2) — fork at last stage — 2·(M+0).
+        assert_eq!(r.cost_bits, (20 + 6) + (20 + 4) + (20 + 2) + 2 * 20);
+    }
+
+    #[test]
+    fn broadcast_tag_widens_non_subcubes() {
+        let (net, mut t) = setup(3);
+        let d = DestSet::from_ports(8, [1usize, 2]).unwrap(); // not a subcube
+        let r = net
+            .multicast(SchemeKind::BroadcastTag, 0, &d, 20, &mut t)
+            .unwrap();
+        // Enclosing low subcube of {1, 2} is {0, 1, 2, 3}.
+        assert_eq!(r.delivered, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn broadcast_tag_handles_general_subcubes() {
+        let (net, mut t) = setup(4);
+        let d = DestSet::from_ports(16, [1usize, 3, 9, 11]).unwrap();
+        let r = net
+            .multicast(SchemeKind::BroadcastTag, 7, &d, 8, &mut t)
+            .unwrap();
+        assert_eq!(r.delivered, vec![1, 3, 9, 11]);
+    }
+
+    #[test]
+    fn cost_functions_match_traversals() {
+        let (net, _) = setup(4);
+        let cases = [
+            DestSet::from_ports(16, [0usize]).unwrap(),
+            DestSet::from_ports(16, [0usize, 15]).unwrap(),
+            DestSet::adjacent(16, 4, 4).unwrap(),
+            DestSet::worst_case_spread(16, 8).unwrap(),
+            DestSet::all(16),
+        ];
+        for d in &cases {
+            for kind in [
+                SchemeKind::Replicated,
+                SchemeKind::BitVector,
+                SchemeKind::BroadcastTag,
+            ] {
+                let mut t = TrafficMatrix::new(&net);
+                let r = net.multicast(kind, 3, d, 20, &mut t).unwrap();
+                assert_eq!(
+                    r.cost_bits,
+                    net.multicast_cost(kind, d, 20).unwrap(),
+                    "{kind:?} {d:?}"
+                );
+                assert_eq!(r.cost_bits, t.total_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn combined_picks_the_minimum() {
+        let (net, mut t) = setup(5);
+        let d = DestSet::adjacent(32, 0, 16).unwrap();
+        let costs = [
+            net.multicast_cost(SchemeKind::Replicated, &d, 20).unwrap(),
+            net.multicast_cost(SchemeKind::BitVector, &d, 20).unwrap(),
+            net.multicast_cost(SchemeKind::BroadcastTag, &d, 20).unwrap(),
+        ];
+        let r = net
+            .multicast(SchemeKind::Combined, 0, &d, 20, &mut t)
+            .unwrap();
+        assert_eq!(r.cost_bits, *costs.iter().min().unwrap());
+    }
+
+    #[test]
+    fn empty_destinations_rejected() {
+        let (net, mut t) = setup(3);
+        let d = DestSet::empty(8);
+        assert_eq!(
+            net.multicast(SchemeKind::BitVector, 0, &d, 20, &mut t),
+            Err(NetError::EmptyDestSet)
+        );
+        assert_eq!(
+            net.multicast_cost(SchemeKind::Combined, &d, 20),
+            Err(NetError::EmptyDestSet)
+        );
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let (net, mut t) = setup(3);
+        let d = DestSet::all(16);
+        assert!(matches!(
+            net.multicast(SchemeKind::BitVector, 0, &d, 20, &mut t),
+            Err(NetError::SizeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,215 @@
+//! Deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A pending event: ordered by time, then by insertion order (FIFO among
+/// equal-time events), so runs are bit-for-bit reproducible.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first, breaking ties by insertion sequence.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A discrete-event queue with a monotone clock.
+///
+/// Events are popped in nondecreasing time order; events scheduled for the
+/// same instant are popped in the order they were scheduled. The queue tracks
+/// the current simulated time ([`EventQueue::now`]), which advances to the
+/// timestamp of each popped event.
+///
+/// # Example
+///
+/// ```
+/// use tmc_simcore::{EventQueue, SimTime};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Arrive(u32), Depart(u32) }
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::new(4), Ev::Depart(1));
+/// q.schedule(SimTime::new(2), Ev::Arrive(1));
+///
+/// assert_eq!(q.pop(), Some((SimTime::new(2), Ev::Arrive(1))));
+/// assert_eq!(q.now(), SimTime::new(2));
+/// assert_eq!(q.pop(), Some((SimTime::new(4), Ev::Depart(1))));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently popped
+    /// event, or [`SimTime::ZERO`] if nothing has been popped yet.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time — an event in the past
+    /// can never be processed and indicates a model bug.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at:?} before current time {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` `delay` cycles after the current time.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        let at = self.now + delay;
+        self.schedule(at, event);
+    }
+
+    /// Removes and returns the earliest pending event, advancing the clock to
+    /// its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Scheduled { at, event, .. } = self.heap.pop()?;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        Some((at, event))
+    }
+
+    /// Timestamp of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Drops all pending events and resets the clock to zero.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[9u64, 3, 7, 1, 5] {
+            q.schedule(SimTime::new(t), t);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, [1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for label in ["first", "second", "third"] {
+            q.schedule(SimTime::new(42), label);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(8), ());
+        q.schedule(SimTime::new(2), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::new(2));
+        q.pop();
+        assert_eq!(q.now(), SimTime::new(8));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(10), "base");
+        q.pop();
+        q.schedule_in(5, "later");
+        assert_eq!(q.peek_time(), Some(SimTime::new(15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(10), ());
+        q.pop();
+        q.schedule(SimTime::new(5), ());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(10), ());
+        q.pop();
+        q.schedule(SimTime::new(20), ());
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::new(1), ());
+        assert_eq!(q.len(), 1);
+    }
+}

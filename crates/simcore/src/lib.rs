@@ -1,0 +1,46 @@
+//! Deterministic discrete-event simulation kernel for the two-mode coherence
+//! simulator.
+//!
+//! This crate is substrate shared by every simulated subsystem in the
+//! workspace: the omega-network model ([`tmc-omeganet`]), the memory system
+//! ([`tmc-memsys`]) and the protocol engines built on top of them. It
+//! provides:
+//!
+//! * [`SimTime`] — a cycle-granular simulated clock value,
+//! * [`EventQueue`] — a deterministic time-ordered event queue with FIFO
+//!   tie-breaking,
+//! * [`SimRng`] — a seedable random-number source so every experiment is
+//!   reproducible from a single `u64` seed,
+//! * [`stats`] — streaming statistics (mean/variance/extrema), power-of-two
+//!   histograms and named counter sets used for traffic and latency
+//!   accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use tmc_simcore::{EventQueue, SimTime};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule(SimTime::new(10), "b");
+//! q.schedule(SimTime::new(5), "a");
+//! q.schedule(SimTime::new(10), "c"); // same time as "b": FIFO order preserved
+//!
+//! let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+//! assert_eq!(order, ["a", "b", "c"]);
+//! ```
+//!
+//! [`tmc-omeganet`]: https://example.org/two-mode-coherence
+//! [`tmc-memsys`]: https://example.org/two-mode-coherence
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use stats::{Accumulator, Counter, CounterSet, Histogram};
+pub use time::SimTime;

@@ -1,0 +1,526 @@
+//! Streaming statistics: accumulators, histograms and named counter sets.
+//!
+//! Traffic and latency accounting throughout the simulator uses these types
+//! rather than collecting raw samples, so arbitrarily long runs use constant
+//! memory.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance/extrema over `f64` samples (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use tmc_simcore::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     acc.record(x);
+/// }
+/// assert_eq!(acc.count(), 8);
+/// assert!((acc.mean() - 5.0).abs() < 1e-12);
+/// assert!((acc.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    total: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            total: 0.0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.total += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (0 when empty).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than one sample).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance (0 when fewer than two samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Folds another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = Accumulator::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// A histogram over `u64` values with power-of-two bucket boundaries.
+///
+/// Bucket `i` counts values `v` with `floor(log2(v)) == i - 1`; bucket 0
+/// counts zeros. This is the usual latency-histogram layout: cheap, fixed
+/// size, resolution proportional to magnitude.
+///
+/// # Example
+///
+/// ```
+/// use tmc_simcore::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(0);
+/// h.record(1);
+/// h.record(5);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_count(0), 1); // the zero
+/// assert_eq!(h.bucket_count(3), 1); // 5 lands in [4, 8)
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 65],
+            count: 0,
+            total: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.total += value as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn total(&self) -> u128 {
+        self.total
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Count in bucket `i` (see type docs for the bucket layout).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    pub fn bucket_low(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Smallest value `v` such that at least `q` (0..=1) of samples are ≤ the
+    /// upper bound of v's bucket. Returns the bucket lower bound; `None` when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `0.0..=1.0`.
+    pub fn quantile_bucket_low(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::bucket_low(i));
+            }
+        }
+        Some(Self::bucket_low(self.buckets.len() - 1))
+    }
+
+    /// Iterates over `(bucket_low, count)` pairs for nonempty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_low(i), c))
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.total += other.total;
+    }
+}
+
+/// A single monotone counter.
+///
+/// # Example
+///
+/// ```
+/// use tmc_simcore::Counter;
+///
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A set of counters addressed by static names.
+///
+/// Protocol engines use one `CounterSet` per run to tally message kinds,
+/// hits/misses, invalidations and so on; experiment binaries print them as
+/// report rows.
+///
+/// # Example
+///
+/// ```
+/// use tmc_simcore::CounterSet;
+///
+/// let mut cs = CounterSet::new();
+/// cs.add("read_hit", 10);
+/// cs.incr("read_miss");
+/// assert_eq!(cs.get("read_hit"), 10);
+/// assert_eq!(cs.get("never_touched"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct CounterSet {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl CounterSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Adds `n` to the counter `name`, creating it at zero first if needed.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Adds one to the counter `name`.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (name, value) in other.iter() {
+            self.add(name, value);
+        }
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counters.is_empty() {
+            return write!(f, "(no counters)");
+        }
+        for (i, (name, value)) in self.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{name:<32} {value:>14}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_empty_is_safe() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.max(), None);
+        assert_eq!(acc.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn accumulator_single_sample() {
+        let acc: Accumulator = [3.5].into_iter().collect();
+        assert_eq!(acc.mean(), 3.5);
+        assert_eq!(acc.min(), Some(3.5));
+        assert_eq!(acc.max(), Some(3.5));
+        assert_eq!(acc.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * i) as f64 * 0.37).collect();
+        let seq: Accumulator = xs.iter().copied().collect();
+        let mut left: Accumulator = xs[..37].iter().copied().collect();
+        let right: Accumulator = xs[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), seq.count());
+        assert!((left.mean() - seq.mean()).abs() < 1e-9);
+        assert!((left.population_variance() - seq.population_variance()).abs() < 1e-6);
+        assert_eq!(left.min(), seq.min());
+        assert_eq!(left.max(), seq.max());
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty_sides() {
+        let mut a = Accumulator::new();
+        let b: Accumulator = [1.0, 2.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        let mut c: Accumulator = [1.0, 2.0].into_iter().collect();
+        c.merge(&Accumulator::new());
+        assert_eq!(c.count(), 2);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_low(0), 0);
+        assert_eq!(Histogram::bucket_low(1), 1);
+        assert_eq!(Histogram::bucket_low(4), 8);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert!((h.mean() - 103.3).abs() < 1e-9);
+        assert_eq!(h.quantile_bucket_low(0.5), Some(1));
+        assert_eq!(h.quantile_bucket_low(1.0), Some(1024));
+        assert_eq!(Histogram::new().quantile_bucket_low(0.5), None);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(7);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_count(3), 2); // 5 and 7
+        assert_eq!(a.bucket_count(0), 1);
+    }
+
+    #[test]
+    fn counterset_basics() {
+        let mut cs = CounterSet::new();
+        cs.incr("x");
+        cs.add("x", 2);
+        cs.add("y", 7);
+        assert_eq!(cs.get("x"), 3);
+        let pairs: Vec<_> = cs.iter().collect();
+        assert_eq!(pairs, vec![("x", 3), ("y", 7)]);
+        let mut other = CounterSet::new();
+        other.add("x", 1);
+        other.add("z", 1);
+        cs.merge(&other);
+        assert_eq!(cs.get("x"), 4);
+        assert_eq!(cs.get("z"), 1);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut cs = CounterSet::new();
+        assert_eq!(format!("{cs}"), "(no counters)");
+        cs.add("hits", 1);
+        assert!(format!("{cs}").contains("hits"));
+        let mut acc = Accumulator::new();
+        assert_eq!(format!("{acc}"), "n=0");
+        acc.record(1.0);
+        assert!(format!("{acc}").contains("n=1"));
+    }
+}

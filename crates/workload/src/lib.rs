@@ -1,0 +1,54 @@
+//! Synthetic reference-trace generators.
+//!
+//! The paper's evaluation (§4) assumes a specific sharing pattern: `n` tasks
+//! access a shared read–write data structure, **exactly one task writes each
+//! block**, and the write fraction is `w`. This crate generates reference
+//! traces with exactly those statistics, plus richer variants:
+//!
+//! * [`SharedBlockWorkload`] — the §4 model verbatim: Bernoulli(w) writes by
+//!   each block's single writer, reads by all sharers,
+//! * [`StencilWorkload`] — the "algorithms based on matrix operations" the
+//!   paper's discussion motivates: an iterative grid sweep where each task
+//!   writes its own rows and reads its neighbors' boundary rows,
+//! * [`PrivateWorkload`] — disjoint per-task working sets (no sharing), the
+//!   sanity baseline where a coherent cache should generate almost no
+//!   consistency traffic,
+//! * [`Placement`] — task→processor allocation policies (adjacent, strided,
+//!   random); adjacency is what makes scheme 3 applicable (§3.4).
+//!
+//! # Example
+//!
+//! ```
+//! use tmc_simcore::SimRng;
+//! use tmc_workload::{Placement, SharedBlockWorkload};
+//!
+//! let mut rng = SimRng::seed_from(1);
+//! let trace = SharedBlockWorkload::new(4, 8, 0.25)
+//!     .references(1000)
+//!     .placement(Placement::Adjacent { base: 0 })
+//!     .generate(16, &mut rng);
+//! assert_eq!(trace.len(), 1000);
+//! let w = trace.write_fraction();
+//! assert!(w > 0.15 && w < 0.35, "empirical w ≈ 0.25, got {w}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hotspot;
+pub mod io;
+pub mod migrating;
+pub mod placement;
+pub mod private;
+pub mod shared_block;
+pub mod stencil;
+pub mod trace;
+
+pub use hotspot::HotSpotWorkload;
+pub use io::{format_trace, parse_trace, ParseTraceError};
+pub use migrating::MigratingWorkload;
+pub use placement::Placement;
+pub use private::PrivateWorkload;
+pub use shared_block::SharedBlockWorkload;
+pub use stencil::StencilWorkload;
+pub use trace::{Op, Reference, Trace};

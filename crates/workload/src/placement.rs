@@ -1,0 +1,133 @@
+//! Task→processor placement policies.
+//!
+//! The paper's §3.4 shows that multicast cost drops sharply when the tasks
+//! sharing a structure run on *adjacently placed* processors (the scheme-3
+//! requirement and the scheme-2 region bound both come from adjacency).
+//! Placement is therefore a first-class experiment parameter.
+
+use serde::{Deserialize, Serialize};
+use tmc_simcore::SimRng;
+
+/// How `n_tasks` logical tasks map onto `n_procs` processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Task `t` runs on processor `base + t` — the allocation the paper
+    /// recommends ("tasks that share a data structure are allocated to
+    /// adjacent processors").
+    Adjacent {
+        /// First processor of the region.
+        base: usize,
+    },
+    /// Task `t` runs on processor `(base + t·stride) mod n_procs` —
+    /// deliberately scattered, approximating the scheme-2 worst case when
+    /// `stride = n_procs / n_tasks`.
+    Strided {
+        /// First processor.
+        base: usize,
+        /// Distance between consecutive tasks.
+        stride: usize,
+    },
+    /// A uniformly random one-to-one assignment.
+    Random,
+}
+
+impl Placement {
+    /// Resolves the policy to a concrete assignment: element `t` is the
+    /// processor running task `t`. The assignment is injective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy cannot place `n_tasks` distinct tasks on
+    /// `n_procs` processors (too many tasks, region out of range, or a
+    /// stride colliding modulo `n_procs`).
+    pub fn assign(&self, n_tasks: usize, n_procs: usize, rng: &mut SimRng) -> Vec<usize> {
+        assert!(n_tasks <= n_procs, "more tasks than processors");
+        let procs = match *self {
+            Placement::Adjacent { base } => {
+                assert!(
+                    base + n_tasks <= n_procs,
+                    "adjacent region [{base}, {}) exceeds {n_procs} processors",
+                    base + n_tasks
+                );
+                (0..n_tasks).map(|t| base + t).collect::<Vec<_>>()
+            }
+            Placement::Strided { base, stride } => {
+                assert!(stride > 0, "stride must be positive");
+                let v: Vec<usize> = (0..n_tasks)
+                    .map(|t| (base + t * stride) % n_procs)
+                    .collect();
+                let mut sorted = v.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert!(
+                    sorted.len() == n_tasks,
+                    "stride {stride} collides modulo {n_procs}"
+                );
+                v
+            }
+            Placement::Random => rng.sample_distinct(n_procs, n_tasks),
+        };
+        procs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_is_contiguous() {
+        let mut rng = SimRng::seed_from(0);
+        let a = Placement::Adjacent { base: 4 }.assign(3, 16, &mut rng);
+        assert_eq!(a, [4, 5, 6]);
+    }
+
+    #[test]
+    fn strided_spreads_maximally() {
+        let mut rng = SimRng::seed_from(0);
+        let a = Placement::Strided { base: 0, stride: 4 }.assign(4, 16, &mut rng);
+        assert_eq!(a, [0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn random_is_injective_and_in_range() {
+        let mut rng = SimRng::seed_from(7);
+        let a = Placement::Random.assign(10, 32, &mut rng);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(a.iter().all(|&p| p < 32));
+    }
+
+    #[test]
+    fn random_is_reproducible_from_the_seed() {
+        let mut a = SimRng::seed_from(3);
+        let mut b = SimRng::seed_from(3);
+        assert_eq!(
+            Placement::Random.assign(6, 16, &mut a),
+            Placement::Random.assign(6, 16, &mut b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn adjacent_region_bounds_checked() {
+        let mut rng = SimRng::seed_from(0);
+        Placement::Adjacent { base: 14 }.assign(4, 16, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn colliding_stride_rejected() {
+        let mut rng = SimRng::seed_from(0);
+        Placement::Strided { base: 0, stride: 8 }.assign(4, 16, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "more tasks than processors")]
+    fn too_many_tasks_rejected() {
+        let mut rng = SimRng::seed_from(0);
+        Placement::Random.assign(17, 16, &mut rng);
+    }
+}

@@ -1,0 +1,66 @@
+//! Hot-spot contention under concurrent execution.
+//!
+//! The paper's opening problem is network traffic from shared accesses;
+//! this example drives a classic hot-spot mix (a fraction of all
+//! references hit one block) through the concurrent driver, with per-link
+//! contention, and shows how the two modes behave as the hot spot
+//! intensifies.
+//!
+//! Run with: `cargo run --release --example hotspot_contention`
+
+use two_mode_coherence::protocol::driver::{run_concurrent, DriverOp};
+use two_mode_coherence::protocol::{Mode, ModePolicy, System, SystemConfig};
+use two_mode_coherence::net::TimingModel;
+use two_mode_coherence::sim::SimRng;
+use two_mode_coherence::workload::{HotSpotWorkload, Op, Placement};
+
+const N_PROCS: usize = 16;
+const N_TASKS: usize = 8;
+
+fn run(mode: Mode, hot: f64, seed: u64) -> (f64, f64) {
+    let trace = HotSpotWorkload::new(N_TASKS, hot, 0.1)
+        .references(5_000)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(N_PROCS, &mut SimRng::seed_from(seed));
+    let mut streams: Vec<Vec<DriverOp>> = vec![Vec::new(); N_PROCS];
+    let mut stamp = 1;
+    for r in trace.iter() {
+        streams[r.proc].push(match r.op {
+            Op::Read => DriverOp::Read(r.addr),
+            Op::Write => {
+                stamp += 1;
+                DriverOp::Write(r.addr, stamp)
+            }
+        });
+    }
+    let mut sys = System::new(
+        SystemConfig::new(N_PROCS)
+            .mode_policy(ModePolicy::Fixed(mode))
+            .timing(TimingModel::default()),
+    )
+    .expect("valid config");
+    let out = run_concurrent(&mut sys, &streams, 2).expect("streams fit");
+    sys.check_invariants().expect("invariants hold");
+    (out.throughput_per_kcycle, out.mean_latency())
+}
+
+fn main() {
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "hot frac", "DW thrpt / latency", "GR thrpt / latency"
+    );
+    for (i, &hot) in [0.0f64, 0.1, 0.3, 0.6, 0.9].iter().enumerate() {
+        let (dw_t, dw_l) = run(Mode::DistributedWrite, hot, 40 + i as u64);
+        let (gr_t, gr_l) = run(Mode::GlobalRead, hot, 40 + i as u64);
+        println!(
+            "{hot:>10.2} {:>12.1} / {dw_l:>6.2} {:>12.1} / {gr_l:>6.2}",
+            dw_t, gr_t
+        );
+    }
+    println!(
+        "\nAs the hot spot intensifies, global-read mode funnels every read\n\
+         through the owner's port — latency climbs with contention — while\n\
+         distributed-write mode serves hot reads from local copies and only\n\
+         pays on the (rare) hot writes."
+    );
+}

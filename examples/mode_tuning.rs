@@ -1,0 +1,76 @@
+//! Mode tuning: sweep the write fraction and watch the two modes cross at
+//! the paper's threshold w₁ = 2/(n+2), with the adaptive controller
+//! tracking the cheaper mode.
+//!
+//! Run with: `cargo run --release --example mode_tuning`
+
+use two_mode_coherence::baselines::{
+    two_mode_adaptive, two_mode_fixed, CoherentSystem,
+};
+use two_mode_coherence::protocol::Mode;
+use two_mode_coherence::sim::SimRng;
+use two_mode_coherence::workload::{Op, Placement, SharedBlockWorkload};
+
+const N_PROCS: usize = 16;
+const N_TASKS: usize = 8;
+
+fn measure(sys: &mut dyn CoherentSystem, w: f64, seed: u64) -> f64 {
+    let trace = SharedBlockWorkload::new(N_TASKS, 16, w)
+        .references(16_000)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(N_PROCS, &mut SimRng::seed_from(seed));
+    let mut stamp = 1;
+    let mut start_bits = 0;
+    for (i, r) in trace.iter().enumerate() {
+        if i == 3000 {
+            start_bits = sys.total_traffic_bits(); // skip warm-up
+        }
+        match r.op {
+            Op::Read => {
+                sys.read(r.proc, r.addr);
+            }
+            Op::Write => {
+                sys.write(r.proc, r.addr, stamp);
+                stamp += 1;
+            }
+        }
+    }
+    (sys.total_traffic_bits() - start_bits) as f64 / 13_000.0
+}
+
+fn main() {
+    let w1 = 2.0 / (N_TASKS as f64 + 2.0);
+    println!(
+        "n = {N_TASKS} sharing tasks -> threshold w1 = 2/(n+2) = {w1:.3}\n\
+         bits per reference (steady state):\n"
+    );
+    println!("{:>6} {:>14} {:>14} {:>14}  note", "w", "fixed DW", "fixed GR", "adaptive");
+    let mut crossover: Option<f64> = None;
+    let mut prev_dw_wins = true;
+    for i in 0..=16 {
+        let w = i as f64 * 0.05;
+        let mut dw = two_mode_fixed(N_PROCS, Mode::DistributedWrite);
+        let mut gr = two_mode_fixed(N_PROCS, Mode::GlobalRead);
+        let mut ad = two_mode_adaptive(N_PROCS, 64);
+        let seed = 500 + i as u64;
+        let (bdw, bgr, bad) = (
+            measure(&mut dw, w, seed),
+            measure(&mut gr, w, seed),
+            measure(&mut ad, w, seed),
+        );
+        let dw_wins = bdw <= bgr;
+        if prev_dw_wins && !dw_wins && crossover.is_none() {
+            crossover = Some(w);
+        }
+        prev_dw_wins = dw_wins;
+        let note = if dw_wins { "DW cheaper" } else { "GR cheaper" };
+        println!("{w:>6.2} {bdw:>14.1} {bgr:>14.1} {bad:>14.1}  {note}");
+    }
+    match crossover {
+        Some(w) => println!(
+            "\nmeasured crossover in ({:.2}, {w:.2}] — the paper predicts w1 = {w1:.3}",
+            w - 0.05
+        ),
+        None => println!("\nno crossover in the sweep (unexpected)"),
+    }
+}

@@ -1,0 +1,190 @@
+//! Cross-crate check: the paper's closed forms (crate `tmc-analytic`)
+//! against the simulated network's link-by-link accounting (crate
+//! `tmc-omeganet`). For the destination placements each equation assumes,
+//! the two must agree bit-for-bit; for arbitrary placements the equations
+//! bound the measurement.
+
+use proptest::prelude::*;
+use two_mode_coherence::analytic::multicast as eqs;
+use two_mode_coherence::net::{DestSet, Omega, SchemeKind, TrafficMatrix};
+
+fn measured(net: &Omega, kind: SchemeKind, dests: &DestSet, m_bits: u64) -> u64 {
+    let mut traffic = TrafficMatrix::new(net);
+    let r = net
+        .multicast(kind, 0, dests, m_bits, &mut traffic)
+        .expect("valid");
+    assert_eq!(r.cost_bits, traffic.total_bits());
+    r.cost_bits
+}
+
+#[test]
+fn scheme1_equation_matches_network_exactly() {
+    for m in 1..=10u32 {
+        let net = Omega::new(m).unwrap();
+        let big_n = net.ports() as u64;
+        for k in 0..=m {
+            let n = 1usize << k;
+            let dests = DestSet::worst_case_spread(net.ports(), n).unwrap();
+            for m_bits in [0u64, 20, 100] {
+                assert_eq!(
+                    measured(&net, SchemeKind::Replicated, &dests, m_bits),
+                    eqs::scheme1(n as u64, big_n, m_bits),
+                    "N={big_n} n={n} M={m_bits}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scheme2_worst_case_equation_matches_network_exactly() {
+    for m in 1..=10u32 {
+        let net = Omega::new(m).unwrap();
+        let big_n = net.ports() as u64;
+        for k in 0..=m {
+            let n = 1usize << k;
+            let dests = DestSet::worst_case_spread(net.ports(), n).unwrap();
+            for m_bits in [0u64, 20, 100] {
+                assert_eq!(
+                    measured(&net, SchemeKind::BitVector, &dests, m_bits),
+                    eqs::scheme2_worst(n as u64, big_n, m_bits),
+                    "N={big_n} n={n} M={m_bits}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scheme2_adjacent_equation_matches_network_exactly() {
+    // Eq. 6 at n = n1: the best case (an aligned adjacent block).
+    for m in 2..=10u32 {
+        let net = Omega::new(m).unwrap();
+        let big_n = net.ports() as u64;
+        for k in 0..=m {
+            let n = 1usize << k;
+            let dests = DestSet::adjacent(net.ports(), 0, n).unwrap();
+            assert_eq!(
+                measured(&net, SchemeKind::BitVector, &dests, 20),
+                eqs::scheme2_adjacent(n as u64, big_n, 20),
+                "N={big_n} n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scheme3_equation_matches_network_exactly() {
+    for m in 1..=10u32 {
+        let net = Omega::new(m).unwrap();
+        let big_n = net.ports() as u64;
+        for l in 0..=m {
+            let dests = DestSet::subcube(net.ports(), 0, l).unwrap();
+            for m_bits in [0u64, 20, 100] {
+                assert_eq!(
+                    measured(&net, SchemeKind::BroadcastTag, &dests, m_bits),
+                    eqs::scheme3(1u64 << l, big_n, m_bits),
+                    "N={big_n} l={l} M={m_bits}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn aary_equations_match_aary_network_exactly() {
+    use two_mode_coherence::analytic::aary;
+    use two_mode_coherence::net::AryOmega;
+    for (m, g) in [(8u32, 1u32), (4, 2), (2, 4), (3, 2), (2, 3)] {
+        let net = AryOmega::new(m, g).unwrap();
+        let radix = net.radix();
+        for k in 0..=m {
+            let n = radix.pow(k);
+            // Worst-case spread in base a: destinations differing in the
+            // most significant digits, stride N/n.
+            let stride = net.ports() / n;
+            let dests =
+                DestSet::from_ports(net.ports(), (0..n).map(|i| i * stride)).unwrap();
+            for m_bits in [0u64, 20, 100] {
+                let mut t = net.traffic_matrix();
+                let r1 = net.cast_replicated(0, &dests, m_bits, &mut t).unwrap();
+                assert_eq!(
+                    r1.cost_bits,
+                    aary::scheme1_ary(n as u64, m, g, m_bits),
+                    "scheme1 m={m} g={g} n={n}"
+                );
+                let mut t = net.traffic_matrix();
+                let r2 = net.cast_bitvector(0, &dests, m_bits, &mut t).unwrap();
+                assert_eq!(
+                    r2.cost_bits,
+                    aary::scheme2_ary_worst(n as u64, m, g, m_bits),
+                    "scheme2 m={m} g={g} n={n}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Any destination set: measured scheme-2 cost is bounded by the
+    /// unconstrained worst case (eq. 3) at the next power-of-two size, and
+    /// below by the adjacent best case (eq. 6 with n1 = n) at the previous
+    /// power of two.
+    #[test]
+    fn scheme2_measurement_bounded_by_equations(
+        m in 3u32..=9,
+        seed_ports in proptest::collection::vec(0usize..512, 1..40),
+        m_bits in 0u64..200,
+    ) {
+        let net = Omega::new(m).unwrap();
+        let ports: Vec<usize> = seed_ports.iter().map(|&p| p % net.ports()).collect();
+        let dests = DestSet::from_ports(net.ports(), ports).unwrap();
+        prop_assume!(!dests.is_empty());
+        let got = measured(&net, SchemeKind::BitVector, &dests, m_bits);
+        let n_hi = (dests.len() as u64).next_power_of_two().min(net.ports() as u64);
+        let n_lo = 1u64 << (63 - (dests.len() as u64).leading_zeros()); // prev pow2
+        let hi = eqs::scheme2_worst(n_hi, net.ports() as u64, m_bits);
+        let lo = eqs::scheme2_adjacent(n_lo, net.ports() as u64, m_bits);
+        prop_assert!(got <= hi, "{got} > worst-case {hi} for {dests:?}");
+        prop_assert!(got >= lo, "{got} < best-case {lo} for {dests:?}");
+    }
+
+    /// The combined scheme on the network never exceeds any individual
+    /// scheme and equals eq. 8's min over the applicable closed forms when
+    /// the destinations match the equations' placements.
+    #[test]
+    fn combined_is_min_on_network(
+        m in 2u32..=9,
+        k in 0u32..=6,
+        m_bits in 0u64..150,
+    ) {
+        prop_assume!(k <= m);
+        let net = Omega::new(m).unwrap();
+        let dests = DestSet::adjacent(net.ports(), 0, 1 << k).unwrap();
+        let c = net.multicast_cost(SchemeKind::Combined, &dests, m_bits).unwrap();
+        for kind in [SchemeKind::Replicated, SchemeKind::BitVector, SchemeKind::BroadcastTag] {
+            prop_assert!(c <= net.multicast_cost(kind, &dests, m_bits).unwrap());
+        }
+        // For an aligned adjacent block the three costs ARE the paper's
+        // CC1, CC2'(n = n1) and CC3, so eq. 8 holds exactly.
+        let n = 1u64 << k;
+        let expect = eqs::scheme1(n, net.ports() as u64, m_bits)
+            .min(eqs::scheme2_adjacent(n, net.ports() as u64, m_bits))
+            .min(eqs::scheme3(n, net.ports() as u64, m_bits));
+        prop_assert_eq!(c, expect);
+    }
+
+    /// Scheme 1 measurements for arbitrary sets are exactly linear.
+    #[test]
+    fn scheme1_linear_for_any_set(
+        m in 2u32..=8,
+        seed_ports in proptest::collection::vec(0usize..256, 1..30),
+    ) {
+        let net = Omega::new(m).unwrap();
+        let ports: Vec<usize> = seed_ports.iter().map(|&p| p % net.ports()).collect();
+        let dests = DestSet::from_ports(net.ports(), ports).unwrap();
+        prop_assume!(!dests.is_empty());
+        let got = measured(&net, SchemeKind::Replicated, &dests, 20);
+        prop_assert_eq!(got, eqs::scheme1(dests.len() as u64, net.ports() as u64, 20));
+    }
+}

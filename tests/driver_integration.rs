@@ -1,0 +1,114 @@
+//! Integration tests for the concurrent execution driver across workloads
+//! and policies: completion, determinism, invariants, and the expected
+//! performance orderings.
+
+use two_mode_coherence::protocol::driver::{run_concurrent, DriverOp};
+use two_mode_coherence::protocol::{Mode, ModePolicy, System, SystemConfig};
+use two_mode_coherence::net::TimingModel;
+use two_mode_coherence::sim::SimRng;
+use two_mode_coherence::workload::{HotSpotWorkload, Op, Placement, SharedBlockWorkload, Trace};
+
+fn to_streams(trace: &Trace) -> Vec<Vec<DriverOp>> {
+    let mut streams = vec![Vec::new(); trace.n_procs()];
+    let mut stamp = 1;
+    for r in trace.iter() {
+        streams[r.proc].push(match r.op {
+            Op::Read => DriverOp::Read(r.addr),
+            Op::Write => {
+                stamp += 1;
+                DriverOp::Write(r.addr, stamp)
+            }
+        });
+    }
+    streams
+}
+
+fn timed(n: usize, policy: ModePolicy) -> System {
+    System::new(
+        SystemConfig::new(n)
+            .mode_policy(policy)
+            .timing(TimingModel::default()),
+    )
+    .expect("valid")
+}
+
+#[test]
+fn concurrent_runs_complete_and_hold_invariants() {
+    let trace = SharedBlockWorkload::new(8, 16, 0.3)
+        .references(3000)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(16, &mut SimRng::seed_from(2));
+    let streams = to_streams(&trace);
+    for policy in [
+        ModePolicy::Fixed(Mode::DistributedWrite),
+        ModePolicy::Fixed(Mode::GlobalRead),
+        ModePolicy::Adaptive { window: 32 },
+    ] {
+        let mut sys = timed(16, policy);
+        let out = run_concurrent(&mut sys, &streams, 1).expect("fits");
+        assert_eq!(out.completed, 3000, "{policy:?}");
+        sys.check_invariants().expect("invariants");
+        assert!(out.makespan_cycles > 0);
+        assert!(out.throughput_per_kcycle > 0.0);
+    }
+}
+
+#[test]
+fn concurrent_execution_is_deterministic() {
+    let trace = HotSpotWorkload::new(8, 0.4, 0.2)
+        .references(2000)
+        .generate(16, &mut SimRng::seed_from(9));
+    let streams = to_streams(&trace);
+    let run = || {
+        let mut sys = timed(16, ModePolicy::Fixed(Mode::DistributedWrite));
+        run_concurrent(&mut sys, &streams, 2).expect("fits")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same streams, same machine, same outcome");
+}
+
+#[test]
+fn think_time_stretches_the_makespan() {
+    let trace = SharedBlockWorkload::new(4, 8, 0.2)
+        .references(1000)
+        .generate(8, &mut SimRng::seed_from(5));
+    let streams = to_streams(&trace);
+    let mk = |think| {
+        let mut sys = timed(8, ModePolicy::Fixed(Mode::DistributedWrite));
+        run_concurrent(&mut sys, &streams, think).expect("fits").makespan_cycles
+    };
+    assert!(mk(10) > mk(0));
+}
+
+#[test]
+fn without_timing_model_latencies_are_zero_but_values_flow() {
+    let mut sys = System::new(SystemConfig::new(4)).expect("valid");
+    let streams = vec![
+        vec![DriverOp::Write(tmc_addr(0), 5)],
+        vec![DriverOp::Read(tmc_addr(0))],
+    ];
+    let out = run_concurrent(&mut sys, &streams, 0).expect("fits");
+    assert_eq!(out.completed, 2);
+    assert_eq!(out.mean_latency(), 0.0);
+    assert_eq!(sys.peek_word(tmc_addr(0)), 5);
+}
+
+fn tmc_addr(a: u64) -> two_mode_coherence::memsys::WordAddr {
+    two_mode_coherence::memsys::WordAddr::new(a)
+}
+
+#[test]
+fn low_write_fraction_favors_dw_in_latency_too() {
+    // At very low w the traffic winner and the latency winner agree.
+    let trace = SharedBlockWorkload::new(8, 16, 0.03)
+        .references(4000)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(16, &mut SimRng::seed_from(14));
+    let streams = to_streams(&trace);
+    let measure = |mode| {
+        let mut sys = timed(16, ModePolicy::Fixed(mode));
+        run_concurrent(&mut sys, &streams, 1).expect("fits").mean_latency()
+    };
+    assert!(measure(Mode::DistributedWrite) < measure(Mode::GlobalRead));
+}

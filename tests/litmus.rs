@@ -1,0 +1,131 @@
+//! Litmus tests: the classic memory-model patterns, asserted under every
+//! protocol engine.
+//!
+//! The harness executes one reference at a time (the paper's protocol has
+//! no transient states), so the machine is sequentially consistent by
+//! construction — these tests document that guarantee and pin it down for
+//! every protocol, mode and ownership-migration path.
+
+use two_mode_coherence::baselines::{
+    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem,
+    NoCacheSystem, UpdateOnlySystem,
+};
+use two_mode_coherence::memsys::WordAddr;
+use two_mode_coherence::protocol::Mode;
+
+fn engines() -> Vec<Box<dyn CoherentSystem>> {
+    vec![
+        Box::new(NoCacheSystem::new(4)),
+        Box::new(DirectoryInvalidateSystem::new(4)),
+        Box::new(UpdateOnlySystem::new(4)),
+        Box::new(two_mode_fixed(4, Mode::DistributedWrite)),
+        Box::new(two_mode_fixed(4, Mode::GlobalRead)),
+        Box::new(two_mode_adaptive(4, 8)),
+    ]
+}
+
+fn a() -> WordAddr {
+    WordAddr::new(0)
+}
+
+/// Blocks far enough apart to be in different cache sets and modules.
+fn b() -> WordAddr {
+    WordAddr::new(1028)
+}
+
+/// Message passing (MP): once the flag is visible, the data must be.
+#[test]
+fn message_passing() {
+    for mut sys in engines() {
+        // P0: data = 42; flag = 1.
+        sys.write(0, a(), 42);
+        sys.write(0, b(), 1);
+        // P1: sees flag = 1 → must see data = 42.
+        assert_eq!(sys.read(1, b()), 1, "{}", sys.name());
+        assert_eq!(sys.read(1, a()), 42, "{}: MP violated", sys.name());
+    }
+}
+
+/// Coherence read-read (CoRR): two reads of the same location by the same
+/// processor never observe values out of write order.
+#[test]
+fn corr_no_value_regression() {
+    for mut sys in engines() {
+        sys.write(0, a(), 1);
+        let r1 = sys.read(1, a());
+        sys.write(0, a(), 2);
+        let r2 = sys.read(1, a());
+        assert_eq!((r1, r2), (1, 2), "{}: stale second read", sys.name());
+    }
+}
+
+/// Write serialization: all processors agree on the final value after
+/// interleaved writes by different processors (ownership migrates).
+#[test]
+fn write_serialization_across_owners() {
+    for mut sys in engines() {
+        sys.write(0, a(), 10);
+        sys.write(1, a(), 20);
+        sys.write(2, a(), 30);
+        for p in 0..4 {
+            assert_eq!(sys.read(p, a()), 30, "{}: proc {p} disagrees", sys.name());
+        }
+    }
+}
+
+/// Store buffering (SB) shape: with serialized execution, at least one of
+/// the two readers must see the other's write (the SC-forbidden r0=r1=0
+/// outcome cannot occur).
+#[test]
+fn store_buffering_forbidden_outcome() {
+    for mut sys in engines() {
+        sys.write(0, a(), 1); // P0: x = 1
+        sys.write(1, b(), 1); // P1: y = 1
+        let r0 = sys.read(0, b()); // P0 reads y
+        let r1 = sys.read(1, a()); // P1 reads x
+        assert!(
+            r0 == 1 || r1 == 1,
+            "{}: SB forbidden outcome r0={r0} r1={r1}",
+            sys.name()
+        );
+    }
+}
+
+/// Independent reads of independent writes (IRIW): both observers agree on
+/// the order of writes to different locations.
+#[test]
+fn iriw_observers_agree() {
+    for mut sys in engines() {
+        sys.write(0, a(), 1);
+        sys.write(1, b(), 1);
+        let o2 = (sys.read(2, a()), sys.read(2, b()));
+        let o3 = (sys.read(3, b()), sys.read(3, a()));
+        assert_eq!(o2, (1, 1), "{}", sys.name());
+        assert_eq!(o3, (1, 1), "{}", sys.name());
+    }
+}
+
+/// The same patterns survive mode switches mid-stream on the two-mode
+/// protocol (the paper: "both modes maintain consistency. The sole
+/// difference is performance").
+#[test]
+fn message_passing_across_mode_switches() {
+    let mut adapter = two_mode_fixed(4, Mode::DistributedWrite);
+    adapter.write(0, a(), 41);
+    adapter.read(1, a());
+    // Switch the data block to global read between the two writes.
+    adapter
+        .inner_mut()
+        .set_mode(0, a(), Mode::GlobalRead)
+        .expect("switch");
+    adapter.write(0, a(), 42);
+    adapter.write(0, b(), 1);
+    assert_eq!(adapter.read(1, b()), 1);
+    assert_eq!(adapter.read(1, a()), 42);
+    adapter
+        .inner_mut()
+        .set_mode(0, a(), Mode::DistributedWrite)
+        .expect("switch back");
+    assert_eq!(adapter.read(2, a()), 42);
+    adapter.inner().check_invariants().expect("invariants");
+}
