@@ -57,9 +57,9 @@ pub fn scheme2_ary_worst(n: u64, m: u32, g: u32, m_bits: u64) -> u64 {
 ///
 /// Panics if `m` or `g` is zero.
 pub fn break_even_ary(m: u32, g: u32, m_bits: u64) -> Option<u64> {
-    (0..=m).map(|k| 1u64 << (g * k)).find(|&n| {
-        scheme2_ary_worst(n, m, g, m_bits) <= scheme1_ary(n, m, g, m_bits)
-    })
+    (0..=m)
+        .map(|k| 1u64 << (g * k))
+        .find(|&n| scheme2_ary_worst(n, m, g, m_bits) <= scheme1_ary(n, m, g, m_bits))
 }
 
 #[cfg(test)]

@@ -10,12 +10,11 @@
 //! hold for the equation-derived values and are asserted in this module's
 //! tests.
 
-use serde::{Deserialize, Serialize};
-
 use crate::multicast;
 
 /// One of the paper's three multicast schemes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Scheme {
     /// Scheme 1: replicated unicasts.
     S1,

@@ -5,8 +5,6 @@
 //! and *shared*). This module provides the general two-state chain and the
 //! write-once instance.
 
-use serde::{Deserialize, Serialize};
-
 /// A two-state Markov chain with transition probabilities per step.
 ///
 /// State 0 and state 1 are abstract; [`TwoStateChain::write_once`] names
@@ -23,7 +21,8 @@ use serde::{Deserialize, Serialize};
 /// assert!((pi_exclusive - 0.25).abs() < 1e-12);
 /// assert!((pi_shared - 0.75).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TwoStateChain {
     /// P(next = 1 | now = 0).
     pub p01: f64,

@@ -123,10 +123,8 @@ pub fn scheme2_region_worst(n: u64, n1: u64, big_n: u64, m_bits: u64) -> u64 {
     let k = log2_exact(n) as i128;
     assert!(n <= n1 && n1 <= big_n, "need n ≤ n1 ≤ N");
     let (n, n1, big_n, m_bits) = (n as i128, n1 as i128, big_n as i128, m_bits as i128);
-    let cc = n * (m_bits * l - m_bits * k + 2 * m_bits - 1)
-        + n1 * k
-        + m_bits * (m - l - 1)
-        + 2 * big_n;
+    let cc =
+        n * (m_bits * l - m_bits * k + 2 * m_bits - 1) + n1 * k + m_bits * (m - l - 1) + 2 * big_n;
     to_u64(cc, "scheme 2 region worst-case")
 }
 
@@ -245,9 +243,9 @@ mod tests {
         (1u32..=12).flat_map(|m| {
             (0..=m).flat_map(move |l| {
                 (0..=l).flat_map(move |k| {
-                    [0u64, 1, 20, 40, 100].into_iter().map(move |m_bits| {
-                        (1u64 << k, 1u64 << l, 1u64 << m, m_bits)
-                    })
+                    [0u64, 1, 20, 40, 100]
+                        .into_iter()
+                        .map(move |m_bits| (1u64 << k, 1u64 << l, 1u64 << m, m_bits))
                 })
             })
         })
@@ -325,8 +323,7 @@ mod tests {
         for (n, n1, big_n, m_bits) in grid() {
             if n1 < big_n {
                 assert!(
-                    scheme2_region_worst(n, n1, big_n, m_bits)
-                        <= scheme2_worst(n, big_n, m_bits),
+                    scheme2_region_worst(n, n1, big_n, m_bits) <= scheme2_worst(n, big_n, m_bits),
                     "n={n} n1={n1} N={big_n} M={m_bits}"
                 );
             }

@@ -137,7 +137,12 @@ mod tests {
     /// share): winners never step backwards along a row.
     #[test]
     fn winner_monotonicity_holds_in_both_sources() {
-        for rows in [TABLE3_PAPER.to_vec(), table3_ours(), TABLE4_PAPER.to_vec(), table4_ours()] {
+        for rows in [
+            TABLE3_PAPER.to_vec(),
+            table3_ours(),
+            TABLE4_PAPER.to_vec(),
+            table4_ours(),
+        ] {
             for (_, row) in rows {
                 for pair in row.windows(2) {
                     assert!(pair[0] <= pair[1], "winner regressed in {row:?}");

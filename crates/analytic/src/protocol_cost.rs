@@ -6,8 +6,6 @@
 //! traversals. Costs are normalized by `CC₁` (the cost of one scheme-1
 //! message to one destination), which is what Figure 8 plots.
 
-use serde::{Deserialize, Serialize};
-
 use crate::markov::TwoStateChain;
 use crate::multicast;
 
@@ -24,7 +22,8 @@ use crate::multicast;
 /// assert!(t.prefers_distributed_write(0.1));
 /// assert!(!t.prefers_distributed_write(0.2));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TwoModeThreshold {
     n: u64,
 }
@@ -70,7 +69,8 @@ impl TwoModeThreshold {
 /// // headline claim).
 /// assert!(model.two_mode_norm(w) <= model.no_cache_norm(w));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProtocolCostModel {
     /// Number of tasks sharing the block.
     pub n: u64,
@@ -112,8 +112,7 @@ impl ProtocolCostModel {
     /// `cc4_n` the cost of one invalidation multicast to `n` caches.
     pub fn write_once(&self, w: f64, cc4_n: f64) -> f64 {
         check_w(w);
-        TwoStateChain::write_once(w)
-            .expected_cost_per_step(2.0 * self.cc1_unit() as f64, cc4_n)
+        TwoStateChain::write_once(w).expected_cost_per_step(2.0 * self.cc1_unit() as f64, cc4_n)
     }
 
     /// Eq. 10's scheme-1 upper bound, normalized: `w(1−w)(n+2)`.
@@ -223,9 +222,7 @@ mod tests {
         for n in [2u64, 4, 14, 62] {
             let model = ProtocolCostModel::new(n, 1024, 20);
             let w1 = model.threshold().value();
-            assert!(
-                (model.distributed_write_norm(w1) - model.global_read_norm(w1)).abs() < 1e-12
-            );
+            assert!((model.distributed_write_norm(w1) - model.global_read_norm(w1)).abs() < 1e-12);
             // Below the threshold DW is cheaper, above GR is.
             assert!(model.distributed_write_norm(w1 * 0.5) < model.global_read_norm(w1 * 0.5));
             let above = (w1 * 1.5).min(1.0);
@@ -253,12 +250,9 @@ mod tests {
         // With CC4 = n·CC1 the generic forms reduce to the normalized ones.
         let cc4 = 8.0 * cc1;
         assert!(
-            (model.distributed_write(w, cc4) / cc1 - model.distributed_write_norm(w)).abs()
-                < 1e-9
+            (model.distributed_write(w, cc4) / cc1 - model.distributed_write_norm(w)).abs() < 1e-9
         );
-        assert!(
-            (model.write_once(w, cc4) / cc1 - model.write_once_norm(w)).abs() < 1e-9
-        );
+        assert!((model.write_once(w, cc4) / cc1 - model.write_once_norm(w)).abs() < 1e-9);
         assert!((model.two_mode(w, cc4) / cc1 - model.two_mode_norm(w)).abs() < 1e-9);
     }
 

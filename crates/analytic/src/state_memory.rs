@@ -8,8 +8,6 @@
 //! shared read–write data) and an associative present-vector store (the
 //! vector is used only by the owner, so only owned lines need one).
 
-use serde::{Deserialize, Serialize};
-
 /// Machine parameters for the state-memory comparison.
 ///
 /// # Example
@@ -23,7 +21,8 @@ use serde::{Deserialize, Serialize};
 /// // full map on a large machine.
 /// assert!(m.distributed_bits() * 10 < m.full_map_bits());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StateMemoryModel {
     /// Number of caches `N` (a power of two).
     pub n_caches: u64,
@@ -92,8 +91,7 @@ impl StateMemoryModel {
             (0.0..=1.0).contains(&shared_fraction),
             "fraction out of range"
         );
-        let shared_lines =
-            (self.cache_blocks as f64 * shared_fraction).round() as u128;
+        let shared_lines = (self.cache_blocks as f64 * shared_fraction).round() as u128;
         let plain_lines = self.cache_blocks as u128 - shared_lines;
         let plain_bits = (4 + self.log_n()) as u128; // no present vector
         self.n_caches as u128
@@ -131,8 +129,7 @@ mod tests {
         let big_mem = StateMemoryModel::new(256, 1024, 1 << 22);
         let mem_ratio = (1u64 << 22) as f64 / (1u64 << 16) as f64;
         assert!(
-            (big_mem.full_map_bits() as f64 / small_mem.full_map_bits() as f64 - mem_ratio)
-                .abs()
+            (big_mem.full_map_bits() as f64 / small_mem.full_map_bits() as f64 - mem_ratio).abs()
                 < 1e-9
         );
         // Distributed grows only via the log N block store term: far slower.

@@ -14,8 +14,8 @@
 use std::collections::HashMap;
 
 use tmc_memsys::{
-    BlockAddr, BlockData, BlockSpec, CacheArray, CacheGeometry, MainMemory, ModuleMap,
-    MsgSizing, WordAddr,
+    BlockAddr, BlockData, BlockSpec, CacheArray, CacheGeometry, MainMemory, ModuleMap, MsgSizing,
+    WordAddr,
 };
 use tmc_omeganet::{DestSet, Omega, SchemeKind, TrafficMatrix};
 use tmc_simcore::CounterSet;
@@ -141,7 +141,12 @@ impl DirectoryInvalidateSystem {
     fn invalidate_others(&mut self, block: BlockAddr, keep: usize) {
         let home = self.home(block);
         let entry = self.directory.entry(block).or_default();
-        let others: Vec<usize> = entry.sharers.iter().copied().filter(|&c| c != keep).collect();
+        let others: Vec<usize> = entry
+            .sharers
+            .iter()
+            .copied()
+            .filter(|&c| c != keep)
+            .collect();
         entry.sharers.retain(|&c| c == keep);
         if others.is_empty() {
             return;
@@ -199,7 +204,10 @@ impl DirectoryInvalidateSystem {
     fn replace(&mut self, proc: usize, victim: BlockAddr) {
         self.counters.incr("replacements");
         let home = self.home(victim);
-        let line = self.caches[proc].peek(victim).expect("victim exists").clone();
+        let line = self.caches[proc]
+            .peek(victim)
+            .expect("victim exists")
+            .clone();
         match line.state {
             LineState::Exclusive => {
                 self.send(proc, home, self.sizing.block_transfer_bits());
@@ -274,10 +282,7 @@ impl CoherentSystem for DirectoryInvalidateSystem {
                 if !entry.sharers.contains(&proc) {
                     entry.sharers.push(proc);
                 }
-                self.caches[proc]
-                    .peek_mut(block)
-                    .expect("shared hit")
-                    .state = LineState::Exclusive;
+                self.caches[proc].peek_mut(block).expect("shared hit").state = LineState::Exclusive;
             }
             None => {
                 self.counters.incr("write_miss");

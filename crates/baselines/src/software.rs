@@ -17,8 +17,8 @@
 use std::collections::HashSet;
 
 use tmc_memsys::{
-    BlockAddr, BlockData, BlockSpec, CacheArray, CacheGeometry, MainMemory, ModuleMap,
-    MsgSizing, WordAddr,
+    BlockAddr, BlockData, BlockSpec, CacheArray, CacheGeometry, MainMemory, ModuleMap, MsgSizing,
+    WordAddr,
 };
 use tmc_omeganet::{Omega, TrafficMatrix};
 use tmc_simcore::CounterSet;
@@ -153,7 +153,11 @@ impl CoherentSystem for SoftwareMarkedSystem {
         } else {
             self.counters.incr("read_hit");
         }
-        self.caches[proc].peek(block).expect("resident").data.word(offset)
+        self.caches[proc]
+            .peek(block)
+            .expect("resident")
+            .data
+            .word(offset)
     }
 
     fn write(&mut self, proc: usize, addr: WordAddr, value: u64) {
@@ -244,7 +248,7 @@ mod tests {
         sys.flush(); // value 1 reaches memory
         assert_eq!(sys.read(1, WordAddr::new(0)), 1); // proc 1 caches it
         sys.write(0, WordAddr::new(0), 2); // proc 0 writes privately
-        // Proc 1 still sees the stale value — no hardware coherence.
+                                           // Proc 1 still sees the stale value — no hardware coherence.
         assert_eq!(sys.read(1, WordAddr::new(0)), 1);
     }
 

@@ -70,10 +70,8 @@ pub fn two_mode_fixed(n_procs: usize, mode: Mode) -> TwoModeAdapter {
 ///
 /// Panics if the configuration is rejected (non-power-of-two `n_procs`).
 pub fn two_mode_adaptive(n_procs: usize, window: u32) -> TwoModeAdapter {
-    let sys = System::new(
-        SystemConfig::new(n_procs).mode_policy(ModePolicy::Adaptive { window }),
-    )
-    .expect("valid configuration");
+    let sys = System::new(SystemConfig::new(n_procs).mode_policy(ModePolicy::Adaptive { window }))
+        .expect("valid configuration");
     TwoModeAdapter::new(sys, "two-mode (adaptive)")
 }
 
@@ -83,7 +81,9 @@ impl CoherentSystem for TwoModeAdapter {
     }
 
     fn read(&mut self, proc: usize, addr: WordAddr) -> u64 {
-        self.inner.read(proc, addr).expect("harness uses valid processors")
+        self.inner
+            .read(proc, addr)
+            .expect("harness uses valid processors")
     }
 
     fn write(&mut self, proc: usize, addr: WordAddr, value: u64) {

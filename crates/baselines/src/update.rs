@@ -9,8 +9,8 @@
 use std::collections::HashMap;
 
 use tmc_memsys::{
-    BlockAddr, BlockData, BlockSpec, CacheArray, CacheGeometry, MainMemory, ModuleMap,
-    MsgSizing, WordAddr,
+    BlockAddr, BlockData, BlockSpec, CacheArray, CacheGeometry, MainMemory, ModuleMap, MsgSizing,
+    WordAddr,
 };
 use tmc_omeganet::{DestSet, Omega, SchemeKind, TrafficMatrix};
 use tmc_simcore::CounterSet;
@@ -140,7 +140,11 @@ impl UpdateOnlySystem {
             .is_some_and(|e| e.last_writer == Some(proc));
         if is_writer {
             // Our copy is the authoritative one: write it back.
-            let data = self.caches[proc].peek(victim).expect("resident").data.clone();
+            let data = self.caches[proc]
+                .peek(victim)
+                .expect("resident")
+                .data
+                .clone();
             self.send(proc, home, self.sizing.block_transfer_bits());
             self.counters.incr("writebacks");
             self.memory.write_block(victim, data);
@@ -169,7 +173,11 @@ impl UpdateOnlySystem {
             // the block through the network.
             self.counters.incr("writer_supplies");
             self.send(home, w, self.sizing.request_bits());
-            let data = self.caches[w].peek(block).expect("writer resident").data.clone();
+            let data = self.caches[w]
+                .peek(block)
+                .expect("writer resident")
+                .data
+                .clone();
             self.send(w, proc, self.sizing.block_transfer_bits());
             data
         } else {
@@ -229,7 +237,13 @@ impl CoherentSystem for UpdateOnlySystem {
             let dests = DestSet::from_ports(self.n_procs, others).expect("valid");
             let r = self
                 .net
-                .multicast(self.multicast, proc, &dests, self.sizing.update_bits(), &mut self.traffic)
+                .multicast(
+                    self.multicast,
+                    proc,
+                    &dests,
+                    self.sizing.update_bits(),
+                    &mut self.traffic,
+                )
                 .expect("valid");
             self.counters.add("bits_total", r.cost_bits);
             self.counters.incr("msgs_total");

@@ -1,12 +1,15 @@
-//! Property-based oracle tests for every baseline protocol.
+//! Randomized oracle tests for every baseline protocol, driven by the
+//! in-tree [`SimRng`] (no external crates needed).
 
-use proptest::prelude::*;
 use tmc_baselines::{
-    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem,
-    NoCacheSystem, SoftwareMarkedSystem, UpdateOnlySystem,
+    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem, NoCacheSystem,
+    SoftwareMarkedSystem, UpdateOnlySystem,
 };
 use tmc_core::Mode;
 use tmc_memsys::{BlockAddr, CacheGeometry, ReferenceMemory, WordAddr};
+use tmc_simcore::SimRng;
+
+const CASES: usize = 64;
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -14,28 +17,32 @@ enum Op {
     Write(usize, u64),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0usize..4, 0u64..24).prop_map(|(p, a)| Op::Read(p, a)),
-            (0usize..4, 0u64..24).prop_map(|(p, a)| Op::Write(p, a)),
-        ],
-        1..250,
-    )
+fn arb_ops(rng: &mut SimRng) -> Vec<Op> {
+    let len = rng.gen_range(1..250usize);
+    (0..len)
+        .map(|_| {
+            let p = rng.gen_range(0..4usize);
+            let a = rng.gen_range(0..24u64);
+            if rng.gen_bool(0.5) {
+                Op::Read(p, a)
+            } else {
+                Op::Write(p, a)
+            }
+        })
+        .collect()
 }
 
-fn check(sys: &mut dyn CoherentSystem, ops: &[Op]) -> Result<(), TestCaseError> {
+fn check(sys: &mut dyn CoherentSystem, ops: &[Op]) {
     let mut oracle = ReferenceMemory::new();
     for (i, &op) in ops.iter().enumerate() {
         match op {
             Op::Read(p, a) => {
                 let addr = WordAddr::new(a);
-                prop_assert_eq!(
+                assert_eq!(
                     sys.read(p, addr),
                     oracle.read(addr),
-                    "{} step {}",
-                    sys.name(),
-                    i
+                    "{} step {i}",
+                    sys.name()
                 );
             }
             Op::Write(p, a) => {
@@ -48,59 +55,78 @@ fn check(sys: &mut dyn CoherentSystem, ops: &[Op]) -> Result<(), TestCaseError> 
     }
     sys.flush();
     for (a, v) in oracle.iter() {
-        prop_assert_eq!(sys.peek_word(a), v, "{} post-flush", sys.name());
+        assert_eq!(sys.peek_word(a), v, "{} post-flush", sys.name());
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn no_cache_is_an_oracle(ops in arb_ops()) {
-        check(&mut NoCacheSystem::new(4), &ops)?;
+#[test]
+fn no_cache_is_an_oracle() {
+    let mut rng = SimRng::seed_from(0x90CA);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng);
+        check(&mut NoCacheSystem::new(4), &ops);
     }
+}
 
-    #[test]
-    fn directory_invalidate_matches_oracle(ops in arb_ops()) {
+#[test]
+fn directory_invalidate_matches_oracle() {
+    let mut rng = SimRng::seed_from(0xD12EC);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng);
         check(
             &mut DirectoryInvalidateSystem::with_geometry(4, CacheGeometry::new(1, 2)),
             &ops,
-        )?;
+        );
     }
+}
 
-    #[test]
-    fn update_only_matches_oracle(ops in arb_ops()) {
+#[test]
+fn update_only_matches_oracle() {
+    let mut rng = SimRng::seed_from(0x0DA7E);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng);
         check(
             &mut UpdateOnlySystem::with_geometry(4, CacheGeometry::new(1, 2)),
             &ops,
-        )?;
+        );
     }
+}
 
-    #[test]
-    fn two_mode_adapters_match_oracle(ops in arb_ops(), pick in 0usize..3) {
-        let mut sys: Box<dyn CoherentSystem> = match pick {
+#[test]
+fn two_mode_adapters_match_oracle() {
+    let mut rng = SimRng::seed_from(0x7703E);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng);
+        let mut sys: Box<dyn CoherentSystem> = match rng.gen_range(0..3usize) {
             0 => Box::new(two_mode_fixed(4, Mode::DistributedWrite)),
             1 => Box::new(two_mode_fixed(4, Mode::GlobalRead)),
             _ => Box::new(two_mode_adaptive(4, 16)),
         };
-        check(sys.as_mut(), &ops)?;
+        check(sys.as_mut(), &ops);
     }
+}
 
-    #[test]
-    fn software_marking_is_coherent_when_all_shared_blocks_are_tagged(ops in arb_ops()) {
+#[test]
+fn software_marking_is_coherent_when_all_shared_blocks_are_tagged() {
+    let mut rng = SimRng::seed_from(0x50F7);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng);
         let mut sys = SoftwareMarkedSystem::new(4);
         // Everything in this workload may be shared: mark it all.
         for b in 0..8 {
             sys.mark_noncacheable(BlockAddr::new(b));
         }
-        check(&mut sys, &ops)?;
+        check(&mut sys, &ops);
     }
+}
 
-    /// Traffic sanity across all baselines: monotone, and zero only until
-    /// the first reference.
-    #[test]
-    fn traffic_is_monotone_everywhere(ops in arb_ops()) {
+/// Traffic sanity across all baselines: monotone, and zero only until
+/// the first reference.
+#[test]
+fn traffic_is_monotone_everywhere() {
+    let mut rng = SimRng::seed_from(0x7124F);
+    for _ in 0..16 {
+        let ops = arb_ops(&mut rng);
         let mut systems: Vec<Box<dyn CoherentSystem>> = vec![
             Box::new(NoCacheSystem::new(4)),
             Box::new(DirectoryInvalidateSystem::new(4)),
@@ -119,7 +145,7 @@ proptest! {
                     }
                 }
                 let now = sys.total_traffic_bits();
-                prop_assert!(now >= last, "{} went backwards", sys.name());
+                assert!(now >= last, "{} went backwards", sys.name());
                 last = now;
             }
         }

@@ -1,11 +1,14 @@
-//! Criterion ablation benches: the execution-time cost of the design
-//! choices whose *traffic* effect is measured by the `ablation` binary —
-//! combined-scheme selection, the adaptive mode controller, the OWNER
-//! bypass and transaction logging.
+//! Ablation benches: the execution-time cost of the design choices whose
+//! *traffic* effect is measured by the `ablation` binary — combined-scheme
+//! selection, the adaptive mode controller, the OWNER bypass and transaction
+//! logging. Uses the in-tree [`tmc_bench::timer`] harness
+//! (`cargo bench -p tmc-bench --bench ablation`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
 use tmc_baselines::TwoModeAdapter;
 use tmc_bench::drive;
+use tmc_bench::timer::bench;
 use tmc_core::{Mode, ModePolicy, System, SystemConfig};
 use tmc_omeganet::SchemeKind;
 use tmc_simcore::SimRng;
@@ -25,35 +28,25 @@ fn run(cfg: SystemConfig, trace: &Trace) -> u64 {
     drive(&mut sys, trace).total_bits
 }
 
-fn bench_scheme_choice(c: &mut Criterion) {
-    let trace = workload();
-    let mut group = c.benchmark_group("ablation_scheme");
-    group.sample_size(10);
-    group.sampling_mode(criterion::SamplingMode::Flat);
+fn bench_scheme_choice(trace: &Trace) {
     for (scheme, label) in [
         (SchemeKind::Replicated, "fixed_scheme1"),
         (SchemeKind::BitVector, "fixed_scheme2"),
         (SchemeKind::Combined, "combined"),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &trace, |b, t| {
-            b.iter(|| {
-                run(
-                    SystemConfig::new(N_PROCS)
-                        .multicast(scheme)
-                        .mode_policy(ModePolicy::Fixed(Mode::DistributedWrite)),
-                    t,
-                )
-            })
+        let r = bench(&format!("ablation_scheme/{label}"), || {
+            black_box(run(
+                SystemConfig::new(N_PROCS)
+                    .multicast(scheme)
+                    .mode_policy(ModePolicy::Fixed(Mode::DistributedWrite)),
+                trace,
+            ));
         });
+        println!("{}", r.render());
     }
-    group.finish();
 }
 
-fn bench_policy_and_features(c: &mut Criterion) {
-    let trace = workload();
-    let mut group = c.benchmark_group("ablation_features");
-    group.sample_size(10);
-    group.sampling_mode(criterion::SamplingMode::Flat);
+fn bench_policy_and_features(trace: &Trace) {
     let cases: Vec<(&str, SystemConfig)> = vec![
         ("fixed_gr", SystemConfig::new(N_PROCS)),
         (
@@ -61,27 +54,25 @@ fn bench_policy_and_features(c: &mut Criterion) {
             SystemConfig::new(N_PROCS).mode_policy(ModePolicy::Adaptive { window: 64 }),
         ),
         ("bypass_off", SystemConfig::new(N_PROCS).owner_bypass(false)),
-        ("logging_on", SystemConfig::new(N_PROCS).log_transactions(true)),
+        (
+            "logging_on",
+            SystemConfig::new(N_PROCS).log_transactions(true),
+        ),
         (
             "timing_on",
             SystemConfig::new(N_PROCS).timing(tmc_omeganet::TimingModel::default()),
         ),
     ];
     for (label, cfg) in cases {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &trace, |b, t| {
-            b.iter(|| run(cfg.clone(), t))
+        let r = bench(&format!("ablation_features/{label}"), || {
+            black_box(run(cfg.clone(), trace));
         });
+        println!("{}", r.render());
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(400))
-        .sample_size(10)
-        .without_plots();
-    targets = bench_scheme_choice, bench_policy_and_features
+fn main() {
+    let trace = workload();
+    bench_scheme_choice(&trace);
+    bench_policy_and_features(&trace);
 }
-criterion_main!(benches);

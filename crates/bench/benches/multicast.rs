@@ -1,13 +1,13 @@
-//! Criterion benches for the three multicast schemes and the combined
-//! selector on the simulated omega network.
+//! Benches for the three multicast schemes and the combined selector on the
+//! simulated omega network. Uses the in-tree [`tmc_bench::timer`] harness
+//! (`cargo bench -p tmc-bench --bench multicast`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tmc_bench::timer::bench;
 use tmc_omeganet::{DestSet, Omega, SchemeKind, TrafficMatrix};
 
-fn bench_cast(c: &mut Criterion) {
-    let net = Omega::new(10).expect("N = 1024");
-    let mut group = c.benchmark_group("multicast_cast");
-    group.sample_size(30);
+fn bench_cast(net: &Omega) {
     for &n in &[8usize, 64, 512] {
         let spread = DestSet::worst_case_spread(1024, n).expect("valid");
         let adjacent = DestSet::adjacent(1024, 0, n).expect("valid");
@@ -17,51 +17,35 @@ fn bench_cast(c: &mut Criterion) {
             (SchemeKind::BroadcastTag, "scheme3"),
             (SchemeKind::Combined, "combined"),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{label}/spread"), n),
-                &spread,
-                |b, dests| {
-                    let mut traffic = TrafficMatrix::new(&net);
-                    b.iter(|| {
-                        traffic.clear();
-                        net.multicast(kind, 3, dests, 20, &mut traffic).unwrap()
-                    });
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("{label}/adjacent"), n),
-                &adjacent,
-                |b, dests| {
-                    let mut traffic = TrafficMatrix::new(&net);
-                    b.iter(|| {
-                        traffic.clear();
-                        net.multicast(kind, 3, dests, 20, &mut traffic).unwrap()
-                    });
-                },
-            );
+            for (dests, place) in [(&spread, "spread"), (&adjacent, "adjacent")] {
+                let mut traffic = TrafficMatrix::new(net);
+                let r = bench(&format!("multicast_cast/{label}/{place}/{n}"), || {
+                    traffic.clear();
+                    black_box(net.multicast(kind, 3, dests, 20, &mut traffic).unwrap());
+                });
+                println!("{}", r.render());
+            }
         }
     }
-    group.finish();
 }
 
-fn bench_cost_only(c: &mut Criterion) {
-    let net = Omega::new(10).expect("N = 1024");
+fn bench_cost_only(net: &Omega) {
     let dests = DestSet::worst_case_spread(1024, 64).expect("valid");
-    c.bench_function("multicast_cost/combined_n64", |b| {
-        b.iter(|| net.multicast_cost(SchemeKind::Combined, &dests, 20).unwrap())
+    let r = bench("multicast_cost/combined_n64", || {
+        black_box(
+            net.multicast_cost(SchemeKind::Combined, &dests, 20)
+                .unwrap(),
+        );
     });
-    c.bench_function("multicast_cost/cheapest_scheme_n64", |b| {
-        b.iter(|| net.cheapest_scheme(&dests, 20))
+    println!("{}", r.render());
+    let r = bench("multicast_cost/cheapest_scheme_n64", || {
+        black_box(net.cheapest_scheme(&dests, 20));
     });
+    println!("{}", r.render());
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(400))
-        .sample_size(10)
-        .without_plots();
-    targets = bench_cast, bench_cost_only
+fn main() {
+    let net = Omega::new(10).expect("N = 1024");
+    bench_cast(&net);
+    bench_cost_only(&net);
 }
-criterion_main!(benches);

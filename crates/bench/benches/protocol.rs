@@ -1,12 +1,15 @@
-//! Criterion benches for whole-protocol transaction throughput: the
-//! two-mode protocol against the baselines on identical workloads.
+//! Benches for whole-protocol transaction throughput: the two-mode protocol
+//! against the baselines on identical workloads. Uses the in-tree
+//! [`tmc_bench::timer`] harness (`cargo bench -p tmc-bench --bench protocol`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
 use tmc_baselines::{
-    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem,
-    NoCacheSystem, UpdateOnlySystem,
+    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem, NoCacheSystem,
+    UpdateOnlySystem,
 };
 use tmc_bench::drive;
+use tmc_bench::timer::bench;
 use tmc_core::Mode;
 use tmc_simcore::SimRng;
 use tmc_workload::{Placement, SharedBlockWorkload, Trace};
@@ -20,80 +23,79 @@ fn workload(w: f64) -> Trace {
         .generate(N_PROCS, &mut SimRng::seed_from(42))
 }
 
-fn bench_protocols(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol_throughput");
-    group.sample_size(10);
-    group.sampling_mode(criterion::SamplingMode::Flat);
+type SystemBuilder = Box<dyn Fn() -> Box<dyn CoherentSystem>>;
+
+fn bench_protocols() {
     for &w in &[0.05f64, 0.5] {
         let trace = workload(w);
-        group.bench_with_input(BenchmarkId::new("two_mode_dw", w), &trace, |b, t| {
-            b.iter(|| {
-                let mut sys = two_mode_fixed(N_PROCS, Mode::DistributedWrite);
-                drive(&mut sys, t)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("two_mode_gr", w), &trace, |b, t| {
-            b.iter(|| {
-                let mut sys = two_mode_fixed(N_PROCS, Mode::GlobalRead);
-                drive(&mut sys, t)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("two_mode_adaptive", w), &trace, |b, t| {
-            b.iter(|| {
-                let mut sys = two_mode_adaptive(N_PROCS, 64);
-                drive(&mut sys, t)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("directory_invalidate", w), &trace, |b, t| {
-            b.iter(|| {
-                let mut sys = DirectoryInvalidateSystem::new(N_PROCS);
-                drive(&mut sys, t)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("update_only", w), &trace, |b, t| {
-            b.iter(|| {
-                let mut sys = UpdateOnlySystem::new(N_PROCS);
-                drive(&mut sys, t)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("no_cache", w), &trace, |b, t| {
-            b.iter(|| {
-                let mut sys = NoCacheSystem::new(N_PROCS);
-                drive(&mut sys, t)
-            })
-        });
+        let cases: Vec<(&str, SystemBuilder)> = vec![
+            (
+                "two_mode_dw",
+                Box::new(|| Box::new(two_mode_fixed(N_PROCS, Mode::DistributedWrite))),
+            ),
+            (
+                "two_mode_gr",
+                Box::new(|| Box::new(two_mode_fixed(N_PROCS, Mode::GlobalRead))),
+            ),
+            (
+                "two_mode_adaptive",
+                Box::new(|| Box::new(two_mode_adaptive(N_PROCS, 64))),
+            ),
+            (
+                "directory_invalidate",
+                Box::new(|| Box::new(DirectoryInvalidateSystem::new(N_PROCS))),
+            ),
+            (
+                "update_only",
+                Box::new(|| Box::new(UpdateOnlySystem::new(N_PROCS))),
+            ),
+            (
+                "no_cache",
+                Box::new(|| Box::new(NoCacheSystem::new(N_PROCS))),
+            ),
+        ];
+        for (label, build) in cases {
+            let r = bench(&format!("protocol_throughput/{label}/{w}"), || {
+                let mut sys = build();
+                black_box(drive(sys.as_mut(), &trace));
+            });
+            println!("{}", r.render());
+        }
     }
-    group.finish();
 }
 
-fn bench_single_ops(c: &mut Criterion) {
-    c.bench_function("two_mode/read_hit", |b| {
+fn bench_single_ops() {
+    let r = bench("two_mode/read_hit", || {
         let mut sys = two_mode_fixed(16, Mode::DistributedWrite);
         sys.write(0, tmc_memsys::WordAddr::new(0), 1);
-        b.iter(|| sys.read(0, tmc_memsys::WordAddr::new(0)))
+        for _ in 0..64 {
+            black_box(sys.read(0, tmc_memsys::WordAddr::new(0)));
+        }
     });
-    c.bench_function("two_mode/gr_remote_read", |b| {
+    println!("{} (64 reads per iter)", r.render());
+    let r = bench("two_mode/gr_remote_read", || {
         let mut sys = two_mode_fixed(16, Mode::GlobalRead);
         sys.write(0, tmc_memsys::WordAddr::new(0), 1);
-        b.iter(|| sys.read(1, tmc_memsys::WordAddr::new(0)))
+        for _ in 0..64 {
+            black_box(sys.read(1, tmc_memsys::WordAddr::new(0)));
+        }
     });
-    c.bench_function("two_mode/dw_update_write", |b| {
+    println!("{} (64 reads per iter)", r.render());
+    let r = bench("two_mode/dw_update_write", || {
         let mut sys = two_mode_fixed(16, Mode::DistributedWrite);
         sys.write(0, tmc_memsys::WordAddr::new(0), 1);
         for p in 1..8 {
             sys.read(p, tmc_memsys::WordAddr::new(0));
         }
-        b.iter(|| sys.write(0, tmc_memsys::WordAddr::new(0), 2))
+        for stamp in 2..66u64 {
+            sys.write(0, tmc_memsys::WordAddr::new(0), stamp);
+        }
+        black_box(sys.total_traffic_bits());
     });
+    println!("{} (64 writes per iter)", r.render());
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(400))
-        .sample_size(10)
-        .without_plots();
-    targets = bench_protocols, bench_single_ops
+fn main() {
+    bench_protocols();
+    bench_single_ops();
 }
-criterion_main!(benches);

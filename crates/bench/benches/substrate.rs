@@ -1,79 +1,86 @@
-//! Criterion benches for the substrate data structures: event queue, cache
-//! array, destination sets and unicast routing.
+//! Benches for the substrate data structures: event queue, cache array,
+//! destination sets and unicast routing. Uses the in-tree
+//! [`tmc_bench::timer`] harness (`cargo bench -p tmc-bench --bench substrate`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tmc_bench::timer::bench;
 use tmc_memsys::{BlockAddr, CacheArray, CacheGeometry};
 use tmc_omeganet::{DestSet, Omega, TrafficMatrix};
 use tmc_simcore::{EventQueue, SimTime};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(SimTime::new((i * 7919) % 1000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = q.pop() {
-                acc = acc.wrapping_add(e);
-            }
-            acc
-        })
+fn bench_event_queue() {
+    let r = bench("event_queue/push_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(SimTime::new((i * 7919) % 1000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        black_box(acc);
     });
+    println!("{}", r.render());
 }
 
-fn bench_cache_array(c: &mut Criterion) {
-    c.bench_function("cache_array/insert_get", |b| {
-        let mut cache: CacheArray<u64> = CacheArray::new(CacheGeometry::new(64, 4));
-        b.iter(|| {
-            for i in 0..512u64 {
-                cache.insert(BlockAddr::new(i), i);
+fn bench_cache_array() {
+    let mut cache: CacheArray<u64> = CacheArray::new(CacheGeometry::new(64, 4));
+    let r = bench("cache_array/insert_get", || {
+        for i in 0..512u64 {
+            cache.insert(BlockAddr::new(i), i);
+        }
+        let mut acc = 0u64;
+        for i in 0..512u64 {
+            if let Some(&v) = cache.get(BlockAddr::new(i)) {
+                acc = acc.wrapping_add(v);
             }
-            let mut acc = 0u64;
-            for i in 0..512u64 {
-                if let Some(&v) = cache.get(BlockAddr::new(i)) {
-                    acc = acc.wrapping_add(v);
-                }
-            }
-            acc
-        })
+        }
+        black_box(acc);
     });
+    println!("{}", r.render());
 }
 
-fn bench_destset(c: &mut Criterion) {
-    c.bench_function("destset/build_and_iter_1024", |b| {
-        b.iter(|| {
-            let mut d = DestSet::empty(1024);
-            for p in (0..1024).step_by(3) {
-                d.insert(p);
-            }
-            d.iter().sum::<usize>()
-        })
+fn bench_destset() {
+    let r = bench("destset/build_and_iter_1024", || {
+        let mut d = DestSet::empty(1024);
+        for p in (0..1024).step_by(3) {
+            d.insert(p);
+        }
+        black_box(d.iter().sum::<usize>());
     });
-    c.bench_function("destset/subcube_spec", |b| {
-        let d = DestSet::subcube(1024, 128, 5).unwrap();
-        b.iter(|| d.subcube_spec())
+    println!("{}", r.render());
+    let d = DestSet::subcube(1024, 128, 5).unwrap();
+    let r = bench("destset/subcube_spec", || {
+        black_box(d.subcube_spec());
     });
+    println!("{}", r.render());
+    let r = bench("destset/inline_build_and_iter_64", || {
+        let mut d = DestSet::empty(64);
+        for p in (0..64).step_by(3) {
+            d.insert(p);
+        }
+        black_box(d.iter().sum::<usize>());
+    });
+    println!("{}", r.render());
 }
 
-fn bench_routing(c: &mut Criterion) {
+fn bench_routing() {
     let net = Omega::new(10).unwrap();
-    c.bench_function("omega/unicast_route", |b| {
-        b.iter(|| net.route(17, 900))
+    let r = bench("omega/unicast_route", || {
+        black_box(net.route(17, 900));
     });
-    c.bench_function("omega/unicast_with_traffic", |b| {
-        let mut t = TrafficMatrix::new(&net);
-        b.iter(|| net.unicast(17, 900, 164, &mut t).unwrap())
+    println!("{}", r.render());
+    let mut t = TrafficMatrix::new(&net);
+    let r = bench("omega/unicast_with_traffic", || {
+        black_box(net.unicast(17, 900, 164, &mut t).unwrap());
     });
+    println!("{}", r.render());
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(400))
-        .sample_size(10)
-        .without_plots();
-    targets = bench_event_queue, bench_cache_array, bench_destset, bench_routing
+fn main() {
+    bench_event_queue();
+    bench_cache_array();
+    bench_destset();
+    bench_routing();
 }
-criterion_main!(benches);

@@ -1,19 +1,21 @@
 //! Ablations over the design choices DESIGN.md calls out: the consistency
 //! multicast scheme, the OWNER-pointer bypass, and the mode policy — all
-//! measured as traffic on the same workload.
+//! measured as traffic on the same workload. Every (workload, config) cell
+//! is an independent simulation, fanned out on [`tmc_bench::sweep`] and
+//! merged back in order.
 
 use tmc_baselines::TwoModeAdapter;
-use tmc_bench::{drive, Table};
+use tmc_bench::{drive, sweep, Table};
 use tmc_core::{Mode, ModePolicy, System, SystemConfig};
 use tmc_omeganet::SchemeKind;
 use tmc_simcore::SimRng;
-use tmc_workload::{Placement, SharedBlockWorkload, StencilWorkload};
+use tmc_workload::{Placement, SharedBlockWorkload, StencilWorkload, Trace};
 
-fn run(cfg: SystemConfig, name: &'static str, trace: &tmc_workload::Trace) -> (String, f64) {
+fn run(cfg: SystemConfig, name: &'static str, trace: &Trace) -> f64 {
     let mut sys = TwoModeAdapter::new(System::new(cfg).expect("valid"), name);
     let report = drive(&mut sys, trace);
     sys.inner().check_invariants().expect("invariants hold");
-    (name.to_string(), report.bits_per_ref)
+    report.bits_per_ref
 }
 
 fn main() {
@@ -26,47 +28,76 @@ fn main() {
     let stencil = StencilWorkload::new(8, 4, 40)
         .placement(Placement::Adjacent { base: 0 })
         .generate(n_procs, &mut rng.fork(2));
+    let workloads = [
+        ("shared-block w=0.1", &shared),
+        ("stencil 8x4x40", &stencil),
+    ];
 
-    for (wl_name, trace) in [("shared-block w=0.1", &shared), ("stencil 8x4x40", &stencil)] {
-        // Ablation 1: multicast scheme, with the protocol pinned to
-        // distributed write so updates actually multicast.
-        let mut t = Table::new(vec!["multicast scheme".into(), "bits/ref".into()]);
-        for (scheme, name) in [
-            (SchemeKind::Replicated, "scheme 1 (replicated)"),
-            (SchemeKind::BitVector, "scheme 2 (bit-vector)"),
-            (SchemeKind::BroadcastTag, "scheme 3 (broadcast-tag)"),
-            (SchemeKind::Combined, "scheme 4 (combined, eq.8)"),
-        ] {
-            let cfg = SystemConfig::new(n_procs)
+    // The three ablation axes, each a (config, table label) list.
+    let scheme_cases: Vec<(SystemConfig, &'static str)> = [
+        (SchemeKind::Replicated, "scheme 1 (replicated)"),
+        (SchemeKind::BitVector, "scheme 2 (bit-vector)"),
+        (SchemeKind::BroadcastTag, "scheme 3 (broadcast-tag)"),
+        (SchemeKind::Combined, "scheme 4 (combined, eq.8)"),
+    ]
+    .into_iter()
+    .map(|(scheme, name)| {
+        (
+            SystemConfig::new(n_procs)
                 .multicast(scheme)
-                .mode_policy(ModePolicy::Fixed(Mode::DistributedWrite));
-            let (_, bits) = run(cfg, name, trace);
-            t.row(vec![name.to_string(), format!("{bits:.1}")]);
-        }
-        t.print(&format!("Ablation: multicast scheme ({wl_name})"));
+                .mode_policy(ModePolicy::Fixed(Mode::DistributedWrite)),
+            name,
+        )
+    })
+    .collect();
+    let bypass_cases: Vec<(SystemConfig, &'static str)> =
+        [(true, "on (paper)"), (false, "off (via memory)")]
+            .into_iter()
+            .map(|(bypass, name)| {
+                (
+                    SystemConfig::new(n_procs)
+                        .owner_bypass(bypass)
+                        .mode_policy(ModePolicy::Fixed(Mode::GlobalRead)),
+                    name,
+                )
+            })
+            .collect();
+    let policy_cases: Vec<(SystemConfig, &'static str)> = [
+        (
+            ModePolicy::Fixed(Mode::DistributedWrite),
+            "fixed distributed-write",
+        ),
+        (ModePolicy::Fixed(Mode::GlobalRead), "fixed global-read"),
+        (ModePolicy::Adaptive { window: 64 }, "adaptive (sect. 5)"),
+    ]
+    .into_iter()
+    .map(|(policy, name)| (SystemConfig::new(n_procs).mode_policy(policy), name))
+    .collect();
+    let axes: [(&str, &[(SystemConfig, &'static str)]); 3] = [
+        ("Ablation: multicast scheme", &scheme_cases),
+        ("Ablation: OWNER-pointer bypass", &bypass_cases),
+        ("Ablation: mode policy", &policy_cases),
+    ];
 
-        // Ablation 2: OWNER bypass on/off (global-read mode exercises it).
-        let mut t = Table::new(vec!["owner bypass".into(), "bits/ref".into()]);
-        for (bypass, name) in [(true, "on (paper)"), (false, "off (via memory)")] {
-            let cfg = SystemConfig::new(n_procs)
-                .owner_bypass(bypass)
-                .mode_policy(ModePolicy::Fixed(Mode::GlobalRead));
-            let (_, bits) = run(cfg, if bypass { "bypass-on" } else { "bypass-off" }, trace);
-            t.row(vec![name.to_string(), format!("{bits:.1}")]);
-        }
-        t.print(&format!("Ablation: OWNER-pointer bypass ({wl_name})"));
+    // Flatten (workload × axis × case) into one cell grid and fan it out.
+    let cells: Vec<(&Trace, SystemConfig)> = workloads
+        .iter()
+        .flat_map(|&(_, trace)| {
+            axes.iter()
+                .flat_map(move |(_, cases)| cases.iter().map(move |(cfg, _)| (trace, cfg.clone())))
+        })
+        .collect();
+    let bits = sweep::map(cells, |(trace, cfg)| run(cfg, "ablation", trace));
 
-        // Ablation 3: mode policy.
-        let mut t = Table::new(vec!["mode policy".into(), "bits/ref".into()]);
-        for (policy, name) in [
-            (ModePolicy::Fixed(Mode::DistributedWrite), "fixed distributed-write"),
-            (ModePolicy::Fixed(Mode::GlobalRead), "fixed global-read"),
-            (ModePolicy::Adaptive { window: 64 }, "adaptive (sect. 5)"),
-        ] {
-            let cfg = SystemConfig::new(n_procs).mode_policy(policy);
-            let (_, bits) = run(cfg, "policy", trace);
-            t.row(vec![name.to_string(), format!("{bits:.1}")]);
+    let mut next = bits.into_iter();
+    for (wl_name, _) in workloads {
+        for (title, cases) in &axes {
+            let mut t = Table::new(vec!["variant".into(), "bits/ref".into()]);
+            for (_, name) in *cases {
+                let b = next.next().expect("cell count matches");
+                t.row(vec![name.to_string(), format!("{b:.1}")]);
+            }
+            t.print(&format!("{title} ({wl_name})"));
         }
-        t.print(&format!("Ablation: mode policy ({wl_name})"));
     }
 }

@@ -13,7 +13,11 @@ fn main() {
     println!("source {src}");
     for (stage, switches) in tree.iter().enumerate() {
         let labels: Vec<String> = switches.iter().map(|s| format!("sw{stage}.{s}")).collect();
-        println!("stage {stage}: {} switches reached: {}", switches.len(), labels.join("  "));
+        println!(
+            "stage {stage}: {} switches reached: {}",
+            switches.len(),
+            labels.join("  ")
+        );
     }
     println!("leaves : destinations 0..{}", net.ports() - 1);
 

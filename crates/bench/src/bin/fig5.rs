@@ -1,8 +1,10 @@
 //! Regenerates Figure 5: communication cost versus number of destinations
 //! for scheme 1 and scheme 2 (worst case), N = 1024 caches, M = 20 bits.
+//! Rows are independent cells, evaluated on the [`tmc_bench::sweep`] engine
+//! and merged back in order.
 
 use tmc_analytic::multicast::{scheme1, scheme2_worst};
-use tmc_bench::Table;
+use tmc_bench::{sweep, Table};
 
 fn main() {
     let (big_n, m_bits) = (1024u64, 20u64);
@@ -13,10 +15,13 @@ fn main() {
         "CC2/CC1".into(),
         "winner".into(),
     ]);
-    for k in 0..=10 {
+    let rows = sweep::map((0u32..=10).collect(), |k| {
         let n = 1u64 << k;
         let c1 = scheme1(n, big_n, m_bits);
         let c2 = scheme2_worst(n, big_n, m_bits);
+        (n, c1, c2)
+    });
+    for (n, c1, c2) in rows {
         t.row(vec![
             n.to_string(),
             c1.to_string(),

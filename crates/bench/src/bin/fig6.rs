@@ -1,8 +1,10 @@
 //! Regenerates Figure 6: communication cost versus destinations for schemes
 //! 1, 2 (region worst case) and 3, with N = 1024, n₁ = 128, M = 20.
+//! Rows are independent cells, evaluated on the [`tmc_bench::sweep`] engine
+//! and merged back in order.
 
 use tmc_analytic::multicast::{scheme1, scheme2_region_worst, scheme3};
-use tmc_bench::Table;
+use tmc_bench::{sweep, Table};
 
 fn main() {
     let (big_n, n1, m_bits) = (1024u64, 128u64, 20u64);
@@ -14,10 +16,13 @@ fn main() {
         "CC3 (eq.5)".into(),
         "winner".into(),
     ]);
-    for k in 0..=7 {
+    let rows = sweep::map((0u32..=7).collect(), |k| {
         let n = 1u64 << k;
         let c1 = scheme1(n, big_n, m_bits);
         let c2 = scheme2_region_worst(n, n1, big_n, m_bits);
+        (n, c1, c2)
+    });
+    for (n, c1, c2) in rows {
         let min = c1.min(c2).min(cc3);
         let winner = if min == c1 {
             "1"

@@ -1,9 +1,10 @@
 //! Regenerates Figure 7: the write-once two-state Markov chain — transition
 //! probabilities, stationary distribution and the per-reference transition
-//! rate `w(1−w)` that eq. 10 builds on.
+//! rate `w(1−w)` that eq. 10 builds on. Each write fraction is one sweep
+//! cell ([`tmc_bench::sweep`]); rows merge back in order.
 
 use tmc_analytic::TwoStateChain;
-use tmc_bench::Table;
+use tmc_bench::{sweep, Table};
 
 fn main() {
     println!(
@@ -22,17 +23,20 @@ fn main() {
         "pi(shared)".into(),
         "transitions/ref = w(1-w)".into(),
     ]);
-    for w in [0.05, 0.1, 0.25, 0.5, 0.75, 0.9] {
+    let rows = sweep::map(vec![0.05, 0.1, 0.25, 0.5, 0.75, 0.9], |w| {
         let chain = TwoStateChain::write_once(w);
         let (pe, ps) = chain.stationary();
-        t.row(vec![
+        vec![
             format!("{w:.2}"),
             format!("{:.2}", chain.p01),
             format!("{:.2}", chain.p10),
             format!("{pe:.3}"),
             format!("{ps:.3}"),
             format!("{:.4}", chain.rate_01()),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.print("Figure 7: write-once global Markov chain");
     println!(

@@ -1,14 +1,15 @@
 //! Latency extension experiment (not in the paper, which counts bits only):
 //! store-and-forward delivery times with per-link contention.
 //!
-//! Two measurements:
+//! Two measurements, both fanned out on [`tmc_bench::sweep`] (each
+//! destination count and each protocol mode is an independent cell):
 //! 1. raw network: time for the *last* destination of one multicast to
 //!    receive the message, per scheme — scheme 1 re-serializes the shared
 //!    early links, scheme 2 crosses each link once;
 //! 2. whole protocol: per-transaction latency distribution of the two-mode
 //!    protocol under the timing model.
 
-use tmc_bench::Table;
+use tmc_bench::{sweep, Table};
 use tmc_core::{Mode, ModePolicy, System, SystemConfig};
 use tmc_omeganet::{DestSet, LinkSchedule, Omega, SchemeChoice, TimingModel};
 use tmc_simcore::{SimRng, SimTime};
@@ -24,7 +25,7 @@ fn main() {
         "scheme 2 (cycles)".into(),
         "speedup".into(),
     ]);
-    for k in [2u32, 3, 4, 5, 6] {
+    let rows = sweep::map(vec![2u32, 3, 4, 5, 6], |k| {
         let n = 1usize << k;
         let dests = DestSet::worst_case_spread(64, n).expect("valid");
         let last = |scheme: SchemeChoice| {
@@ -37,8 +38,13 @@ fn main() {
                 .max()
                 .expect("nonempty")
         };
-        let s1 = last(SchemeChoice::Replicated);
-        let s2 = last(SchemeChoice::BitVector);
+        (
+            n,
+            last(SchemeChoice::Replicated),
+            last(SchemeChoice::BitVector),
+        )
+    });
+    for (n, s1, s2) in rows {
         t.row(vec![
             n.to_string(),
             s1.to_string(),
@@ -56,10 +62,11 @@ fn main() {
         "p99 bucket".into(),
         "max bucket".into(),
     ]);
-    for (mode, label) in [
+    let modes = vec![
         (Mode::DistributedWrite, "distributed write"),
         (Mode::GlobalRead, "global read"),
-    ] {
+    ];
+    let rows = sweep::map(modes, |(mode, label)| {
         let mut sys = System::new(
             SystemConfig::new(16)
                 .mode_policy(ModePolicy::Fixed(mode))
@@ -83,13 +90,16 @@ fn main() {
             }
         }
         let h = sys.latencies();
-        table.row(vec![
+        vec![
             label.to_string(),
             format!("{:.1}", h.mean()),
             h.quantile_bucket_low(0.5).unwrap_or(0).to_string(),
             h.quantile_bucket_low(0.99).unwrap_or(0).to_string(),
             h.quantile_bucket_low(1.0).unwrap_or(0).to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table.print("Two-mode protocol transaction latency (timing model, w=0.2)");
     println!(

@@ -7,12 +7,13 @@
 //!
 //! We sweep the migration period (how many references pass before each
 //! block's writer moves to the next task) and measure traffic and ownership
-//! transfers on the two-mode protocol and the baselines.
+//! transfers on the two-mode protocol and the baselines. Each period is an
+//! independent cell on [`tmc_bench::sweep`]; rows merge back in order.
 
 use tmc_baselines::{
     two_mode_adaptive, CoherentSystem, DirectoryInvalidateSystem, UpdateOnlySystem,
 };
-use tmc_bench::{drive, Table};
+use tmc_bench::{drive, sweep, Table};
 use tmc_simcore::SimRng;
 use tmc_workload::MigratingWorkload;
 
@@ -28,14 +29,19 @@ fn main() {
         "dir-invalidate bits/ref".into(),
     ]);
     // `usize::MAX` period = no migration (the §4/§5 one-writer best case).
-    for (label, period) in [
+    let periods = vec![
         ("none", usize::MAX),
         ("10000", 10_000),
         ("1000", 1_000),
         ("100", 100),
         ("10", 10),
-    ] {
-        let period_refs = if period == usize::MAX { REFS + 1 } else { period };
+    ];
+    let rows = sweep::map(periods, |(label, period)| {
+        let period_refs = if period == usize::MAX {
+            REFS + 1
+        } else {
+            period
+        };
         let trace = MigratingWorkload::new(8, 16, 0.2, period_refs)
             .references(REFS)
             .generate(N_PROCS, &mut SimRng::seed_from(8));
@@ -51,13 +57,16 @@ fn main() {
         let mut dir = DirectoryInvalidateSystem::new(N_PROCS);
         let dir_bits = drive(&mut dir, &trace).bits_per_ref;
 
-        t.row(vec![
+        vec![
             label.to_string(),
             format!("{tm_bits:.1}"),
             transfers.to_string(),
             format!("{upd_bits:.1}"),
             format!("{dir_bits:.1}"),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.print("Ownership churn under task migration (n=8 tasks, w=0.2)");
     println!(

@@ -1,0 +1,134 @@
+//! Machine-readable performance baseline: times the serial and parallel
+//! sim_fig8-style sweep, raw event-queue throughput and raw protocol
+//! throughput, and writes the numbers to `BENCH_sim.json` so regressions
+//! are diffable across commits.
+//!
+//! ```text
+//! Usage: perf_report [OUTPUT_PATH]     (default: BENCH_sim.json)
+//! ```
+//!
+//! The parallel sweep uses [`tmc_bench::sweep`] with
+//! `TMC_SWEEP_THREADS`-many workers (default: all cores); the serial
+//! reference runs the identical cell grid on one thread, and the two result
+//! vectors are asserted bit-for-bit equal before any timing is reported.
+
+use std::hint::black_box;
+
+use tmc_baselines::{two_mode_adaptive, CoherentSystem};
+use tmc_bench::{drive, drive_steady_state, sweep, timer};
+use tmc_simcore::{EventQueue, SimRng, SimTime};
+use tmc_workload::{Placement, SharedBlockWorkload};
+
+const N_PROCS: usize = 16;
+const N_TASKS: usize = 8;
+const N_BLOCKS: u64 = 16;
+const REFS: usize = 24_000;
+const WARMUP: usize = 4_000;
+const N_SYSTEMS: usize = 6;
+
+/// The sim_fig8 grid: 8 write fractions × 6 systems.
+fn grid_cells() -> Vec<(f64, u64, usize)> {
+    let ws = [0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+    ws.iter()
+        .enumerate()
+        .flat_map(|(i, &w)| (0..N_SYSTEMS).map(move |s| (w, 1000 + i as u64, s)))
+        .collect()
+}
+
+fn run_cell((w, seed, sys_idx): (f64, u64, usize)) -> f64 {
+    use tmc_baselines::{
+        two_mode_fixed, DirectoryInvalidateSystem, NoCacheSystem, UpdateOnlySystem,
+    };
+    use tmc_core::Mode;
+    let trace = SharedBlockWorkload::new(N_TASKS, N_BLOCKS, w)
+        .references(REFS)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(N_PROCS, &mut SimRng::seed_from(seed));
+    let mut sys: Box<dyn CoherentSystem> = match sys_idx {
+        0 => Box::new(NoCacheSystem::new(N_PROCS)),
+        1 => Box::new(DirectoryInvalidateSystem::new(N_PROCS)),
+        2 => Box::new(UpdateOnlySystem::new(N_PROCS)),
+        3 => Box::new(two_mode_fixed(N_PROCS, Mode::DistributedWrite)),
+        4 => Box::new(two_mode_fixed(N_PROCS, Mode::GlobalRead)),
+        _ => Box::new(two_mode_adaptive(N_PROCS, 64)),
+    };
+    drive_steady_state(sys.as_mut(), &trace, WARMUP).bits_per_ref
+}
+
+fn event_queue_events_per_sec() -> f64 {
+    const EVENTS: u64 = 1000;
+    let r = timer::bench("event_queue", || {
+        let mut q = EventQueue::new();
+        for i in 0..EVENTS {
+            q.schedule(SimTime::new((i * 7919) % 1000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        black_box(acc);
+    });
+    // One iteration pushes and pops EVENTS events.
+    r.per_sec * EVENTS as f64
+}
+
+fn protocol_refs_per_sec() -> f64 {
+    let trace = SharedBlockWorkload::new(N_TASKS, N_BLOCKS, 0.2)
+        .references(2_000)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(N_PROCS, &mut SimRng::seed_from(42));
+    let r = timer::bench("protocol", || {
+        let mut sys = two_mode_adaptive(N_PROCS, 64);
+        black_box(drive(&mut sys, &trace));
+    });
+    r.per_sec * trace.len() as f64
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let threads = sweep::num_threads();
+    let cells = grid_cells();
+    let n_cells = cells.len();
+
+    println!("perf_report: {n_cells}-cell sweep grid, {threads} sweep thread(s)");
+
+    let events_per_sec = event_queue_events_per_sec();
+    println!("event queue      : {events_per_sec:.0} events/s (push+pop)");
+
+    let refs_per_sec = protocol_refs_per_sec();
+    println!("protocol (serial): {refs_per_sec:.0} refs/s (two-mode adaptive, w=0.2)");
+
+    let (serial, serial_time) =
+        timer::time_once(|| sweep::map_with_threads(1, cells.clone(), run_cell));
+    println!("sweep serial     : {:.3} s", serial_time.as_secs_f64());
+
+    let (parallel, parallel_time) =
+        timer::time_once(|| sweep::map_with_threads(threads, cells, run_cell));
+    println!("sweep parallel   : {:.3} s", parallel_time.as_secs_f64());
+
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep must be bit-for-bit identical to serial"
+    );
+
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
+    println!("speedup          : {speedup:.2}x on {threads} thread(s)");
+    let sweep_refs = (n_cells * REFS) as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": {n_cells},\n  \"refs_per_cell\": {REFS},\n  \"sweep_threads\": {threads},\n  \"event_queue_events_per_sec\": {events_per_sec:.1},\n  \"protocol_refs_per_sec\": {refs_per_sec:.1},\n  \"sweep_serial_seconds\": {:.6},\n  \"sweep_parallel_seconds\": {:.6},\n  \"sweep_parallel_refs_per_sec\": {:.1},\n  \"sweep_speedup\": {speedup:.4},\n  \"deterministic\": true\n}}\n",
+        serial_time.as_secs_f64(),
+        parallel_time.as_secs_f64(),
+        sweep_refs / parallel_time.as_secs_f64(),
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    print!("{json}");
+}

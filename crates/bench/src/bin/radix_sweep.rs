@@ -1,9 +1,10 @@
 //! The §3 generalization, quantified: the same N-port machine built from
 //! 2×2, 4×4 or 16×16 switches. Fewer, wider stages shorten every path and
 //! shrink the per-stage routing tags, shifting the scheme-1/scheme-2
-//! trade-off.
+//! trade-off. Each destination count is one sweep cell
+//! ([`tmc_bench::sweep`]); row pairs merge back in order.
 
-use tmc_bench::Table;
+use tmc_bench::{sweep, Table};
 use tmc_omeganet::aary::AryOmega;
 use tmc_omeganet::DestSet;
 
@@ -18,7 +19,7 @@ fn main() {
         "4x4 (4 stages)".into(),
         "16x16 (2 stages)".into(),
     ]);
-    for k in [0u32, 2, 4, 6, 8] {
+    let row_pairs = sweep::map(vec![0u32, 2, 4, 6, 8], |k| {
         let n = 1usize << k;
         let dests = DestSet::worst_case_spread(256, n).expect("valid");
         let mut row1 = vec![n.to_string(), "1 (replicated)".into()];
@@ -41,6 +42,9 @@ fn main() {
             row1.push(c1.to_string());
             row2.push(c2.to_string());
         }
+        (row1, row2)
+    });
+    for (row1, row2) in row_pairs {
         t.row(row1);
         t.row(row2);
     }

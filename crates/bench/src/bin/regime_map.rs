@@ -7,8 +7,12 @@
 //! envelope min(D, G) is below no-cache everywhere, so every cell is W, D
 //! or G — and W only where the Markov model's hump dips under both modes,
 //! which never happens either; the map makes that visible.)
+//!
+//! Each sharer-count row is one sweep cell ([`tmc_bench::sweep`]); rows
+//! print in order.
 
 use tmc_analytic::ProtocolCostModel;
+use tmc_bench::sweep;
 
 fn main() {
     let big_n = 1024;
@@ -19,7 +23,7 @@ fn main() {
         print!("{}", if i % 2 == 0 { '.' } else { ' ' });
     }
     println!("   w1 = 2/(n+2)");
-    for k in 1..=8 {
+    let lines = sweep::map((1u32..=8).collect(), |k| {
         let n = 1u64 << k;
         let model = ProtocolCostModel::new(n, big_n, m_bits);
         let mut row = String::new();
@@ -38,7 +42,10 @@ fn main() {
                 .0;
             row.push(winner);
         }
-        println!("{n:>6} {row}   {:.3}", model.threshold().value());
+        format!("{n:>6} {row}   {:.3}", model.threshold().value())
+    });
+    for line in lines {
+        println!("{line}");
     }
     println!(
         "\nReading the map: the D→G boundary tracks w1 = 2/(n+2) exactly; the\n\

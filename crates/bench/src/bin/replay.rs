@@ -1,23 +1,60 @@
 //! Replays a saved text trace (see `tmc_workload::format_trace`) through a
-//! chosen protocol and reports traffic and counters.
+//! chosen protocol — or through *all* of them in parallel on
+//! [`tmc_bench::sweep`] — and reports traffic and counters.
 //!
 //! ```text
 //! Usage: replay TRACE_FILE [PROTOCOL]
-//!   PROTOCOL  no-cache | dir | update | dw | gr | adaptive (default: adaptive)
+//!   PROTOCOL  no-cache | dir | update | dw | gr | adaptive | all
+//!             (default: adaptive; `all` compares every protocol)
 //! ```
 
 use tmc_baselines::{
-    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem,
-    NoCacheSystem, UpdateOnlySystem,
+    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem, NoCacheSystem,
+    UpdateOnlySystem,
 };
-use tmc_bench::drive;
+use tmc_bench::{drive, sweep, Table};
 use tmc_core::Mode;
-use tmc_workload::parse_trace;
+use tmc_workload::{parse_trace, Trace};
+
+const PROTOCOLS: [&str; 6] = ["no-cache", "dir", "update", "dw", "gr", "adaptive"];
+
+fn build(protocol: &str, n_procs: usize) -> Option<Box<dyn CoherentSystem>> {
+    Some(match protocol {
+        "no-cache" => Box::new(NoCacheSystem::new(n_procs)),
+        "dir" => Box::new(DirectoryInvalidateSystem::new(n_procs)),
+        "update" => Box::new(UpdateOnlySystem::new(n_procs)),
+        "dw" => Box::new(two_mode_fixed(n_procs, Mode::DistributedWrite)),
+        "gr" => Box::new(two_mode_fixed(n_procs, Mode::GlobalRead)),
+        "adaptive" => Box::new(two_mode_adaptive(n_procs, 64)),
+        _ => return None,
+    })
+}
+
+fn replay_all(trace: &Trace, n_procs: usize) {
+    let rows = sweep::map(PROTOCOLS.to_vec(), |p| {
+        let mut sys = build(p, n_procs).expect("known protocol");
+        let report = drive(sys.as_mut(), trace);
+        (sys.name().to_string(), report)
+    });
+    let mut t = Table::new(vec![
+        "protocol".into(),
+        "total bits".into(),
+        "bits/ref".into(),
+    ]);
+    for (name, report) in rows {
+        t.row(vec![
+            name,
+            report.total_bits.to_string(),
+            format!("{:.2}", report.bits_per_ref),
+        ]);
+    }
+    t.print("Replay: all protocols");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first() else {
-        eprintln!("usage: replay TRACE_FILE [no-cache|dir|update|dw|gr|adaptive]");
+        eprintln!("usage: replay TRACE_FILE [no-cache|dir|update|dw|gr|adaptive|all]");
         std::process::exit(2);
     };
     let protocol = args.get(1).map(String::as_str).unwrap_or("adaptive");
@@ -38,24 +75,23 @@ fn main() {
     };
     let n_procs = trace.n_procs().next_power_of_two().max(2);
 
-    let mut sys: Box<dyn CoherentSystem> = match protocol {
-        "no-cache" => Box::new(NoCacheSystem::new(n_procs)),
-        "dir" => Box::new(DirectoryInvalidateSystem::new(n_procs)),
-        "update" => Box::new(UpdateOnlySystem::new(n_procs)),
-        "dw" => Box::new(two_mode_fixed(n_procs, Mode::DistributedWrite)),
-        "gr" => Box::new(two_mode_fixed(n_procs, Mode::GlobalRead)),
-        "adaptive" => Box::new(two_mode_adaptive(n_procs, 64)),
-        other => {
-            eprintln!("unknown protocol {other}");
-            std::process::exit(2);
-        }
-    };
-
-    let report = drive(sys.as_mut(), &trace);
     println!("trace      : {path}");
-    println!("references : {}", report.references);
+    println!("references : {}", trace.len());
     println!("write frac : {:.3}", trace.write_fraction());
+
+    if protocol == "all" {
+        replay_all(&trace, n_procs);
+        return;
+    }
+    let Some(mut sys) = build(protocol, n_procs) else {
+        eprintln!("unknown protocol {protocol}");
+        std::process::exit(2);
+    };
+    let report = drive(sys.as_mut(), &trace);
     println!("protocol   : {}", sys.name());
-    println!("traffic    : {} bits ({:.2} bits/ref)", report.total_bits, report.bits_per_ref);
+    println!(
+        "traffic    : {} bits ({:.2} bits/ref)",
+        report.total_bits, report.bits_per_ref
+    );
     println!("\ncounters:\n{}", sys.counters());
 }

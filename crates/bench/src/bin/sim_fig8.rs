@@ -3,6 +3,11 @@
 //! (n tasks share blocks, one writer per block, write fraction w) and
 //! measure bits per reference on the simulated network.
 //!
+//! Every (write fraction, protocol) cell is independent — its own seeded
+//! trace, its own simulated machine — so the grid fans out across cores on
+//! [`tmc_bench::sweep`]. Results are merged back in cell order, making the
+//! output bit-for-bit identical to a serial run (`TMC_SWEEP_THREADS=1`).
+//!
 //! Expected shapes (paper): the update-based protocols are flat-ish in w at
 //! low w and grow with w; global read falls with w; the two-mode adaptive
 //! protocol tracks the lower envelope of the two fixed modes; the
@@ -10,10 +15,10 @@
 //! middle (the w(1−w) hump); no-cache is the 2−w reference line.
 
 use tmc_baselines::{
-    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem,
-    NoCacheSystem, UpdateOnlySystem,
+    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem, NoCacheSystem,
+    UpdateOnlySystem,
 };
-use tmc_bench::{drive_steady_state, Table};
+use tmc_bench::{drive_steady_state, sweep, Table};
 use tmc_core::Mode;
 use tmc_simcore::SimRng;
 use tmc_workload::{Placement, SharedBlockWorkload};
@@ -24,54 +29,68 @@ const N_BLOCKS: u64 = 16;
 const REFS: usize = 24_000;
 const WARMUP: usize = 4_000;
 
-fn run_one(sys: &mut dyn CoherentSystem, w: f64, seed: u64) -> f64 {
+const SYSTEMS: [&str; 6] = [
+    "no-cache",
+    "dir-invalidate",
+    "update-only",
+    "two-mode DW",
+    "two-mode GR",
+    "two-mode adaptive",
+];
+
+fn build_system(idx: usize) -> Box<dyn CoherentSystem> {
+    match idx {
+        0 => Box::new(NoCacheSystem::new(N_PROCS)),
+        1 => Box::new(DirectoryInvalidateSystem::new(N_PROCS)),
+        2 => Box::new(UpdateOnlySystem::new(N_PROCS)),
+        3 => Box::new(two_mode_fixed(N_PROCS, Mode::DistributedWrite)),
+        4 => Box::new(two_mode_fixed(N_PROCS, Mode::GlobalRead)),
+        _ => Box::new(two_mode_adaptive(N_PROCS, 64)),
+    }
+}
+
+/// One grid cell: simulate protocol `sys_idx` on the w-workload seeded by
+/// `seed`, reporting steady-state bits per reference.
+fn run_cell(w: f64, seed: u64, sys_idx: usize) -> f64 {
     let trace = SharedBlockWorkload::new(N_TASKS, N_BLOCKS, w)
         .references(REFS)
         .placement(Placement::Adjacent { base: 0 })
         .generate(N_PROCS, &mut SimRng::seed_from(seed));
-    drive_steady_state(sys, &trace, WARMUP).bits_per_ref
+    let mut sys = build_system(sys_idx);
+    drive_steady_state(sys.as_mut(), &trace, WARMUP).bits_per_ref
 }
 
 fn main() {
     let ws = [0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
-    let mut t = Table::new(vec![
-        "w".into(),
-        "no-cache".into(),
-        "dir-invalidate".into(),
-        "update-only".into(),
-        "two-mode DW".into(),
-        "two-mode GR".into(),
-        "two-mode adaptive".into(),
-        "winner".into(),
-    ]);
+    let mut headers: Vec<String> = vec!["w".into()];
+    headers.extend(SYSTEMS.iter().map(|s| s.to_string()));
+    headers.push("winner".into());
+    let mut t = Table::new(headers);
     println!(
         "\nTrace-driven run: N={N_PROCS} processors, n={N_TASKS} sharing tasks, \
-         {N_BLOCKS} blocks, {REFS} refs ({WARMUP} warm-up), bits/reference:"
+         {N_BLOCKS} blocks, {REFS} refs ({WARMUP} warm-up), bits/reference \
+         ({} sweep threads):",
+        sweep::num_threads()
     );
-    for (i, &w) in ws.iter().enumerate() {
-        let seed = 1000 + i as u64;
-        let mut results: Vec<(&'static str, f64)> = Vec::new();
-        let mut nc = NoCacheSystem::new(N_PROCS);
-        results.push(("no-cache", run_one(&mut nc, w, seed)));
-        let mut dir = DirectoryInvalidateSystem::new(N_PROCS);
-        results.push(("dir-invalidate", run_one(&mut dir, w, seed)));
-        let mut upd = UpdateOnlySystem::new(N_PROCS);
-        results.push(("update-only", run_one(&mut upd, w, seed)));
-        let mut dw = two_mode_fixed(N_PROCS, Mode::DistributedWrite);
-        results.push(("two-mode DW", run_one(&mut dw, w, seed)));
-        let mut gr = two_mode_fixed(N_PROCS, Mode::GlobalRead);
-        results.push(("two-mode GR", run_one(&mut gr, w, seed)));
-        let mut ad = two_mode_adaptive(N_PROCS, 64);
-        results.push(("two-mode adaptive", run_one(&mut ad, w, seed)));
 
-        let winner = results
+    let cells: Vec<(f64, u64, usize)> = ws
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &w)| (0..SYSTEMS.len()).map(move |s| (w, 1000 + i as u64, s)))
+        .collect();
+    let bits = sweep::map(cells, |(w, seed, s)| run_cell(w, seed, s));
+
+    for (i, &w) in ws.iter().enumerate() {
+        let row = &bits[i * SYSTEMS.len()..(i + 1) * SYSTEMS.len()];
+        let winner = SYSTEMS
             .iter()
+            .zip(row)
             .skip(1) // exclude the no-cache reference from "winner"
-            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("nonempty")
             .0;
         let mut cells = vec![format!("{w:.2}")];
-        cells.extend(results.iter().map(|(_, b)| format!("{b:.1}")));
+        cells.extend(row.iter().map(|b| format!("{b:.1}")));
         cells.push(winner.to_string());
         t.row(cells);
     }

@@ -13,8 +13,8 @@
 //! Output is CSV on stdout: `protocol,n_procs,n_tasks,w,refs,bits_per_ref,msgs`.
 
 use tmc_baselines::{
-    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem,
-    NoCacheSystem, UpdateOnlySystem,
+    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem, NoCacheSystem,
+    UpdateOnlySystem,
 };
 use tmc_bench::drive;
 use tmc_core::Mode;
@@ -61,7 +61,9 @@ fn main() {
 
     println!("protocol,n_procs,n_tasks,w,refs,bits_per_ref,msgs");
     for name in names {
-        let Some(mut sys) = build(name, n_procs) else { usage() };
+        let Some(mut sys) = build(name, n_procs) else {
+            usage()
+        };
         let trace = SharedBlockWorkload::new(n_tasks, 2 * n_tasks as u64, w)
             .references(refs)
             .placement(Placement::Adjacent { base: 0 })

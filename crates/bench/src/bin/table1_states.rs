@@ -37,11 +37,20 @@ fn main() {
     oe_dw.modified = true;
 
     let cases: Vec<(&CacheLine, &str)> = vec![
-        (&invalid, "does not contain a valid copy; OWNER says where to go"),
-        (&unowned, "valid copy, not allowed to be modified; other copies exist"),
+        (
+            &invalid,
+            "does not contain a valid copy; OWNER says where to go",
+        ),
+        (
+            &unowned,
+            "valid copy, not allowed to be modified; other copies exist",
+        ),
         (&oe_dw, "owned, the only copy; copies are allowed"),
         (&oe_gr, "owned, the only copy; copies are not allowed"),
-        (&one_dw, "owned; other valid copies exist and receive writes"),
+        (
+            &one_dw,
+            "owned; other valid copies exist and receive writes",
+        ),
         (&one_gr, "owned; other (invalid) copies exist"),
     ];
 

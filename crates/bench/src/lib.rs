@@ -1,11 +1,17 @@
-//! Experiment harness: table formatting and trace-driven protocol runs.
+//! Experiment harness: table formatting, trace-driven protocol runs, the
+//! parallel sweep engine ([`sweep`]) and a micro-benchmark timer
+//! ([`timer`]).
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper;
 //! this library holds the shared plumbing. See `DESIGN.md` (experiment
-//! index) and `EXPERIMENTS.md` (recorded outputs) at the repository root.
+//! index) and `EXPERIMENTS.md` (recorded outputs) at the repository root,
+//! plus `docs/PERFORMANCE.md` for the sweep engine and the perf baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod sweep;
+pub mod timer;
 
 use tmc_baselines::CoherentSystem;
 use tmc_workload::{Op, Trace};
@@ -126,11 +132,7 @@ pub fn drive(sys: &mut dyn CoherentSystem, trace: &Trace) -> RunReport {
 /// Drives only the tail of a run: executes `warmup` references unbilled
 /// (by subtracting their traffic), then reports per-reference traffic over
 /// the remainder — the steady-state figure the paper's models describe.
-pub fn drive_steady_state(
-    sys: &mut dyn CoherentSystem,
-    trace: &Trace,
-    warmup: usize,
-) -> RunReport {
+pub fn drive_steady_state(sys: &mut dyn CoherentSystem, trace: &Trace, warmup: usize) -> RunReport {
     let mut stamp = 1u64;
     let mut warm_bits = 0u64;
     let mut measured = 0usize;
@@ -217,5 +219,46 @@ mod tests {
         let tail = drive_steady_state(&mut b, &trace, 100);
         assert_eq!(tail.references, 300);
         assert!(tail.total_bits < full.total_bits);
+    }
+
+    #[test]
+    fn steady_state_with_warmup_covering_whole_trace_reports_nothing() {
+        let mut rng = SimRng::seed_from(2);
+        let trace = SharedBlockWorkload::new(4, 4, 0.3)
+            .references(50)
+            .generate(8, &mut rng);
+        for warmup in [50, 51, 1000] {
+            let mut sys = NoCacheSystem::new(8);
+            let r = drive_steady_state(&mut sys, &trace, warmup);
+            assert_eq!((r.references, r.total_bits), (0, 0), "warmup = {warmup}");
+            assert_eq!(r.bits_per_ref, 0.0);
+            // The warmup references still executed (state is warm)...
+            assert!(sys.total_traffic_bits() > 0);
+        }
+    }
+
+    #[test]
+    fn steady_state_on_empty_trace_is_zero() {
+        let trace = Trace::new(8);
+        let mut sys = NoCacheSystem::new(8);
+        for warmup in [0, 7] {
+            let r = drive_steady_state(&mut sys, &trace, warmup);
+            assert_eq!((r.references, r.total_bits), (0, 0));
+            assert_eq!(r.bits_per_ref, 0.0);
+        }
+        assert_eq!(drive(&mut sys, &trace).bits_per_ref, 0.0);
+    }
+
+    #[test]
+    fn zero_warmup_steady_state_equals_full_drive() {
+        let mut rng = SimRng::seed_from(3);
+        let trace = SharedBlockWorkload::new(4, 4, 0.3)
+            .references(120)
+            .generate(8, &mut rng);
+        let mut a = NoCacheSystem::new(8);
+        let full = drive(&mut a, &trace);
+        let mut b = NoCacheSystem::new(8);
+        let tail = drive_steady_state(&mut b, &trace, 0);
+        assert_eq!(full, tail);
     }
 }

@@ -1,0 +1,197 @@
+//! Parallel sweep engine: fan independent simulation cells across cores.
+//!
+//! Every figure-reproduction binary evaluates a grid of independent cells —
+//! (write fraction × system) for fig. 8, (sharing set size × scheme) for
+//! fig. 5, and so on. Each cell seeds its own [`tmc_simcore::SimRng`] and
+//! builds its own [`tmc_core::System`], so cells share no state and can run
+//! on any thread in any order. This module provides the one primitive they
+//! all need: [`map`], a deterministic parallel map.
+//!
+//! Results are returned **in cell order** regardless of which thread ran
+//! which cell or when it finished, so a parallel sweep's output is
+//! bit-for-bit identical to the serial one (`tests/sweep_determinism.rs`
+//! checks exactly that). Scheduling is work-stealing: cells are dealt
+//! round-robin onto per-worker queues, each worker drains its own queue from
+//! the front and steals from the back of others when idle, which keeps long
+//! cells (high write fractions, big caches) from serializing the sweep.
+//!
+//! Built entirely on `std::thread::scope` — no external crates, so the
+//! hermetic offline build keeps working.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = tmc_bench::sweep::map((0..8u64).collect(), |x| x * x);
+//! assert_eq!(squares, [0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "TMC_SWEEP_THREADS";
+
+/// Parses a `TMC_SWEEP_THREADS`-style override; `default` when absent or
+/// unparsable. Zero is treated as "no override".
+fn parse_threads(value: Option<&str>, default: usize) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+/// The worker-thread count a sweep will use: `TMC_SWEEP_THREADS` if set to a
+/// positive integer, otherwise the machine's available parallelism.
+pub fn num_threads() -> usize {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    parse_threads(std::env::var(THREADS_ENV).ok().as_deref(), default)
+}
+
+/// Maps `worker` over `cells` in parallel, returning results in cell order.
+///
+/// Uses [`num_threads`] workers. The worker function must be `Sync` (shared
+/// by reference across threads) and is called exactly once per cell.
+/// Equivalent to `cells.into_iter().map(worker).collect()` — only faster.
+pub fn map<I, R, F>(cells: Vec<I>, worker: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    map_with_threads(num_threads(), cells, worker)
+}
+
+/// [`map`] with an explicit thread count. `threads <= 1` runs serially on
+/// the calling thread (no pool, no locks), which is also the reference
+/// behavior the parallel path must reproduce.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker invocation.
+pub fn map_with_threads<I, R, F>(threads: usize, cells: Vec<I>, worker: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = cells.len();
+    if threads <= 1 || n <= 1 {
+        return cells.into_iter().map(worker).collect();
+    }
+    let threads = threads.min(n);
+
+    // Deal cells round-robin onto per-worker queues. Indexes ride along so
+    // the merge can restore cell order.
+    let queues: Vec<Mutex<VecDeque<(usize, I)>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (idx, cell) in cells.into_iter().enumerate() {
+        queues[idx % threads]
+            .lock()
+            .expect("queue poisoned")
+            .push_back((idx, cell));
+    }
+
+    let queues = &queues;
+    let worker = &worker;
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|me| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        // Own queue first (front), then steal from the back
+                        // of the busiest-looking victim order: a simple
+                        // cyclic scan starting at our right neighbor.
+                        let job = queues[me].lock().expect("queue poisoned").pop_front();
+                        let job = job.or_else(|| {
+                            (1..threads).find_map(|off| {
+                                queues[(me + off) % threads]
+                                    .lock()
+                                    .expect("queue poisoned")
+                                    .pop_back()
+                            })
+                        });
+                        match job {
+                            Some((idx, cell)) => done.push((idx, worker(cell))),
+                            None => break,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+
+    tagged.sort_unstable_by_key(|&(idx, _)| idx);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_cell_order() {
+        let cells: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let got = map_with_threads(threads, cells.clone(), |x| x * 3);
+            let want: Vec<usize> = cells.iter().map(|x| x * 3).collect();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_cell_costs_still_merge_in_order() {
+        // Make early cells slow so stealing actually reorders execution.
+        let cells: Vec<u64> = (0..40).collect();
+        let got = map_with_threads(4, cells, |x| {
+            let spin = if x < 4 { 200_000 } else { 100 };
+            let mut acc = x;
+            for i in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            x * x
+        });
+        assert_eq!(got, (0..40).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_sweeps() {
+        let empty: Vec<u32> = map_with_threads(8, Vec::new(), |x: u32| x);
+        assert!(empty.is_empty());
+        assert_eq!(map_with_threads(8, vec![7u32], |x| x + 1), [8]);
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_threads(None, 6), 6);
+        assert_eq!(parse_threads(Some("4"), 6), 4);
+        assert_eq!(parse_threads(Some(" 2 "), 6), 2);
+        assert_eq!(parse_threads(Some("0"), 6), 6);
+        assert_eq!(parse_threads(Some("lots"), 6), 6);
+        assert_eq!(parse_threads(Some(""), 6), 6);
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_stateful_cells() {
+        use tmc_simcore::SimRng;
+        let cells: Vec<u64> = (0..24).collect();
+        let run = |seed: u64| {
+            let mut rng = SimRng::seed_from(seed);
+            (0..100)
+                .map(|_| rng.next_u64())
+                .fold(0u64, u64::wrapping_add)
+        };
+        let serial = map_with_threads(1, cells.clone(), run);
+        let parallel = map_with_threads(4, cells, run);
+        assert_eq!(serial, parallel);
+    }
+}

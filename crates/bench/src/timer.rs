@@ -1,0 +1,110 @@
+//! A small wall-clock micro-benchmark harness.
+//!
+//! Replaces the external `criterion` dependency for this repo's needs: time
+//! a closure, auto-scaling the iteration count until the measurement window
+//! is long enough to trust, and report nanoseconds per iteration and
+//! iterations per second. Wrap inputs/outputs in [`std::hint::black_box`]
+//! inside the closure to keep the optimizer honest.
+//!
+//! # Example
+//!
+//! ```
+//! use std::hint::black_box;
+//!
+//! let r = tmc_bench::timer::bench("sum", || {
+//!     black_box((0..1000u64).sum::<u64>());
+//! });
+//! assert!(r.ns_per_iter > 0.0);
+//! assert!(r.per_sec > 0.0);
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Outcome of one [`bench`] measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Label passed to [`bench`].
+    pub label: String,
+    /// Iterations in the final (reported) measurement window.
+    pub iters: u64,
+    /// Wall-clock length of that window.
+    pub elapsed: Duration,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per second (`1e9 / ns_per_iter`).
+    pub per_sec: f64,
+}
+
+impl BenchResult {
+    /// One-line human-readable rendering, e.g.
+    /// `multicast/bitvector: 1234.5 ns/iter (810044 iters/s)`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}: {:.1} ns/iter ({:.0} iters/s)",
+            self.label, self.ns_per_iter, self.per_sec
+        )
+    }
+}
+
+/// Minimum measurement window; shorter runs double the iteration count and
+/// retry, so timer granularity and call overhead stay negligible.
+const MIN_WINDOW: Duration = Duration::from_millis(50);
+
+/// Times `f`, doubling the iteration count until one timed window lasts at
+/// least 50 ms, and reports the per-iteration mean of the final window. One
+/// untimed warmup call precedes measurement.
+pub fn bench<F: FnMut()>(label: &str, mut f: F) -> BenchResult {
+    f(); // warmup: touch caches, fault in lazy state
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= MIN_WINDOW || iters >= u64::MAX / 2 {
+            let ns_per_iter = (elapsed.as_nanos() as f64 / iters as f64).max(f64::MIN_POSITIVE);
+            return BenchResult {
+                label: label.to_string(),
+                iters,
+                elapsed,
+                ns_per_iter,
+                per_sec: 1e9 / ns_per_iter,
+            };
+        }
+        iters = iters.saturating_mul(2);
+    }
+}
+
+/// Times one call of `f`, returning its result and the wall-clock duration.
+/// For macro-scale measurements (whole sweeps) where one run is the unit.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scales_iterations_and_reports_sane_rates() {
+        let r = bench("noop", || {
+            std::hint::black_box(1u64);
+        });
+        assert_eq!(r.label, "noop");
+        assert!(r.iters > 1, "a no-op must need many iterations");
+        assert!(r.elapsed >= MIN_WINDOW);
+        assert!(r.ns_per_iter > 0.0);
+        assert!((r.per_sec - 1e9 / r.ns_per_iter).abs() < 1.0);
+        assert!(r.render().contains("noop"));
+    }
+
+    #[test]
+    fn time_once_returns_the_value() {
+        let (v, d) = time_once(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

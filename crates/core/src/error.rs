@@ -26,7 +26,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::BadProcessor { proc, n_procs } => {
-                write!(f, "processor {proc} out of range for {n_procs}-processor machine")
+                write!(
+                    f,
+                    "processor {proc} out of range for {n_procs}-processor machine"
+                )
             }
             CoreError::BadConfig(why) => write!(f, "invalid system configuration: {why}"),
             CoreError::Net(e) => write!(f, "network error: {e}"),
@@ -72,12 +75,17 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = CoreError::BadProcessor { proc: 9, n_procs: 8 };
+        let e = CoreError::BadProcessor {
+            proc: 9,
+            n_procs: 8,
+        };
         assert!(e.to_string().contains("processor 9"));
         let n: CoreError = NetError::EmptyDestSet.into();
         assert!(n.source().is_some());
         assert!(CoreError::BadConfig("x".into()).to_string().contains('x'));
-        let v = InvariantViolation { what: "two owners".into() };
+        let v = InvariantViolation {
+            what: "two owners".into(),
+        };
         assert!(v.to_string().contains("two owners"));
     }
 }

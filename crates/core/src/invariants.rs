@@ -53,9 +53,7 @@ impl System {
                         Validity::Invalid => invalid_holders.push(c),
                     }
                     if line.modified && !line.is_owned() {
-                        return fail(format!(
-                            "{block}: non-owner C{c} has the modified bit set"
-                        ));
+                        return fail(format!("{block}: non-owner C{c} has the modified bit set"));
                     }
                 }
             }

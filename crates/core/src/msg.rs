@@ -1,6 +1,5 @@
 //! Protocol messages and the per-transaction trace log.
 
-use serde::{Deserialize, Serialize};
 use tmc_memsys::BlockAddr;
 use tmc_omeganet::SchemeChoice;
 
@@ -9,7 +8,8 @@ use crate::state::StateName;
 /// Every message family the protocol sends. The names follow §2.2 of the
 /// paper; `Fwd*` variants are the memory module retransmitting a request to
 /// the owner it found in the block store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MsgKind {
     /// Cache → memory: load request (read miss).
     LoadReq,
@@ -84,7 +84,8 @@ impl MsgKind {
 }
 
 /// Where a message went.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Destination {
     /// One port.
     Unicast(usize),
@@ -98,7 +99,8 @@ pub enum Destination {
 }
 
 /// One entry of a transaction trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TraceEvent {
     /// A message crossed the network.
     Msg {
@@ -133,7 +135,8 @@ pub enum TraceEvent {
 /// Logging is off by default ([`crate::SystemConfig::log_transactions`]);
 /// when on, every message and state change lands here until drained by
 /// [`TransactionLog::drain`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TransactionLog {
     events: Vec<TraceEvent>,
 }

@@ -7,12 +7,12 @@
 //! the fields and [`CacheLine::state_name`] performs the classification,
 //! exactly as the hardware comparators would.
 
-use serde::{Deserialize, Serialize};
 use tmc_memsys::{BlockData, CacheId};
 use tmc_omeganet::DestSet;
 
 /// The consistency mode of a block — the paper's DW bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Mode {
     /// Writes are distributed to every cache holding a copy (DW = 1).
     DistributedWrite,
@@ -38,7 +38,8 @@ impl std::fmt::Display for Mode {
 }
 
 /// Validity/ownership of a resident line (the V and O bits).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Validity {
     /// V = 0: the entry is reserved (tag match) but holds no valid copy;
     /// the OWNER field says where the block lives.
@@ -51,7 +52,8 @@ pub enum Validity {
 
 /// The six named states of Table 1 (plus the implicit "no entry at all",
 /// which is a cache miss rather than a state).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StateName {
     /// V = 0.
     Invalid,
@@ -72,9 +74,7 @@ impl std::fmt::Display for StateName {
         let s = match self {
             StateName::Invalid => "Invalid",
             StateName::UnOwned => "UnOwned",
-            StateName::OwnedExclusivelyDistributedWrite => {
-                "Owned Exclusively Distributed Write"
-            }
+            StateName::OwnedExclusivelyDistributedWrite => "Owned Exclusively Distributed Write",
             StateName::OwnedExclusivelyGlobalRead => "Owned Exclusively Global Read",
             StateName::OwnedNonExclusivelyDistributedWrite => {
                 "Owned NonExclusively Distributed Write"
@@ -88,7 +88,8 @@ impl std::fmt::Display for StateName {
 /// One cache entry: the paper's data portion, tag (held by the enclosing
 /// [`CacheArray`](tmc_memsys::CacheArray) keyed by block address) and state
 /// field.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheLine {
     /// V and O bits.
     pub validity: Validity,
@@ -187,13 +188,9 @@ impl CacheLine {
             Validity::Invalid => StateName::Invalid,
             Validity::UnOwned => StateName::UnOwned,
             Validity::Owned => match (self.mode, self.is_exclusive(me)) {
-                (Mode::DistributedWrite, true) => {
-                    StateName::OwnedExclusivelyDistributedWrite
-                }
+                (Mode::DistributedWrite, true) => StateName::OwnedExclusivelyDistributedWrite,
                 (Mode::GlobalRead, true) => StateName::OwnedExclusivelyGlobalRead,
-                (Mode::DistributedWrite, false) => {
-                    StateName::OwnedNonExclusivelyDistributedWrite
-                }
+                (Mode::DistributedWrite, false) => StateName::OwnedNonExclusivelyDistributedWrite,
                 (Mode::GlobalRead, false) => StateName::OwnedNonExclusivelyGlobalRead,
             },
         }
@@ -249,8 +246,7 @@ mod tests {
 
     #[test]
     fn exclusivity_requires_self_presence() {
-        let mut line =
-            CacheLine::owned_exclusive(BlockData::zeroed(1), me(), Mode::GlobalRead, 8);
+        let mut line = CacheLine::owned_exclusive(BlockData::zeroed(1), me(), Mode::GlobalRead, 8);
         assert!(line.is_exclusive(me()));
         line.present.remove(me().port());
         line.present.insert(0);
@@ -259,14 +255,17 @@ mod tests {
 
     #[test]
     fn window_counters_reset() {
-        let mut line =
-            CacheLine::owned_exclusive(BlockData::zeroed(1), me(), Mode::GlobalRead, 8);
+        let mut line = CacheLine::owned_exclusive(BlockData::zeroed(1), me(), Mode::GlobalRead, 8);
         line.window_refs = 10;
         line.window_remote_reads = 4;
         line.window_writes = 3;
         line.reset_window();
         assert_eq!(
-            (line.window_refs, line.window_remote_reads, line.window_writes),
+            (
+                line.window_refs,
+                line.window_remote_reads,
+                line.window_writes
+            ),
             (0, 0, 0)
         );
     }

@@ -9,10 +9,8 @@
 //! execution model; timing (with link contention) is layered on optionally
 //! and never affects correctness.
 
-use tmc_memsys::{
-    BlockAddr, BlockStore, CacheArray, CacheId, MainMemory, ModuleMap, WordAddr,
-};
-use tmc_omeganet::{DestSet, LinkSchedule, Omega, TrafficMatrix};
+use tmc_memsys::{BlockAddr, BlockStore, CacheArray, CacheId, MainMemory, ModuleMap, WordAddr};
+use tmc_omeganet::{CastCache, DestSet, LinkSchedule, Omega, TrafficMatrix};
 use tmc_simcore::{CounterSet, Histogram, SimTime};
 
 use crate::config::{ModePolicy, SystemConfig};
@@ -84,6 +82,9 @@ pub struct System {
     /// Fault injection: the next `nak_budget` ownership offers are refused
     /// (never the last remaining candidate, so handoff always terminates).
     nak_budget: usize,
+    /// Memoized multicast traversals; repeat casts replay recorded link
+    /// charges instead of re-walking the routing tree.
+    cast_cache: CastCache,
 }
 
 impl System {
@@ -94,8 +95,8 @@ impl System {
     /// Returns [`CoreError::BadConfig`] if the network cannot be built for
     /// the requested cache count.
     pub fn new(cfg: SystemConfig) -> Result<Self, CoreError> {
-        let net = Omega::with_ports(cfg.n_caches)
-            .map_err(|e| CoreError::BadConfig(e.to_string()))?;
+        let net =
+            Omega::with_ports(cfg.n_caches).map_err(|e| CoreError::BadConfig(e.to_string()))?;
         if net.ports() != cfg.n_caches {
             return Err(CoreError::BadConfig(format!(
                 "cache count {} is not a power of two",
@@ -119,6 +120,7 @@ impl System {
             txn_bits: 0,
             txn_msgs: 0,
             nak_budget: 0,
+            cast_cache: CastCache::new(),
             net,
             traffic,
             cfg,
@@ -289,8 +291,15 @@ impl System {
         payload_bits: u64,
     ) -> Vec<usize> {
         let receipt = self
-            .net
-            .multicast(self.cfg.multicast, from, dests, payload_bits, &mut self.traffic)
+            .cast_cache
+            .multicast(
+                &self.net,
+                self.cfg.multicast,
+                from,
+                dests,
+                payload_bits,
+                &mut self.traffic,
+            )
             .expect("dest sets are valid by construction");
         self.txn_bits += receipt.cost_bits;
         self.txn_msgs += 1;
@@ -299,7 +308,15 @@ impl System {
         self.counters.add(kind.bits_counter(), receipt.cost_bits);
         if let (Some(sched), Some(model)) = (self.schedule.as_mut(), self.cfg.timing) {
             let arrivals = sched
-                .timed_multicast(&self.net, model, receipt.scheme, from, dests, payload_bits, self.now)
+                .timed_multicast(
+                    &self.net,
+                    model,
+                    receipt.scheme,
+                    from,
+                    dests,
+                    payload_bits,
+                    self.now,
+                )
                 .expect("validated");
             if let Some(latest) = arrivals.iter().map(|&(_, t)| t).max() {
                 self.now = latest;
@@ -324,16 +341,16 @@ impl System {
         self.state_name(cache, block)
     }
 
-    fn note_state_change(
-        &mut self,
-        cache: usize,
-        block: BlockAddr,
-        from: Option<StateName>,
-    ) {
+    fn note_state_change(&mut self, cache: usize, block: BlockAddr, from: Option<StateName>) {
         if self.cfg.log_transactions {
             let to = self.state_name(cache, block);
             if from != to {
-                self.log.push(TraceEvent::StateChange { cache, block, from, to });
+                self.log.push(TraceEvent::StateChange {
+                    cache,
+                    block,
+                    from,
+                    to,
+                });
             }
         }
     }
@@ -520,7 +537,12 @@ impl System {
                     .data
                     .clone();
                 let h = self.home_port(block);
-                self.send(MsgKind::WriteBack, proc, h, self.cfg.sizing.block_transfer_bits());
+                self.send(
+                    MsgKind::WriteBack,
+                    proc,
+                    h,
+                    self.cfg.sizing.block_transfer_bits(),
+                );
                 self.counters.incr("writebacks");
                 self.memory.write_block(block, data);
                 self.caches[proc].peek_mut(block).expect("listed").modified = false;
@@ -539,7 +561,12 @@ impl System {
         match self.store.owner(block) {
             None => self.load_from_memory(proc, block, offset, h),
             Some(o) => {
-                self.send(MsgKind::FwdLoad, h, o.port(), self.cfg.sizing.request_bits());
+                self.send(
+                    MsgKind::FwdLoad,
+                    h,
+                    o.port(),
+                    self.cfg.sizing.request_bits(),
+                );
                 self.serve_load_from_owner(o.port(), proc, block, offset)
             }
         }
@@ -573,10 +600,20 @@ impl System {
                         "stale OWNER hint at C{proc} for {block}: redirect via memory"
                     ));
                     let h = self.home_port(block);
-                    self.send(MsgKind::Redirect, target.port(), h, self.cfg.sizing.request_bits());
+                    self.send(
+                        MsgKind::Redirect,
+                        target.port(),
+                        h,
+                        self.cfg.sizing.request_bits(),
+                    );
                     match self.store.owner(block) {
                         Some(o) => {
-                            self.send(MsgKind::FwdLoad, h, o.port(), self.cfg.sizing.request_bits());
+                            self.send(
+                                MsgKind::FwdLoad,
+                                h,
+                                o.port(),
+                                self.cfg.sizing.request_bits(),
+                            );
                             self.serve_load_from_owner(o.port(), proc, block, offset)
                         }
                         None => self.load_from_memory(proc, block, offset, h),
@@ -591,7 +628,12 @@ impl System {
     /// the policy's initial mode.
     fn load_from_memory(&mut self, proc: usize, block: BlockAddr, offset: usize, h: usize) -> u64 {
         let data = self.memory.read_block(block).clone();
-        self.send(MsgKind::BlockReply, h, proc, self.cfg.sizing.block_transfer_bits());
+        self.send(
+            MsgKind::BlockReply,
+            h,
+            proc,
+            self.cfg.sizing.block_transfer_bits(),
+        );
         let value = data.word(offset);
         let before = self.log_state(proc, block);
         let line = CacheLine::owned_exclusive(
@@ -627,7 +669,12 @@ impl System {
         match mode {
             Mode::DistributedWrite => {
                 // 2(b)i: the owner sends a copy; requester holds it UnOwned.
-                self.send(MsgKind::BlockReply, owner, proc, self.cfg.sizing.block_transfer_bits());
+                self.send(
+                    MsgKind::BlockReply,
+                    owner,
+                    proc,
+                    self.cfg.sizing.block_transfer_bits(),
+                );
                 let before = self.log_state(proc, block);
                 let line = CacheLine::unowned(data, CacheId(owner as u16), self.cfg.n_caches);
                 self.install_line(proc, block, line);
@@ -641,8 +688,7 @@ impl System {
                 let bits = if has_entry {
                     self.cfg.sizing.datum_bits()
                 } else {
-                    self.cfg.sizing.datum_bits()
-                        + self.cfg.n_caches.trailing_zeros() as u64
+                    self.cfg.sizing.datum_bits() + self.cfg.n_caches.trailing_zeros() as u64
                 };
                 self.send(MsgKind::DatumReply, owner, proc, bits);
                 let before = self.log_state(proc, block);
@@ -711,7 +757,12 @@ impl System {
     /// the memory module.
     fn acquire_ownership_from_unowned(&mut self, proc: usize, block: BlockAddr) {
         let h = self.home_port(block);
-        self.send(MsgKind::OwnershipReq, proc, h, self.cfg.sizing.request_bits());
+        self.send(
+            MsgKind::OwnershipReq,
+            proc,
+            h,
+            self.cfg.sizing.request_bits(),
+        );
         let old = self
             .store
             .owner(block)
@@ -719,7 +770,12 @@ impl System {
             .port();
         debug_assert_ne!(old, proc, "owner cannot hold an UnOwned copy");
         self.store.set_owner(block, CacheId(proc as u16));
-        self.send(MsgKind::FwdOwnership, h, old, self.cfg.sizing.request_bits());
+        self.send(
+            MsgKind::FwdOwnership,
+            h,
+            old,
+            self.cfg.sizing.request_bits(),
+        );
         self.transfer_ownership(old, proc, block, /* requester_has_data */ true);
     }
 
@@ -869,18 +925,31 @@ impl System {
         self.counters.incr("replacements");
         let before = self.log_state(proc, victim);
         let h = self.home_port(victim);
-        let line = self.caches[proc].peek(victim).expect("victim exists").clone();
+        let line = self.caches[proc]
+            .peek(victim)
+            .expect("victim exists")
+            .clone();
         match line.validity {
             Validity::Owned => {
                 let me = CacheId(proc as u16);
                 if line.is_exclusive(me) {
                     // 5(a): tell memory, write back if modified.
                     if line.modified {
-                        self.send(MsgKind::WriteBack, proc, h, self.cfg.sizing.block_transfer_bits());
+                        self.send(
+                            MsgKind::WriteBack,
+                            proc,
+                            h,
+                            self.cfg.sizing.block_transfer_bits(),
+                        );
                         self.counters.incr("writebacks");
                         self.memory.write_block(victim, line.data.clone());
                     } else {
-                        self.send(MsgKind::ReplaceNotice, proc, h, self.cfg.sizing.request_bits());
+                        self.send(
+                            MsgKind::ReplaceNotice,
+                            proc,
+                            h,
+                            self.cfg.sizing.request_bits(),
+                        );
                     }
                     self.store.clear(victim);
                 } else {
@@ -890,9 +959,19 @@ impl System {
             }
             Validity::UnOwned | Validity::Invalid => {
                 // 5(c): via memory, ask the owner to clear our present flag.
-                self.send(MsgKind::ReplaceNotice, proc, h, self.cfg.sizing.request_bits());
+                self.send(
+                    MsgKind::ReplaceNotice,
+                    proc,
+                    h,
+                    self.cfg.sizing.request_bits(),
+                );
                 if let Some(o) = self.store.owner(victim) {
-                    self.send(MsgKind::FwdPresenceClear, h, o.port(), self.cfg.sizing.request_bits());
+                    self.send(
+                        MsgKind::FwdPresenceClear,
+                        h,
+                        o.port(),
+                        self.cfg.sizing.request_bits(),
+                    );
                     if let Some(oline) = self.caches[o.port()].peek_mut(victim) {
                         oline.present.remove(proc);
                     }
@@ -908,12 +987,16 @@ impl System {
     /// regular ownership-request handshake through the memory module.
     fn handoff_ownership(&mut self, proc: usize, block: BlockAddr, line: &CacheLine) {
         let h = self.home_port(block);
-        let candidates: Vec<usize> =
-            line.present.iter().filter(|&p| p != proc).collect();
+        let candidates: Vec<usize> = line.present.iter().filter(|&p| p != proc).collect();
         debug_assert!(!candidates.is_empty(), "nonexclusive implies other copies");
         let mut accepted = None;
         for (i, &cand) in candidates.iter().enumerate() {
-            self.send(MsgKind::OwnershipOffer, proc, cand, self.cfg.sizing.request_bits());
+            self.send(
+                MsgKind::OwnershipOffer,
+                proc,
+                cand,
+                self.cfg.sizing.request_bits(),
+            );
             let last = i + 1 == candidates.len();
             if self.nak_budget > 0 && !last {
                 self.nak_budget -= 1;
@@ -930,9 +1013,19 @@ impl System {
 
         // The acceptor requests ownership "according to the protocol":
         // through the memory module, which updates the block store.
-        self.send(MsgKind::OwnershipReq, cand, h, self.cfg.sizing.request_bits());
+        self.send(
+            MsgKind::OwnershipReq,
+            cand,
+            h,
+            self.cfg.sizing.request_bits(),
+        );
         self.store.set_owner(block, CacheId(cand as u16));
-        self.send(MsgKind::FwdOwnership, h, proc, self.cfg.sizing.request_bits());
+        self.send(
+            MsgKind::FwdOwnership,
+            h,
+            proc,
+            self.cfg.sizing.request_bits(),
+        );
 
         // Transfer the state field (and data in GR mode, where the
         // candidate only has an invalid entry). The departing cache's own
@@ -1049,8 +1142,7 @@ impl System {
                         if let Some(line) = self.caches[dest].peek_mut(block) {
                             if line.is_valid() && !line.is_owned() {
                                 let b = self.log_state(dest, block);
-                                let line =
-                                    self.caches[dest].peek_mut(block).expect("checked");
+                                let line = self.caches[dest].peek_mut(block).expect("checked");
                                 line.validity = Validity::Invalid;
                                 line.owner_hint = Some(CacheId(owner as u16));
                                 self.note_state_change(dest, block, b);

@@ -38,13 +38,16 @@ fn apply(sys: &mut System, op: Op) {
     let spec = sys.config().spec;
     match op {
         Op::Read(p, b) => {
-            sys.read(p, spec.word_at(BlockAddr::new(b), 0)).expect("read");
+            sys.read(p, spec.word_at(BlockAddr::new(b), 0))
+                .expect("read");
         }
         Op::Write(p, b) => {
-            sys.write(p, spec.word_at(BlockAddr::new(b), 0), 1).expect("write");
+            sys.write(p, spec.word_at(BlockAddr::new(b), 0), 1)
+                .expect("write");
         }
         Op::SetMode(p, b, m) => {
-            sys.set_mode(p, spec.word_at(BlockAddr::new(b), 0), m).expect("set_mode");
+            sys.set_mode(p, spec.word_at(BlockAddr::new(b), 0), m)
+                .expect("set_mode");
         }
     }
 }
@@ -138,7 +141,11 @@ fn fingerprint_ignores_data_but_not_state() {
     // Mode changes are protocol-visible.
     let mut s4 = mk();
     s4.write(0, spec.word_at(BlockAddr::new(0), 0), 7).unwrap();
-    s4.set_mode(0, spec.word_at(BlockAddr::new(0), 0), Mode::DistributedWrite)
-        .unwrap();
+    s4.set_mode(
+        0,
+        spec.word_at(BlockAddr::new(0), 0),
+        Mode::DistributedWrite,
+    )
+    .unwrap();
     assert_ne!(s1.protocol_fingerprint(), s4.protocol_fingerprint());
 }

@@ -1,45 +1,82 @@
-//! Property-based protocol tests: arbitrary operation sequences against the
+//! Randomized protocol tests: arbitrary operation sequences against the
 //! program-order oracle, across machine shapes, with invariants checked at
-//! every step.
+//! every step. Driven by the in-tree [`SimRng`] (no external crates needed).
 
-use proptest::prelude::*;
 use tmc_core::{Mode, ModePolicy, System, SystemConfig};
 use tmc_memsys::{BlockAddr, CacheGeometry, ReferenceMemory};
 use tmc_omeganet::SchemeKind;
+use tmc_simcore::SimRng;
+
+const CASES: usize = 48;
 
 #[derive(Debug, Clone)]
 enum ProtoOp {
-    Read { proc: usize, block: u64, offset: usize },
-    Write { proc: usize, block: u64, offset: usize },
-    SetMode { proc: usize, block: u64, dw: bool },
+    Read {
+        proc: usize,
+        block: u64,
+        offset: usize,
+    },
+    Write {
+        proc: usize,
+        block: u64,
+        offset: usize,
+    },
+    SetMode {
+        proc: usize,
+        block: u64,
+        dw: bool,
+    },
 }
 
-fn arb_ops(n_procs: usize, n_blocks: u64, len: usize) -> impl Strategy<Value = Vec<ProtoOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            4 => (0..n_procs, 0..n_blocks, 0usize..4)
-                .prop_map(|(proc, block, offset)| ProtoOp::Read { proc, block, offset }),
-            3 => (0..n_procs, 0..n_blocks, 0usize..4)
-                .prop_map(|(proc, block, offset)| ProtoOp::Write { proc, block, offset }),
-            1 => (0..n_procs, 0..n_blocks, any::<bool>())
-                .prop_map(|(proc, block, dw)| ProtoOp::SetMode { proc, block, dw }),
-        ],
-        1..len,
-    )
+/// Weighted mix mirroring the old proptest strategy: 4 reads : 3 writes :
+/// 1 mode switch.
+fn arb_ops(rng: &mut SimRng, n_procs: usize, n_blocks: u64, len: usize) -> Vec<ProtoOp> {
+    let count = rng.gen_range(1..len);
+    (0..count)
+        .map(|_| {
+            let proc = rng.gen_range(0..n_procs);
+            let block = rng.gen_range(0..n_blocks);
+            match rng.gen_range(0..8u32) {
+                0..=3 => ProtoOp::Read {
+                    proc,
+                    block,
+                    offset: rng.gen_range(0..4usize),
+                },
+                4..=6 => ProtoOp::Write {
+                    proc,
+                    block,
+                    offset: rng.gen_range(0..4usize),
+                },
+                _ => ProtoOp::SetMode {
+                    proc,
+                    block,
+                    dw: rng.gen_bool(0.5),
+                },
+            }
+        })
+        .collect()
 }
 
-fn run_ops(cfg: SystemConfig, ops: &[ProtoOp]) -> Result<(), TestCaseError> {
+fn run_ops(cfg: SystemConfig, ops: &[ProtoOp]) {
     let spec = cfg.spec;
     let mut sys = System::new(cfg).expect("valid config");
     let mut oracle = ReferenceMemory::new();
     for (i, op) in ops.iter().enumerate() {
         match *op {
-            ProtoOp::Read { proc, block, offset } => {
+            ProtoOp::Read {
+                proc,
+                block,
+                offset,
+            } => {
                 let a = spec.word_at(BlockAddr::new(block), offset);
                 let got = sys.read(proc, a).expect("valid proc");
-                prop_assert_eq!(got, oracle.read(a), "step {}", i);
+                assert_eq!(got, oracle.read(a), "step {i}");
             }
-            ProtoOp::Write { proc, block, offset } => {
+            ProtoOp::Write {
+                proc,
+                block,
+                offset,
+            } => {
                 let a = spec.word_at(BlockAddr::new(block), offset);
                 let v = oracle.stamp();
                 sys.write(proc, a, v).expect("valid proc");
@@ -47,106 +84,138 @@ fn run_ops(cfg: SystemConfig, ops: &[ProtoOp]) -> Result<(), TestCaseError> {
             }
             ProtoOp::SetMode { proc, block, dw } => {
                 let a = spec.word_at(BlockAddr::new(block), 0);
-                let mode = if dw { Mode::DistributedWrite } else { Mode::GlobalRead };
+                let mode = if dw {
+                    Mode::DistributedWrite
+                } else {
+                    Mode::GlobalRead
+                };
                 sys.set_mode(proc, a, mode).expect("valid proc");
             }
         }
         if let Err(v) = sys.check_invariants() {
-            return Err(TestCaseError::fail(format!("step {i}: {v}")));
+            panic!("step {i}: {v}");
         }
     }
     sys.flush();
     for (a, v) in oracle.iter() {
-        prop_assert_eq!(sys.peek_word(a), v, "post-flush {}", a);
+        assert_eq!(sys.peek_word(a), v, "post-flush {a}");
     }
     sys.check_invariants().expect("after flush");
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn oracle_holds_default_config(ops in arb_ops(4, 6, 120)) {
-        run_ops(SystemConfig::new(4), &ops)?;
+#[test]
+fn oracle_holds_default_config() {
+    let mut rng = SimRng::seed_from(0x0AC1E);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng, 4, 6, 120);
+        run_ops(SystemConfig::new(4), &ops);
     }
+}
 
-    #[test]
-    fn oracle_holds_with_one_slot_caches(ops in arb_ops(4, 6, 120)) {
+#[test]
+fn oracle_holds_with_one_slot_caches() {
+    let mut rng = SimRng::seed_from(0x51075);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng, 4, 6, 120);
         run_ops(
             SystemConfig::new(4).geometry(CacheGeometry::new(1, 1)),
             &ops,
-        )?;
+        );
     }
+}
 
-    #[test]
-    fn oracle_holds_under_adaptive_policy(ops in arb_ops(4, 6, 120)) {
+#[test]
+fn oracle_holds_under_adaptive_policy() {
+    let mut rng = SimRng::seed_from(0xADA7);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng, 4, 6, 120);
         run_ops(
             SystemConfig::new(4)
                 .mode_policy(ModePolicy::Adaptive { window: 8 })
                 .geometry(CacheGeometry::new(2, 1)),
             &ops,
-        )?;
+        );
     }
+}
 
-    #[test]
-    fn oracle_holds_for_every_multicast_scheme(
-        ops in arb_ops(8, 8, 100),
-        scheme_pick in 0usize..4,
-    ) {
+#[test]
+fn oracle_holds_for_every_multicast_scheme() {
+    let mut rng = SimRng::seed_from(0x5C4E);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng, 8, 8, 100);
         let scheme = [
             SchemeKind::Replicated,
             SchemeKind::BitVector,
             SchemeKind::BroadcastTag,
             SchemeKind::Combined,
-        ][scheme_pick];
+        ][rng.gen_range(0..4usize)];
         run_ops(
             SystemConfig::new(8)
                 .multicast(scheme)
                 .mode_policy(ModePolicy::Fixed(Mode::DistributedWrite))
                 .geometry(CacheGeometry::new(2, 2)),
             &ops,
-        )?;
+        );
     }
+}
 
-    #[test]
-    fn oracle_holds_without_owner_bypass(ops in arb_ops(4, 6, 100)) {
+#[test]
+fn oracle_holds_without_owner_bypass() {
+    let mut rng = SimRng::seed_from(0xB9A5);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng, 4, 6, 100);
         run_ops(
             SystemConfig::new(4)
                 .owner_bypass(false)
                 .geometry(CacheGeometry::new(1, 2)),
             &ops,
-        )?;
+        );
     }
+}
 
-    /// Traffic accounting is internally consistent regardless of the
-    /// operation mix: the counter equals the matrix total, and the matrix
-    /// total is monotone along the run.
-    #[test]
-    fn traffic_accounting_is_consistent(ops in arb_ops(4, 6, 80)) {
+/// Traffic accounting is internally consistent regardless of the
+/// operation mix: the counter equals the matrix total, and the matrix
+/// total is monotone along the run.
+#[test]
+fn traffic_accounting_is_consistent() {
+    let mut rng = SimRng::seed_from(0x7AFF);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng, 4, 6, 80);
         let cfg = SystemConfig::new(4);
         let spec = cfg.spec;
         let mut sys = System::new(cfg).expect("valid");
         let mut last = 0;
         for op in &ops {
             match *op {
-                ProtoOp::Read { proc, block, offset } => {
+                ProtoOp::Read {
+                    proc,
+                    block,
+                    offset,
+                } => {
                     let a = spec.word_at(BlockAddr::new(block), offset);
                     sys.read(proc, a).unwrap();
                 }
-                ProtoOp::Write { proc, block, offset } => {
+                ProtoOp::Write {
+                    proc,
+                    block,
+                    offset,
+                } => {
                     let a = spec.word_at(BlockAddr::new(block), offset);
                     sys.write(proc, a, 1).unwrap();
                 }
                 ProtoOp::SetMode { proc, block, dw } => {
                     let a = spec.word_at(BlockAddr::new(block), 0);
-                    let mode = if dw { Mode::DistributedWrite } else { Mode::GlobalRead };
+                    let mode = if dw {
+                        Mode::DistributedWrite
+                    } else {
+                        Mode::GlobalRead
+                    };
                     sys.set_mode(proc, a, mode).unwrap();
                 }
             }
             let now = sys.traffic().total_bits();
-            prop_assert!(now >= last, "traffic must be monotone");
-            prop_assert_eq!(now, sys.counters().get("bits_total"));
+            assert!(now >= last, "traffic must be monotone");
+            assert_eq!(now, sys.counters().get("bits_total"));
             last = now;
         }
     }

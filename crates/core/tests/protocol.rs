@@ -24,7 +24,12 @@ fn cold_write_makes_exclusive_owner_in_global_read() {
         sys.state_name(0, sys.config().spec.block_of(addr(0))),
         Some(StateName::OwnedExclusivelyGlobalRead)
     );
-    assert_eq!(sys.owner_of(sys.config().spec.block_of(addr(0))).unwrap().port(), 0);
+    assert_eq!(
+        sys.owner_of(sys.config().spec.block_of(addr(0)))
+            .unwrap()
+            .port(),
+        0
+    );
     sys.check_invariants().unwrap();
 }
 
@@ -74,7 +79,11 @@ fn global_read_keeps_a_single_copy() {
     // Owner writes stay local (no copies to update).
     let before = sys.traffic().total_bits();
     sys.write(0, addr(16), 12).unwrap();
-    assert_eq!(sys.traffic().total_bits(), before, "GR owner write is local");
+    assert_eq!(
+        sys.traffic().total_bits(),
+        before,
+        "GR owner write is local"
+    );
     assert_eq!(sys.read(3, addr(16)).unwrap(), 12);
     sys.check_invariants().unwrap();
 }
@@ -122,7 +131,11 @@ fn write_by_reader_migrates_ownership_gr() {
     assert_eq!(sys.state_name(0, block), Some(StateName::Invalid));
     // The other invalid entry learned the new owner.
     assert_eq!(sys.read(2, addr(0)).unwrap(), 2);
-    assert_eq!(sys.counters().get("redirects"), 0, "announce kept hints fresh");
+    assert_eq!(
+        sys.counters().get("redirects"),
+        0,
+        "announce kept hints fresh"
+    );
     sys.check_invariants().unwrap();
 }
 
@@ -151,10 +164,15 @@ fn stale_hint_redirects_through_memory() {
     sys.write(0, addr(0), 1).unwrap(); // C0 owns, GR
     sys.read(3, addr(0)).unwrap(); // C3 invalid entry, hint → C0
     sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap(); // clears P
-    // Ownership moves in DW mode — no announcement to C3.
+                                                               // Ownership moves in DW mode — no announcement to C3.
     sys.read(1, addr(0)).unwrap();
     sys.write(1, addr(0), 2).unwrap();
-    assert_eq!(sys.owner_of(sys.config().spec.block_of(addr(0))).unwrap().port(), 1);
+    assert_eq!(
+        sys.owner_of(sys.config().spec.block_of(addr(0)))
+            .unwrap()
+            .port(),
+        1
+    );
     // C3's hint still points at C0: the read must bounce and still succeed.
     assert_eq!(sys.read(3, addr(0)).unwrap(), 2);
     assert!(sys.counters().get("redirects") >= 1);
@@ -179,10 +197,7 @@ fn exclusive_modified_replacement_writes_back() {
 
 #[test]
 fn unowned_replacement_clears_present_flag() {
-    let mut sys = System::new(
-        SystemConfig::new(4).geometry(CacheGeometry::new(1, 1)),
-    )
-    .unwrap();
+    let mut sys = System::new(SystemConfig::new(4).geometry(CacheGeometry::new(1, 1))).unwrap();
     let block0 = sys.config().spec.block_of(addr(0));
     sys.write(0, addr(0), 1).unwrap();
     sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap();
@@ -200,17 +215,14 @@ fn unowned_replacement_clears_present_flag() {
 
 #[test]
 fn nonexclusive_owner_replacement_hands_off_ownership() {
-    let mut sys = System::new(
-        SystemConfig::new(4).geometry(CacheGeometry::new(1, 1)),
-    )
-    .unwrap();
+    let mut sys = System::new(SystemConfig::new(4).geometry(CacheGeometry::new(1, 1))).unwrap();
     let block0 = sys.config().spec.block_of(addr(0));
     sys.write(0, addr(0), 5).unwrap();
     sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap();
     sys.read(1, addr(0)).unwrap(); // sharer
     sys.write(0, addr(0), 6).unwrap(); // owner modified
     sys.read(0, addr(4)).unwrap(); // owner evicts block 0 → 5(b)
-    // Ownership (and the modified bit) moved to the sharer.
+                                   // Ownership (and the modified bit) moved to the sharer.
     assert_eq!(sys.owner_of(block0).unwrap().port(), 1);
     assert_eq!(
         sys.state_name(1, block0),
@@ -226,25 +238,23 @@ fn nonexclusive_owner_replacement_hands_off_ownership() {
 
 #[test]
 fn gr_owner_replacement_hands_off_to_invalid_holder() {
-    let mut sys = System::new(
-        SystemConfig::new(4).geometry(CacheGeometry::new(1, 1)),
-    )
-    .unwrap();
+    let mut sys = System::new(SystemConfig::new(4).geometry(CacheGeometry::new(1, 1))).unwrap();
     let block0 = sys.config().spec.block_of(addr(0));
     sys.write(0, addr(0), 9).unwrap(); // GR owner
     sys.read(2, addr(0)).unwrap(); // C2: invalid entry in P
     sys.read(0, addr(4)).unwrap(); // owner evicts block 0
     assert_eq!(sys.owner_of(block0).unwrap().port(), 2);
-    assert_eq!(sys.read(2, addr(0)).unwrap(), 9, "data travelled with ownership");
+    assert_eq!(
+        sys.read(2, addr(0)).unwrap(),
+        9,
+        "data travelled with ownership"
+    );
     sys.check_invariants().unwrap();
 }
 
 #[test]
 fn offer_naks_are_survivable() {
-    let mut sys = System::new(
-        SystemConfig::new(8).geometry(CacheGeometry::new(1, 1)),
-    )
-    .unwrap();
+    let mut sys = System::new(SystemConfig::new(8).geometry(CacheGeometry::new(1, 1))).unwrap();
     sys.write(0, addr(0), 1).unwrap();
     sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap();
     for c in 1..6 {
@@ -263,10 +273,9 @@ fn offer_naks_are_survivable() {
 fn adaptive_policy_converges_to_the_cheaper_mode() {
     // Low write fraction → distributed write; high → global read.
     for (w, expect) in [(0.05, Mode::DistributedWrite), (0.8, Mode::GlobalRead)] {
-        let mut sys = System::new(
-            SystemConfig::new(8).mode_policy(ModePolicy::Adaptive { window: 32 }),
-        )
-        .unwrap();
+        let mut sys =
+            System::new(SystemConfig::new(8).mode_policy(ModePolicy::Adaptive { window: 32 }))
+                .unwrap();
         let mut rng = SimRng::seed_from(99);
         let block = sys.config().spec.block_of(addr(0));
         // Warm up sharers.
@@ -344,10 +353,7 @@ fn every_message_lands_in_the_traffic_matrix() {
 
 #[test]
 fn per_kind_traffic_breakdown_sums_to_the_total() {
-    let mut sys = System::new(
-        SystemConfig::new(4).geometry(CacheGeometry::new(1, 1)),
-    )
-    .unwrap();
+    let mut sys = System::new(SystemConfig::new(4).geometry(CacheGeometry::new(1, 1))).unwrap();
     let mut rng = SimRng::seed_from(31);
     for i in 0..400u64 {
         let a = addr(4 * (i % 6));
@@ -375,10 +381,8 @@ fn per_kind_traffic_breakdown_sums_to_the_total() {
 
 #[test]
 fn timing_model_produces_latencies() {
-    let mut sys = System::new(
-        SystemConfig::new(4).timing(tmc_omeganet::TimingModel::default()),
-    )
-    .unwrap();
+    let mut sys =
+        System::new(SystemConfig::new(4).timing(tmc_omeganet::TimingModel::default())).unwrap();
     sys.write(0, addr(0), 1).unwrap();
     let s = sys.read_stats(1, addr(0)).unwrap();
     assert!(s.latency_cycles.unwrap() > 0);

@@ -20,7 +20,11 @@ fn clean_exclusive_replacement_sends_only_a_notice() {
     sys.read(0, addr(0)).unwrap(); // owner, clean (never written)
     let wb_before = sys.counters().get("writebacks");
     sys.read(0, addr(4)).unwrap(); // evicts block 0
-    assert_eq!(sys.counters().get("writebacks"), wb_before, "clean: no write-back");
+    assert_eq!(
+        sys.counters().get("writebacks"),
+        wb_before,
+        "clean: no write-back"
+    );
     assert_eq!(sys.owner_of(sys.config().spec.block_of(addr(0))), None);
     sys.check_invariants().unwrap();
 }
@@ -78,10 +82,7 @@ fn dangling_invalid_entry_replacement_is_harmless() {
 
 #[test]
 fn handoff_prefers_first_candidate_and_naks_move_on() {
-    let mut sys = System::new(
-        SystemConfig::new(8).geometry(CacheGeometry::new(1, 1)),
-    )
-    .unwrap();
+    let mut sys = System::new(SystemConfig::new(8).geometry(CacheGeometry::new(1, 1))).unwrap();
     let block0 = sys.config().spec.block_of(addr(0));
     sys.write(2, addr(0), 5).unwrap();
     sys.set_mode(2, addr(0), Mode::DistributedWrite).unwrap();
@@ -94,10 +95,7 @@ fn handoff_prefers_first_candidate_and_naks_move_on() {
     sys.check_invariants().unwrap();
 
     // Again with one NAK injected: candidate 5 passes to 6.
-    let mut sys2 = System::new(
-        SystemConfig::new(8).geometry(CacheGeometry::new(1, 1)),
-    )
-    .unwrap();
+    let mut sys2 = System::new(SystemConfig::new(8).geometry(CacheGeometry::new(1, 1))).unwrap();
     sys2.write(2, addr(0), 5).unwrap();
     sys2.set_mode(2, addr(0), Mode::DistributedWrite).unwrap();
     for c in [5, 6] {
@@ -112,10 +110,7 @@ fn handoff_prefers_first_candidate_and_naks_move_on() {
 
 #[test]
 fn gr_handoff_announces_to_remaining_invalid_holders() {
-    let mut sys = System::new(
-        SystemConfig::new(8).geometry(CacheGeometry::new(1, 1)),
-    )
-    .unwrap();
+    let mut sys = System::new(SystemConfig::new(8).geometry(CacheGeometry::new(1, 1))).unwrap();
     let block0 = sys.config().spec.block_of(addr(0));
     sys.write(0, addr(0), 9).unwrap(); // GR owner C0
     for c in [3, 5, 7] {
@@ -139,7 +134,7 @@ fn handoff_preserves_the_modified_bit_until_flush() {
     sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap();
     sys.read(1, addr(0)).unwrap();
     sys.read(0, addr(4)).unwrap(); // handoff C0 → C1 (modified travels)
-    // Memory must still be stale (nobody wrote back).
+                                   // Memory must still be stale (nobody wrote back).
     assert_eq!(sys.counters().get("writebacks"), 0);
     // Now evict at C1 too: the block is exclusive there, so this time the
     // write-back happens.
@@ -156,8 +151,8 @@ fn replacement_during_gr_install_of_invalid_entry() {
     let mut sys = one_slot(4);
     sys.write(1, addr(0), 7).unwrap(); // C1 owns block 0 (GR)
     sys.write(2, addr(4), 8).unwrap(); // C2 owns block 1
-    // C2 reads block 0 remotely: installs an Invalid entry, which evicts
-    // C2's owned block 1 (exclusive modified) — write-back then install.
+                                       // C2 reads block 0 remotely: installs an Invalid entry, which evicts
+                                       // C2's owned block 1 (exclusive modified) — write-back then install.
     assert_eq!(sys.read(2, addr(0)).unwrap(), 7);
     assert_eq!(sys.counters().get("writebacks"), 1);
     assert_eq!(
@@ -170,10 +165,7 @@ fn replacement_during_gr_install_of_invalid_entry() {
 
 #[test]
 fn flush_is_idempotent_and_complete() {
-    let mut sys = System::new(
-        SystemConfig::new(4).block_spec(BlockSpec::new(1)),
-    )
-    .unwrap();
+    let mut sys = System::new(SystemConfig::new(4).block_spec(BlockSpec::new(1))).unwrap();
     for i in 0..8u64 {
         sys.write((i % 4) as usize, addr(2 * i), i).unwrap();
     }
@@ -192,10 +184,7 @@ fn flush_is_idempotent_and_complete() {
 fn lru_keeps_the_hot_block_resident() {
     // 1 set × 2 ways: the repeatedly-touched block must survive a stream
     // of single-visit blocks.
-    let mut sys = System::new(
-        SystemConfig::new(4).geometry(CacheGeometry::new(1, 2)),
-    )
-    .unwrap();
+    let mut sys = System::new(SystemConfig::new(4).geometry(CacheGeometry::new(1, 2))).unwrap();
     let hot = addr(0);
     sys.write(0, hot, 1).unwrap();
     let mut hits = 0;

@@ -2,10 +2,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A word address in the shared address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WordAddr(u64);
 
 impl WordAddr {
@@ -30,7 +29,8 @@ impl fmt::Display for WordAddr {
 ///
 /// The *block* is the paper's unit of consistency: "a logical unit of memory
 /// consisting of a number of words and with an identification".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockAddr(u64);
 
 impl BlockAddr {
@@ -52,7 +52,8 @@ impl fmt::Display for BlockAddr {
 }
 
 /// Identifies one cache (equivalently, its processor and network port).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheId(pub u16);
 
 impl CacheId {
@@ -81,7 +82,8 @@ impl fmt::Display for CacheId {
 /// assert_eq!(spec.offset_of(WordAddr::new(11)), 3);
 /// assert_eq!(spec.word_at(spec.block_of(WordAddr::new(11)), 3), WordAddr::new(11));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockSpec {
     offset_bits: u32,
 }
@@ -94,7 +96,10 @@ impl BlockSpec {
     /// Panics if `offset_bits > 16` (blocks beyond 65536 words are surely a
     /// configuration mistake).
     pub fn new(offset_bits: u32) -> Self {
-        assert!(offset_bits <= 16, "block offset bits {offset_bits} too large");
+        assert!(
+            offset_bits <= 16,
+            "block offset bits {offset_bits} too large"
+        );
         BlockSpec { offset_bits }
     }
 
@@ -126,7 +131,8 @@ impl BlockSpec {
 
 /// Maps blocks to memory modules by low-order interleaving, the standard
 /// layout for multistage-network machines (RP3, Butterfly).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ModuleMap {
     modules: usize,
 }

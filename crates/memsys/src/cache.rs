@@ -4,14 +4,13 @@
 //! present vector, data, …); this container supplies the geometry: set
 //! indexing by block address, way lookup by tag, and true-LRU replacement.
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::BlockAddr;
 
 /// Cache shape: number of sets and ways.
 ///
 /// Total capacity is `sets × ways` blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheGeometry {
     sets: usize,
     ways: usize,
@@ -51,7 +50,8 @@ impl CacheGeometry {
 }
 
 /// One occupied way.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct Way<L> {
     block: BlockAddr,
     line: L,
@@ -76,7 +76,8 @@ struct Way<L> {
 /// let evicted = c.insert(BlockAddr::new(2), 20);
 /// assert_eq!(evicted, Some((BlockAddr::new(1), 10)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheArray<L> {
     geometry: CacheGeometry,
     sets: Vec<Vec<Way<L>>>,
@@ -192,10 +193,7 @@ impl<L> CacheArray<L> {
 
     /// Iterates over `(block, line)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &L)> {
-        self.sets
-            .iter()
-            .flatten()
-            .map(|w| (w.block, &w.line))
+        self.sets.iter().flatten().map(|w| (w.block, &w.line))
     }
 
     /// Iterates mutably over `(block, line)` pairs in unspecified order.

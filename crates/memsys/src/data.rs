@@ -4,8 +4,6 @@
 //! checked for *value-level* coherence against the program-order oracle, not
 //! just for state-machine plausibility.
 
-use serde::{Deserialize, Serialize};
-
 /// The data portion of one block: `words_per_block` 64-bit words.
 ///
 /// # Example
@@ -18,7 +16,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(b.word(2), 0xdead);
 /// assert_eq!(b.word(0), 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockData {
     words: Vec<u64>,
 }

@@ -2,8 +2,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::{BlockAddr, BlockSpec, CacheId};
 use crate::data::BlockData;
 
@@ -26,7 +24,8 @@ use crate::data::BlockData;
 /// mem.write_block(b, data);
 /// assert_eq!(mem.read_block(b).word(0), 99);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MainMemory {
     spec: BlockSpec,
     blocks: HashMap<BlockAddr, BlockData>,
@@ -93,7 +92,8 @@ impl MainMemory {
 /// store.clear(b);
 /// assert_eq!(store.owner(b), None);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockStore {
     owners: HashMap<BlockAddr, CacheId>,
 }

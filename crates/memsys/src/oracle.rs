@@ -2,8 +2,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::WordAddr;
 
 /// A flat word-addressed memory updated in program order.
@@ -25,7 +23,8 @@ use crate::addr::WordAddr;
 /// oracle.write(a, 7);
 /// assert_eq!(oracle.read(a), 7);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReferenceMemory {
     words: HashMap<WordAddr, u64>,
     writes: u64,

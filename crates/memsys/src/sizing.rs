@@ -8,8 +8,6 @@
 //!
 //! [`tmc-omeganet`]: ../tmc_omeganet/index.html
 
-use serde::{Deserialize, Serialize};
-
 /// Payload sizes for every message family a protocol can send.
 ///
 /// # Example
@@ -26,7 +24,8 @@ use serde::{Deserialize, Serialize};
 /// // The paper's distributed state field: N + log2(N) + 4 bits.
 /// assert_eq!(s.state_field_bits(64), 64 + 6 + 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MsgSizing {
     /// Bits of a block identification (address).
     pub addr_bits: u64,
@@ -66,7 +65,10 @@ impl MsgSizing {
     /// V + O + M + DW (4 bits) + present vector (`n_caches` bits) +
     /// OWNER (`log₂ n_caches` bits).
     pub fn state_field_bits(&self, n_caches: usize) -> u64 {
-        assert!(n_caches.is_power_of_two(), "cache count must be a power of two");
+        assert!(
+            n_caches.is_power_of_two(),
+            "cache count must be a power of two"
+        );
         4 + n_caches as u64 + n_caches.trailing_zeros() as u64
     }
 
@@ -108,7 +110,10 @@ impl MsgSizing {
 
     /// A new-owner announcement: address plus the owner id.
     pub fn new_owner_bits(&self, n_caches: usize) -> u64 {
-        assert!(n_caches.is_power_of_two(), "cache count must be a power of two");
+        assert!(
+            n_caches.is_power_of_two(),
+            "cache count must be a power of two"
+        );
         self.control_bits + self.addr_bits + n_caches.trailing_zeros() as u64
     }
 

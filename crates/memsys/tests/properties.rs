@@ -1,8 +1,11 @@
-//! Property-based tests: the set-associative LRU cache against a naive
-//! reference model, and address-mapping roundtrips.
+//! Randomized tests: the set-associative LRU cache against a naive reference
+//! model, and address-mapping roundtrips. Driven by the in-tree [`SimRng`]
+//! (no external crates needed).
 
-use proptest::prelude::*;
 use tmc_memsys::{BlockAddr, BlockSpec, CacheArray, CacheGeometry, WordAddr};
+use tmc_simcore::SimRng;
+
+const CASES: usize = 64;
 
 /// A deliberately naive model of a set-associative LRU cache: per set, a
 /// vector ordered most-recent-first.
@@ -59,25 +62,28 @@ enum CacheOp {
     Peek(u64),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<CacheOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..32).prop_map(CacheOp::Get),
-            (0u64..32, any::<u32>()).prop_map(|(b, v)| CacheOp::Insert(b, v)),
-            (0u64..32).prop_map(CacheOp::Remove),
-            (0u64..32).prop_map(CacheOp::Peek),
-        ],
-        1..200,
-    )
+fn arb_ops(rng: &mut SimRng) -> Vec<CacheOp> {
+    let len = rng.gen_range(1..200usize);
+    (0..len)
+        .map(|_| {
+            let b = rng.gen_range(0..32u64);
+            match rng.gen_range(0..4u32) {
+                0 => CacheOp::Get(b),
+                1 => CacheOp::Insert(b, rng.next_u64() as u32),
+                2 => CacheOp::Remove(b),
+                _ => CacheOp::Peek(b),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn cache_array_matches_naive_lru_model(
-        ops in arb_ops(),
-        sets_log in 0u32..=3,
-        ways in 1usize..=4,
-    ) {
+#[test]
+fn cache_array_matches_naive_lru_model() {
+    let mut rng = SimRng::seed_from(0x10D31);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng);
+        let sets_log = rng.gen_range(0..=3u32);
+        let ways = rng.gen_range(1..=4usize);
         let geometry = CacheGeometry::new(1 << sets_log, ways);
         let mut real: CacheArray<u32> = CacheArray::new(geometry);
         let mut model = ModelCache::new(geometry);
@@ -85,17 +91,17 @@ proptest! {
             match op {
                 CacheOp::Get(b) => {
                     let b = BlockAddr::new(b);
-                    prop_assert_eq!(real.get(b).copied(), model.get(b));
+                    assert_eq!(real.get(b).copied(), model.get(b));
                 }
                 CacheOp::Insert(b, v) => {
                     let b = BlockAddr::new(b);
                     let got = real.insert(b, v);
                     let want = model.insert(b, v);
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
                 CacheOp::Remove(b) => {
                     let b = BlockAddr::new(b);
-                    prop_assert_eq!(real.remove(b), model.remove(b));
+                    assert_eq!(real.remove(b), model.remove(b));
                 }
                 CacheOp::Peek(b) => {
                     // Peek must agree on membership and must NOT perturb
@@ -103,18 +109,20 @@ proptest! {
                     let b = BlockAddr::new(b);
                     let set = &model.sets[geometry.set_of(b)];
                     let want = set.iter().find(|&&(bb, _)| bb == b).map(|&(_, v)| v);
-                    prop_assert_eq!(real.peek(b).copied(), want);
+                    assert_eq!(real.peek(b).copied(), want);
                 }
             }
-            prop_assert_eq!(real.len(), model.len());
+            assert_eq!(real.len(), model.len());
         }
     }
+}
 
-    #[test]
-    fn would_evict_predicts_insert(
-        ops in arb_ops(),
-        incoming in 0u64..32,
-    ) {
+#[test]
+fn would_evict_predicts_insert() {
+    let mut rng = SimRng::seed_from(0xE71C7);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng);
+        let incoming = rng.gen_range(0..32u64);
         let geometry = CacheGeometry::new(2, 2);
         let mut cache: CacheArray<u32> = CacheArray::new(geometry);
         for op in ops {
@@ -125,16 +133,21 @@ proptest! {
         let incoming = BlockAddr::new(incoming);
         let predicted = cache.would_evict(incoming).map(|(b, &v)| (b, v));
         let actual = cache.insert(incoming, 999);
-        prop_assert_eq!(predicted, actual);
+        assert_eq!(predicted, actual);
     }
+}
 
-    #[test]
-    fn block_spec_roundtrips(addr in any::<u64>(), offset_bits in 0u32..=12) {
+#[test]
+fn block_spec_roundtrips() {
+    let mut rng = SimRng::seed_from(0xB10C);
+    for _ in 0..256 {
+        let addr = rng.next_u64();
+        let offset_bits = rng.gen_range(0..=12u32);
         let spec = BlockSpec::new(offset_bits);
         let w = WordAddr::new(addr >> 4); // keep word_at from overflowing
         let block = spec.block_of(w);
         let off = spec.offset_of(w);
-        prop_assert!(off < spec.words_per_block());
-        prop_assert_eq!(spec.word_at(block, off), w);
+        assert!(off < spec.words_per_block());
+        assert_eq!(spec.word_at(block, off), w);
     }
 }

@@ -9,8 +9,6 @@
 //! scheme 3 is defined in terms of 2×2 broadcast bits; it stays on
 //! [`crate::Omega`].)
 
-use serde::{Deserialize, Serialize};
-
 use crate::destset::DestSet;
 use crate::error::NetError;
 use crate::multicast::{CastReceipt, SchemeChoice};
@@ -31,7 +29,8 @@ use crate::traffic::TrafficMatrix;
 /// assert_eq!(path.last().unwrap().line, 42);
 /// # Ok::<(), tmc_omeganet::NetError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AryOmega {
     /// Number of stages (base-`a` digits of a port number).
     m: u32,
@@ -101,7 +100,10 @@ impl AryOmega {
     pub fn route(&self, src: PortId, dst: PortId) -> Vec<LinkId> {
         assert!(src < self.n && dst < self.n, "port out of range");
         let mut links = Vec::with_capacity(self.m as usize + 1);
-        links.push(LinkId { layer: 0, line: src });
+        links.push(LinkId {
+            layer: 0,
+            line: src,
+        });
         let mut line = src;
         for stage in 0..self.m {
             line = self.shuffle(line);
@@ -178,7 +180,13 @@ impl AryOmega {
         let mut delivered = Vec::with_capacity(dests.len());
 
         let bits0 = payload_bits + n_ports;
-        traffic.add(LinkId { layer: 0, line: src }, bits0);
+        traffic.add(
+            LinkId {
+                layer: 0,
+                line: src,
+            },
+            bits0,
+        );
         cost += bits0;
         links += 1;
 
@@ -284,7 +292,13 @@ mod tests {
         let mut tb = TrafficMatrix::new(&bin);
         let ra = ary.cast_bitvector(3, &dests, 20, &mut ta).unwrap();
         let rb = bin
-            .multicast(crate::multicast::SchemeKind::BitVector, 3, &dests, 20, &mut tb)
+            .multicast(
+                crate::multicast::SchemeKind::BitVector,
+                3,
+                &dests,
+                20,
+                &mut tb,
+            )
             .unwrap();
         assert_eq!(ra, rb);
         assert_eq!(ta, tb);
@@ -294,8 +308,14 @@ mod tests {
         };
         let rb = {
             let mut t = TrafficMatrix::new(&bin);
-            bin.multicast(crate::multicast::SchemeKind::Replicated, 3, &dests, 20, &mut t)
-                .unwrap()
+            bin.multicast(
+                crate::multicast::SchemeKind::Replicated,
+                3,
+                &dests,
+                20,
+                &mut t,
+            )
+            .unwrap()
         };
         assert_eq!(ra, rb);
     }

@@ -139,7 +139,11 @@ mod tests {
         // toward low destinations forces a shared output line somewhere.
         let pairs = [(0usize, 0usize), (4, 1)];
         match net.check_routable(&pairs).unwrap() {
-            Routability::Blocked { link, first, second } => {
+            Routability::Blocked {
+                link,
+                first,
+                second,
+            } => {
                 assert_ne!(first, second);
                 let a = net.route(pairs[first].0, pairs[first].1);
                 let b = net.route(pairs[second].0, pairs[second].1);

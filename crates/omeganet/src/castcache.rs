@@ -1,0 +1,271 @@
+//! Memoization of multicast traversals.
+//!
+//! Protocol runs issue the same multicast over and over: an owner updating a
+//! stable sharing set sends an identical `(scheme, source, destinations,
+//! payload)` cast on every write. The tree walk that computes its cost and
+//! link charges is deterministic, so a [`CastCache`] records the outcome the
+//! first time and replays the per-link charges on every repeat — turning the
+//! `O(n · m)` switch-by-switch traversal (with its partition allocations)
+//! into a hash lookup plus an `O(links touched)` replay.
+
+use std::collections::HashMap;
+
+use crate::destset::DestSet;
+use crate::error::NetError;
+use crate::multicast::{CastReceipt, SchemeKind};
+use crate::topology::{LinkId, Omega, PortId};
+use crate::traffic::TrafficMatrix;
+
+/// Everything that determines a cast's outcome on a fixed network.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CastKey {
+    kind: SchemeKind,
+    src: PortId,
+    payload_bits: u64,
+    dests: DestSet,
+}
+
+/// A traversal's recorded effects: the receipt handed back to the caller
+/// and the exact per-link charges it made to the traffic matrix.
+#[derive(Clone)]
+struct CachedCast {
+    receipt: CastReceipt,
+    charges: Vec<(LinkId, u64)>,
+}
+
+/// A memo table for [`Omega::multicast`] results.
+///
+/// Keys are `(scheme, source, destination set, payload)`. Destination sets
+/// of up to 64 ports hash as a single inline word, so lookups on the
+/// protocol fast path are cheap. The table is bounded: when it reaches
+/// [`CastCache::MAX_ENTRIES`] distinct casts it is flushed wholesale (a
+/// workload that varies its casts that much gets little from memoization
+/// anyway).
+///
+/// # Example
+///
+/// ```
+/// use tmc_omeganet::{CastCache, DestSet, Omega, SchemeKind, TrafficMatrix};
+///
+/// let net = Omega::new(4)?;
+/// let dests = DestSet::adjacent(net.ports(), 0, 4)?;
+/// let mut cache = CastCache::new();
+/// let mut t = TrafficMatrix::new(&net);
+/// let first = cache.multicast(&net, SchemeKind::BitVector, 9, &dests, 64, &mut t)?;
+/// let again = cache.multicast(&net, SchemeKind::BitVector, 9, &dests, 64, &mut t)?;
+/// assert_eq!(first, again);
+/// assert_eq!(t.total_bits(), 2 * first.cost_bits);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// # Ok::<(), tmc_omeganet::NetError>(())
+/// ```
+#[derive(Clone, Default)]
+pub struct CastCache {
+    map: HashMap<CastKey, CachedCast>,
+    /// Reused zero-filled matrix for recording a miss's charges.
+    scratch: Option<TrafficMatrix>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CastCache {
+    /// Entry bound; reaching it flushes the whole table.
+    pub const MAX_ENTRIES: usize = 1 << 16;
+
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        CastCache::default()
+    }
+
+    /// Like [`Omega::multicast`], but memoized: repeat casts replay their
+    /// recorded link charges instead of re-walking the routing tree. The
+    /// receipt and the traffic added to `traffic` are bit-identical to the
+    /// uncached call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NetError`] from the underlying cast (empty set,
+    /// size mismatch, out-of-range source). Errors are not cached.
+    pub fn multicast(
+        &mut self,
+        net: &Omega,
+        kind: SchemeKind,
+        src: PortId,
+        dests: &DestSet,
+        payload_bits: u64,
+        traffic: &mut TrafficMatrix,
+    ) -> Result<CastReceipt, NetError> {
+        let key = CastKey {
+            kind,
+            src,
+            payload_bits,
+            dests: dests.clone(),
+        };
+        if let Some(cached) = self.map.get(&key) {
+            self.hits += 1;
+            for &(link, bits) in &cached.charges {
+                traffic.add(link, bits);
+            }
+            return Ok(cached.receipt.clone());
+        }
+
+        // Miss: run the real traversal into a private scratch matrix so the
+        // charges can be captured, then replay them into the caller's.
+        let layers = net.link_layers() as usize;
+        let scratch = match &mut self.scratch {
+            Some(s) if s.n_ports() == net.ports() && s.layers() == layers => {
+                s.clear();
+                s
+            }
+            slot => slot.insert(TrafficMatrix::new(net)),
+        };
+        let receipt = net.multicast(kind, src, dests, payload_bits, scratch)?;
+        self.misses += 1;
+        let mut charges = Vec::new();
+        for layer in 0..layers as u32 {
+            for line in 0..net.ports() {
+                let link = LinkId { layer, line };
+                let bits = scratch.link_bits(link);
+                if bits > 0 {
+                    charges.push((link, bits));
+                    traffic.add(link, bits);
+                }
+            }
+        }
+        if self.map.len() >= Self::MAX_ENTRIES {
+            self.map.clear();
+        }
+        self.map.insert(
+            key,
+            CachedCast {
+                receipt: receipt.clone(),
+                charges,
+            },
+        );
+        Ok(receipt)
+    }
+
+    /// Number of memoized replay hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of full traversals (cache misses) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct casts currently memoized.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every memoized cast and resets the hit/miss counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+impl std::fmt::Debug for CastCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CastCache")
+            .field("entries", &self.map.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_matches_direct_cast_for_every_scheme() {
+        let net = Omega::new(5).unwrap();
+        let sets = [
+            DestSet::adjacent(32, 4, 7).unwrap(),
+            DestSet::worst_case_spread(32, 8).unwrap(),
+            DestSet::subcube(32, 9, 3).unwrap(),
+            DestSet::from_ports(32, [0usize, 13, 14, 31]).unwrap(),
+        ];
+        let mut cache = CastCache::new();
+        for kind in [
+            SchemeKind::Replicated,
+            SchemeKind::BitVector,
+            SchemeKind::BroadcastTag,
+            SchemeKind::Combined,
+        ] {
+            for dests in &sets {
+                for pass in 0..2 {
+                    let mut direct = TrafficMatrix::new(&net);
+                    let want = net.multicast(kind, 3, dests, 44, &mut direct).unwrap();
+                    let mut via = TrafficMatrix::new(&net);
+                    let got = cache.multicast(&net, kind, 3, dests, 44, &mut via).unwrap();
+                    assert_eq!(got, want, "pass {pass}");
+                    assert_eq!(via, direct, "pass {pass}: full matrix must match");
+                }
+            }
+        }
+        // Second passes were all hits.
+        assert_eq!(cache.hits(), 4 * sets.len() as u64);
+        assert_eq!(cache.misses(), 4 * sets.len() as u64);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let net = Omega::new(3).unwrap();
+        let d = DestSet::adjacent(8, 0, 4).unwrap();
+        let mut cache = CastCache::new();
+        let mut t = TrafficMatrix::new(&net);
+        let a = cache
+            .multicast(&net, SchemeKind::Replicated, 0, &d, 10, &mut t)
+            .unwrap();
+        let b = cache
+            .multicast(&net, SchemeKind::Replicated, 0, &d, 20, &mut t)
+            .unwrap();
+        let c = cache
+            .multicast(&net, SchemeKind::Replicated, 1, &d, 10, &mut t)
+            .unwrap();
+        assert_ne!(a.cost_bits, b.cost_bits);
+        assert_eq!(a.delivered, c.delivered);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn errors_pass_through_uncached() {
+        let net = Omega::new(3).unwrap();
+        let empty = DestSet::empty(8);
+        let mut cache = CastCache::new();
+        let mut t = TrafficMatrix::new(&net);
+        assert!(cache
+            .multicast(&net, SchemeKind::BitVector, 0, &empty, 10, &mut t)
+            .is_err());
+        assert!(cache.is_empty());
+        assert_eq!(t.total_bits(), 0);
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let net = Omega::new(2).unwrap();
+        let d = DestSet::all(4);
+        let mut cache = CastCache::new();
+        let mut t = TrafficMatrix::new(&net);
+        cache
+            .multicast(&net, SchemeKind::Replicated, 0, &d, 8, &mut t)
+            .unwrap();
+        cache
+            .multicast(&net, SchemeKind::Replicated, 0, &d, 8, &mut t)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+        cache.clear();
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 0, 0));
+    }
+}

@@ -3,15 +3,45 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::NetError;
 use crate::topology::{Omega, PortId};
 
+/// Bit storage for a [`DestSet`]: a single inline word for networks of up
+/// to 64 ports (the common case — the paper's machines top out at N = 1024
+/// but the simulated protocol grids run at N = 16), a heap vector beyond.
+/// The variant is a function of `n_ports` alone, so sets built for the same
+/// network always compare and hash consistently.
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+enum WordStore {
+    Inline(u64),
+    Heap(Vec<u64>),
+}
+
+impl WordStore {
+    #[inline]
+    fn as_slice(&self) -> &[u64] {
+        match self {
+            WordStore::Inline(w) => std::slice::from_ref(w),
+            WordStore::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        match self {
+            WordStore::Inline(w) => std::slice::from_mut(w),
+            WordStore::Heap(v) => v,
+        }
+    }
+}
+
 /// A set of destination ports for a multicast, sized for a specific network.
 ///
-/// Internally a bitset; iteration is always in ascending port order. The
-/// constructors mirror the destination placements the paper analyzes:
+/// Internally a bitset; iteration is always in ascending port order. Sets
+/// for networks of at most 64 ports live in a single inline `u64` — no heap
+/// allocation on the multicast fast path. The constructors mirror the
+/// destination placements the paper analyzes:
 ///
 /// * [`DestSet::adjacent`] — `n` consecutive ports (tasks allocated to
 ///   adjacent processors, §3.3–3.4),
@@ -30,9 +60,10 @@ use crate::topology::{Omega, PortId};
 /// assert!(d.is_subcube());
 /// # Ok::<(), tmc_omeganet::NetError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DestSet {
-    words: Vec<u64>,
+    words: WordStore,
     n_ports: usize,
     len: usize,
 }
@@ -45,19 +76,32 @@ impl DestSet {
     /// Panics if `n_ports` is zero.
     pub fn empty(n_ports: usize) -> Self {
         assert!(n_ports > 0, "network must have at least one port");
+        let words = if n_ports <= 64 {
+            WordStore::Inline(0)
+        } else {
+            WordStore::Heap(vec![0; n_ports.div_ceil(64)])
+        };
         DestSet {
-            words: vec![0; n_ports.div_ceil(64)],
+            words,
             n_ports,
             len: 0,
         }
     }
 
-    /// Creates the full set `{0, …, n_ports−1}`.
+    /// Creates the full set `{0, …, n_ports−1}` in `O(n_ports / 64)`: whole
+    /// words are filled directly, plus a masked tail word.
     pub fn all(n_ports: usize) -> Self {
         let mut set = DestSet::empty(n_ports);
-        for p in 0..n_ports {
-            set.insert(p);
+        let full_words = n_ports / 64;
+        let tail_bits = n_ports % 64;
+        let words = set.words.as_mut_slice();
+        for w in &mut words[..full_words] {
+            *w = u64::MAX;
         }
+        if tail_bits > 0 {
+            words[full_words] = (1u64 << tail_bits) - 1;
+        }
+        set.len = n_ports;
         set
     }
 
@@ -172,50 +216,72 @@ impl DestSet {
     /// # Panics
     ///
     /// Panics if `port` is out of range.
+    #[inline]
     pub fn insert(&mut self, port: PortId) -> bool {
         assert!(port < self.n_ports, "port {port} out of range");
-        let (w, b) = (port / 64, port % 64);
-        let fresh = self.words[w] & (1 << b) == 0;
+        let word = match &mut self.words {
+            WordStore::Inline(w) => w,
+            WordStore::Heap(v) => &mut v[port / 64],
+        };
+        let bit = 1u64 << (port % 64);
+        let fresh = *word & bit == 0;
         if fresh {
-            self.words[w] |= 1 << b;
+            *word |= bit;
             self.len += 1;
         }
         fresh
     }
 
     /// Removes `port` from the set. Returns `true` if it was present.
+    #[inline]
     pub fn remove(&mut self, port: PortId) -> bool {
         if port >= self.n_ports {
             return false;
         }
-        let (w, b) = (port / 64, port % 64);
-        let present = self.words[w] & (1 << b) != 0;
+        let word = match &mut self.words {
+            WordStore::Inline(w) => w,
+            WordStore::Heap(v) => &mut v[port / 64],
+        };
+        let bit = 1u64 << (port % 64);
+        let present = *word & bit != 0;
         if present {
-            self.words[w] &= !(1 << b);
+            *word &= !bit;
             self.len -= 1;
         }
         present
     }
 
     /// Whether `port` is in the set.
+    #[inline]
     pub fn contains(&self, port: PortId) -> bool {
-        port < self.n_ports && self.words[port / 64] & (1 << (port % 64)) != 0
+        if port >= self.n_ports {
+            return false;
+        }
+        let word = match &self.words {
+            WordStore::Inline(w) => *w,
+            WordStore::Heap(v) => v[port / 64],
+        };
+        word & (1 << (port % 64)) != 0
     }
 
     /// Iterates over member ports in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = PortId> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            let mut rest = word;
-            std::iter::from_fn(move || {
-                if rest == 0 {
-                    None
-                } else {
-                    let bit = rest.trailing_zeros() as usize;
-                    rest &= rest - 1;
-                    Some(wi * 64 + bit)
-                }
+        self.words
+            .as_slice()
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| {
+                let mut rest = word;
+                std::iter::from_fn(move || {
+                    if rest == 0 {
+                        None
+                    } else {
+                        let bit = rest.trailing_zeros() as usize;
+                        rest &= rest - 1;
+                        Some(wi * 64 + bit)
+                    }
+                })
             })
-        })
     }
 
     /// Validates that this set matches the network's size.
@@ -332,6 +398,17 @@ mod tests {
     }
 
     #[test]
+    fn small_sets_use_inline_storage() {
+        let mut s = DestSet::empty(64);
+        assert!(matches!(s.words, WordStore::Inline(_)));
+        assert!(s.insert(63));
+        assert!(s.contains(63));
+        assert!(!s.contains(62));
+        let big = DestSet::empty(65);
+        assert!(matches!(big.words, WordStore::Heap(_)));
+    }
+
+    #[test]
     fn iter_is_sorted_across_words() {
         let s = DestSet::from_ports(256, [200usize, 3, 64, 65, 199]).unwrap();
         let v: Vec<_> = s.iter().collect();
@@ -342,7 +419,10 @@ mod tests {
     fn from_ports_rejects_out_of_range() {
         assert_eq!(
             DestSet::from_ports(8, [8usize]),
-            Err(NetError::PortOutOfRange { port: 8, n_ports: 8 })
+            Err(NetError::PortOutOfRange {
+                port: 8,
+                n_ports: 8
+            })
         );
     }
 
@@ -352,6 +432,25 @@ mod tests {
         assert_eq!(s.iter().collect::<Vec<_>>(), [6, 7]);
         assert!(DestSet::adjacent(8, 6, 3).is_err());
         assert_eq!(DestSet::adjacent(8, 0, 0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn all_fills_whole_words_and_tail() {
+        // Inline, exactly one word, word-boundary and odd sizes.
+        for n in [1usize, 5, 63, 64] {
+            let s = DestSet::all(n);
+            assert_eq!(s.len(), n);
+            assert_eq!(s.iter().collect::<Vec<_>>(), (0..n).collect::<Vec<_>>());
+        }
+        // Heap: multiple words plus a masked tail.
+        for n in [65usize, 128, 130, 1024] {
+            let s = DestSet::all(n);
+            assert_eq!(s.len(), n);
+            assert_eq!(s.iter().count(), n);
+            assert!(s.contains(n - 1));
+            assert!(!s.contains(n));
+            assert_eq!(s.iter().last(), Some(n - 1));
+        }
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl fmt::Display for NetError {
             ),
             NetError::EmptyDestSet => write!(f, "multicast requires at least one destination"),
             NetError::NotASubcube => {
-                write!(f, "scheme 3 requires destinations to form an aligned subcube")
+                write!(
+                    f,
+                    "scheme 3 requires destinations to form an aligned subcube"
+                )
             }
         }
     }
@@ -64,12 +67,18 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = NetError::PortOutOfRange { port: 9, n_ports: 8 };
+        let e = NetError::PortOutOfRange {
+            port: 9,
+            n_ports: 8,
+        };
         assert!(e.to_string().contains("port 9"));
         assert!(NetError::NotASubcube.to_string().contains("subcube"));
         assert!(NetError::EmptyDestSet.to_string().contains("destination"));
         assert!(NetError::BadStageCount { m: 40 }.to_string().contains("40"));
-        let e = NetError::SizeMismatch { set_ports: 8, net_ports: 16 };
+        let e = NetError::SizeMismatch {
+            set_ports: 8,
+            net_ports: 16,
+        };
         assert!(e.to_string().contains("N=8"));
     }
 }

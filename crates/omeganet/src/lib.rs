@@ -38,6 +38,7 @@
 
 pub mod aary;
 pub mod blocking;
+pub mod castcache;
 pub mod destset;
 pub mod error;
 pub mod multicast;
@@ -47,6 +48,7 @@ pub mod traffic;
 
 pub use aary::AryOmega;
 
+pub use castcache::CastCache;
 pub use destset::DestSet;
 pub use error::NetError;
 pub use multicast::{CastReceipt, SchemeChoice, SchemeKind};

@@ -25,15 +25,14 @@
 //!    destination sets forming a subcube are addressable; at layer `j` a
 //!    message carries `M + 2(m − j)` bits.
 
-use serde::{Deserialize, Serialize};
-
 use crate::destset::DestSet;
 use crate::error::NetError;
 use crate::topology::{LinkId, Omega, PortId};
 use crate::traffic::TrafficMatrix;
 
 /// Which multicast scheme to use for a cast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SchemeKind {
     /// Scheme 1: one routed unicast per destination.
     Replicated,
@@ -47,7 +46,8 @@ pub enum SchemeKind {
 }
 
 /// The concrete scheme a cast actually used (resolves [`SchemeKind::Combined`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SchemeChoice {
     /// Scheme 1 ran.
     Replicated,
@@ -58,7 +58,8 @@ pub enum SchemeChoice {
 }
 
 /// Outcome of one multicast.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CastReceipt {
     /// The scheme that was actually used.
     pub scheme: SchemeChoice,
@@ -293,7 +294,10 @@ impl Omega {
         let mut delivered = Vec::with_capacity(dests.len());
 
         // Layer 0: source port into its stage-0 switch, full vector.
-        let layer0 = LinkId { layer: 0, line: src };
+        let layer0 = LinkId {
+            layer: 0,
+            line: src,
+        };
         let bits0 = payload + n_ports;
         traffic.add(layer0, bits0);
         cost += bits0;
@@ -366,7 +370,10 @@ impl Omega {
         let mut links = 0usize;
         let mut delivered = Vec::new();
 
-        let layer0 = LinkId { layer: 0, line: src };
+        let layer0 = LinkId {
+            layer: 0,
+            line: src,
+        };
         let bits0 = payload + 2 * m as u64;
         traffic.add(layer0, bits0);
         cost += bits0;
@@ -550,7 +557,8 @@ mod tests {
         let costs = [
             net.multicast_cost(SchemeKind::Replicated, &d, 20).unwrap(),
             net.multicast_cost(SchemeKind::BitVector, &d, 20).unwrap(),
-            net.multicast_cost(SchemeKind::BroadcastTag, &d, 20).unwrap(),
+            net.multicast_cost(SchemeKind::BroadcastTag, &d, 20)
+                .unwrap(),
         ];
         let r = net
             .multicast(SchemeKind::Combined, 0, &d, 20, &mut t)

@@ -8,7 +8,6 @@
 //! enough to expose the contention differences between the multicast
 //! schemes (scheme 1 loads shared early links n times; scheme 2 once).
 
-use serde::{Deserialize, Serialize};
 use tmc_simcore::SimTime;
 
 use crate::destset::DestSet;
@@ -17,7 +16,8 @@ use crate::multicast::SchemeChoice;
 use crate::topology::{LinkId, Omega, PortId};
 
 /// Link/switch timing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimingModel {
     /// Cycles to traverse one switch (added after every non-final hop).
     pub switch_latency: u64,
@@ -67,10 +67,7 @@ impl LinkSchedule {
     /// Creates an all-idle schedule shaped for `net`.
     pub fn new(net: &Omega) -> Self {
         LinkSchedule {
-            next_free: vec![
-                vec![SimTime::ZERO; net.ports()];
-                net.link_layers() as usize
-            ],
+            next_free: vec![vec![SimTime::ZERO; net.ports()]; net.link_layers() as usize],
         }
     }
 
@@ -144,7 +141,10 @@ impl LinkSchedule {
             SchemeChoice::BitVector => {
                 let n_ports = net.ports() as u64;
                 let mut out = Vec::with_capacity(dests.len());
-                let link0 = LinkId { layer: 0, line: src };
+                let link0 = LinkId {
+                    layer: 0,
+                    line: src,
+                };
                 let t0 = self.occupy(link0, depart, model.xmit_cycles(bits + n_ports))
                     + model.switch_latency;
                 let all: Vec<PortId> = dests.iter().collect();
@@ -189,7 +189,10 @@ impl LinkSchedule {
                     }
                 };
                 let mut out = Vec::new();
-                let link0 = LinkId { layer: 0, line: src };
+                let link0 = LinkId {
+                    layer: 0,
+                    line: src,
+                };
                 let t0 = self.occupy(link0, depart, model.xmit_cycles(bits + 2 * m as u64))
                     + model.switch_latency;
                 let mut work = vec![(0u32, src, t0)];
@@ -296,7 +299,15 @@ mod tests {
         let cube = DestSet::subcube(16, 8, 2).unwrap();
         let mut s = LinkSchedule::new(&net);
         let arr = s
-            .timed_multicast(&net, model, SchemeChoice::BroadcastTag, 3, &cube, 32, SimTime::ZERO)
+            .timed_multicast(
+                &net,
+                model,
+                SchemeChoice::BroadcastTag,
+                3,
+                &cube,
+                32,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(arr.len(), 4);
     }
@@ -311,7 +322,15 @@ mod tests {
         let d = DestSet::all(32);
         let mut s1 = LinkSchedule::new(&net);
         let slow1 = s1
-            .timed_multicast(&net, model, SchemeChoice::Replicated, 0, &d, 128, SimTime::ZERO)
+            .timed_multicast(
+                &net,
+                model,
+                SchemeChoice::Replicated,
+                0,
+                &d,
+                128,
+                SimTime::ZERO,
+            )
             .unwrap()
             .into_iter()
             .map(|(_, t)| t)
@@ -319,7 +338,15 @@ mod tests {
             .unwrap();
         let mut s2 = LinkSchedule::new(&net);
         let slow2 = s2
-            .timed_multicast(&net, model, SchemeChoice::BitVector, 0, &d, 128, SimTime::ZERO)
+            .timed_multicast(
+                &net,
+                model,
+                SchemeChoice::BitVector,
+                0,
+                &d,
+                128,
+                SimTime::ZERO,
+            )
             .unwrap()
             .into_iter()
             .map(|(_, t)| t)

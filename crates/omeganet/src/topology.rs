@@ -12,8 +12,6 @@
 //! `D = ⟨d₀ d₁ … d_{m−1}⟩` (d₀ the most significant bit), stage `i` sends the
 //! message out of switch output `dᵢ` and strips that bit from the tag.
 
-use serde::{Deserialize, Serialize};
-
 use crate::destset::DestSet;
 use crate::error::NetError;
 
@@ -31,7 +29,8 @@ pub type PortId = usize;
 ///   stage `i−1` (the perfect shuffle permutes which stage-`i` switch input
 ///   it feeds, but it is the same physical wire).
 /// * Layer `m` is the wire from the last stage into output port `line`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkId {
     /// Link layer, `0..=m`.
     pub layer: u32,
@@ -55,7 +54,8 @@ pub struct LinkId {
 /// assert_eq!(path.last().unwrap().line, 2); // arrives at the destination
 /// # Ok::<(), tmc_omeganet::NetError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Omega {
     m: u32,
     n: usize,
@@ -146,7 +146,10 @@ impl Omega {
     pub fn route(&self, src: PortId, dst: PortId) -> Vec<LinkId> {
         assert!(src < self.n && dst < self.n, "port out of range");
         let mut links = Vec::with_capacity(self.m as usize + 1);
-        links.push(LinkId { layer: 0, line: src });
+        links.push(LinkId {
+            layer: 0,
+            line: src,
+        });
         let mut line = src;
         for stage in 0..self.m {
             line = self.shuffle(line);
@@ -255,7 +258,13 @@ mod tests {
                 for dst in 0..net.ports() {
                     let path = net.route(src, dst);
                     assert_eq!(path.len(), m as usize + 1);
-                    assert_eq!(path[0], LinkId { layer: 0, line: src });
+                    assert_eq!(
+                        path[0],
+                        LinkId {
+                            layer: 0,
+                            line: src
+                        }
+                    );
                     assert_eq!(
                         *path.last().unwrap(),
                         LinkId {

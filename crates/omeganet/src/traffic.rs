@@ -6,8 +6,6 @@
 //! physical link, grouped into the `m + 1` link layers of the topology — so
 //! measured totals are directly comparable to the paper's closed forms.
 
-use serde::{Deserialize, Serialize};
-
 use crate::topology::{LinkId, Omega};
 
 /// Bits transferred over every link of an omega network.
@@ -27,7 +25,8 @@ use crate::topology::{LinkId, Omega};
 /// assert_eq!(t.link_bits(LinkId { layer: 0, line: 0 }), 10);
 /// # Ok::<(), tmc_omeganet::NetError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrafficMatrix {
     /// `bits[layer][line]`.
     bits: Vec<Vec<u64>>,
@@ -136,7 +135,9 @@ impl TrafficMatrix {
 
     /// Per-layer totals `L₀..L_m`, a compact profile for reports.
     pub fn layer_profile(&self) -> Vec<u64> {
-        (0..self.layers() as u32).map(|l| self.layer_bits(l)).collect()
+        (0..self.layers() as u32)
+            .map(|l| self.layer_bits(l))
+            .collect()
     }
 }
 

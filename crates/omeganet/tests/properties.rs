@@ -1,76 +1,97 @@
-//! Property-based tests for routing, destination sets and multicast.
+//! Randomized invariant tests for routing, destination sets and multicast,
+//! driven by the in-tree [`SimRng`] (no external crates needed).
 
-use proptest::prelude::*;
 use tmc_omeganet::{DestSet, LinkSchedule, Omega, SchemeKind, TimingModel, TrafficMatrix};
-use tmc_simcore::SimTime;
+use tmc_simcore::{SimRng, SimTime};
 
-fn arb_ports(max_m: u32) -> impl Strategy<Value = (u32, Vec<usize>)> {
-    (1u32..=max_m).prop_flat_map(|m| {
-        let n = 1usize << m;
-        (
-            Just(m),
-            proptest::collection::vec(0..n, 1..(2 * n).min(40)),
-        )
-    })
+const CASES: usize = 48;
+
+/// Random `(m, ports)` pair: a network size and a (possibly repeating)
+/// destination port list, mirroring the old proptest strategy.
+fn arb_ports(rng: &mut SimRng, max_m: u32) -> (u32, Vec<usize>) {
+    let m = rng.gen_range(1..=max_m);
+    let n = 1usize << m;
+    let len = rng.gen_range(1..(2 * n).min(40));
+    let ports = (0..len).map(|_| rng.gen_range(0..n)).collect();
+    (m, ports)
 }
 
-proptest! {
-    #[test]
-    fn route_always_lands_on_destination((m, pair) in (1u32..=10).prop_flat_map(|m| {
-        let n = 1usize << m;
-        (Just(m), (0..n, 0..n))
-    })) {
+#[test]
+fn route_always_lands_on_destination() {
+    let mut rng = SimRng::seed_from(0x07E1);
+    for _ in 0..CASES {
+        let m = rng.gen_range(1..=10u32);
         let net = Omega::new(m).unwrap();
-        let (src, dst) = pair;
+        let src = rng.gen_range(0..net.ports());
+        let dst = rng.gen_range(0..net.ports());
         let path = net.route(src, dst);
-        prop_assert_eq!(path.len() as u32, m + 1);
-        prop_assert_eq!(path[0].line, src);
-        prop_assert_eq!(path.last().unwrap().line, dst);
+        assert_eq!(path.len() as u32, m + 1);
+        assert_eq!(path[0].line, src);
+        assert_eq!(path.last().unwrap().line, dst);
         // Layers strictly increase 0..=m.
         for (i, link) in path.iter().enumerate() {
-            prop_assert_eq!(link.layer as usize, i);
+            assert_eq!(link.layer as usize, i);
         }
     }
+}
 
-    #[test]
-    fn exact_schemes_deliver_exactly_the_requested_set((m, ports) in arb_ports(8)) {
+#[test]
+fn exact_schemes_deliver_exactly_the_requested_set() {
+    let mut rng = SimRng::seed_from(0xDE11);
+    for _ in 0..CASES {
+        let (m, ports) = arb_ports(&mut rng, 8);
         let net = Omega::new(m).unwrap();
         let dests = DestSet::from_ports(net.ports(), ports).unwrap();
-        prop_assume!(!dests.is_empty());
         let want: Vec<usize> = dests.iter().collect();
         for kind in [SchemeKind::Replicated, SchemeKind::BitVector] {
             let mut t = TrafficMatrix::new(&net);
             let r = net.multicast(kind, 0, &dests, 20, &mut t).unwrap();
-            prop_assert_eq!(&r.delivered, &want, "{:?}", kind);
+            assert_eq!(&r.delivered, &want, "{kind:?}");
         }
     }
+}
 
-    #[test]
-    fn broadcast_tag_delivers_a_superset((m, ports) in arb_ports(8)) {
+#[test]
+fn broadcast_tag_delivers_a_superset() {
+    let mut rng = SimRng::seed_from(0xB7A6);
+    for _ in 0..CASES {
+        let (m, ports) = arb_ports(&mut rng, 8);
         let net = Omega::new(m).unwrap();
         let dests = DestSet::from_ports(net.ports(), ports).unwrap();
-        prop_assume!(!dests.is_empty());
         let mut t = TrafficMatrix::new(&net);
         let r = net
-            .multicast(SchemeKind::BroadcastTag, 1 % net.ports(), &dests, 20, &mut t)
+            .multicast(
+                SchemeKind::BroadcastTag,
+                1 % net.ports(),
+                &dests,
+                20,
+                &mut t,
+            )
             .unwrap();
         for d in dests.iter() {
-            prop_assert!(r.delivered.contains(&d), "missing destination {d}");
+            assert!(r.delivered.contains(&d), "missing destination {d}");
         }
         // And the superset is exactly the enclosing subcube when the set
         // is not already a subcube.
         if dests.subcube_spec().is_none() {
             let (anchor, l) = dests.enclosing_low_subcube().unwrap();
-            prop_assert_eq!(r.delivered.len(), 1usize << l);
-            prop_assert!(r.delivered.iter().all(|&p| p & !((1usize << l) - 1) == anchor));
+            assert_eq!(r.delivered.len(), 1usize << l);
+            assert!(r
+                .delivered
+                .iter()
+                .all(|&p| p & !((1usize << l) - 1) == anchor));
         }
     }
+}
 
-    #[test]
-    fn receipt_cost_always_equals_matrix_total((m, ports) in arb_ports(8), payload in 0u64..500) {
+#[test]
+fn receipt_cost_always_equals_matrix_total() {
+    let mut rng = SimRng::seed_from(0x0257);
+    for _ in 0..CASES {
+        let (m, ports) = arb_ports(&mut rng, 8);
+        let payload = rng.gen_range(0..500u64);
         let net = Omega::new(m).unwrap();
         let dests = DestSet::from_ports(net.ports(), ports).unwrap();
-        prop_assume!(!dests.is_empty());
         for kind in [
             SchemeKind::Replicated,
             SchemeKind::BitVector,
@@ -79,32 +100,49 @@ proptest! {
         ] {
             let mut t = TrafficMatrix::new(&net);
             let r = net.multicast(kind, 0, &dests, payload, &mut t).unwrap();
-            prop_assert_eq!(r.cost_bits, t.total_bits());
-            prop_assert_eq!(
+            assert_eq!(r.cost_bits, t.total_bits());
+            assert_eq!(
                 r.cost_bits,
                 net.multicast_cost(kind, &dests, payload).unwrap()
             );
         }
     }
+}
 
-    #[test]
-    fn combined_never_loses((m, ports) in arb_ports(8), payload in 0u64..500) {
+#[test]
+fn combined_never_loses() {
+    let mut rng = SimRng::seed_from(0xC0B1);
+    for _ in 0..CASES {
+        let (m, ports) = arb_ports(&mut rng, 8);
+        let payload = rng.gen_range(0..500u64);
         let net = Omega::new(m).unwrap();
         let dests = DestSet::from_ports(net.ports(), ports).unwrap();
-        prop_assume!(!dests.is_empty());
-        let c = net.multicast_cost(SchemeKind::Combined, &dests, payload).unwrap();
-        for kind in [SchemeKind::Replicated, SchemeKind::BitVector, SchemeKind::BroadcastTag] {
-            prop_assert!(c <= net.multicast_cost(kind, &dests, payload).unwrap());
+        let c = net
+            .multicast_cost(SchemeKind::Combined, &dests, payload)
+            .unwrap();
+        for kind in [
+            SchemeKind::Replicated,
+            SchemeKind::BitVector,
+            SchemeKind::BroadcastTag,
+        ] {
+            assert!(c <= net.multicast_cost(kind, &dests, payload).unwrap());
         }
     }
+}
 
-    #[test]
-    fn timed_multicast_reaches_the_same_ports((m, ports) in arb_ports(7)) {
+#[test]
+fn timed_multicast_reaches_the_same_ports() {
+    let mut rng = SimRng::seed_from(0x71ED);
+    for _ in 0..CASES {
+        let (m, ports) = arb_ports(&mut rng, 7);
         let net = Omega::new(m).unwrap();
         let dests = DestSet::from_ports(net.ports(), ports).unwrap();
-        prop_assume!(!dests.is_empty());
         let model = TimingModel::default();
-        for kind in [SchemeKind::Replicated, SchemeKind::BitVector, SchemeKind::BroadcastTag] {
+        for kind in [
+            SchemeKind::Replicated,
+            SchemeKind::BitVector,
+            SchemeKind::BroadcastTag,
+        ] {
             let mut t = TrafficMatrix::new(&net);
             let cast = net.multicast(kind, 0, &dests, 64, &mut t).unwrap();
             let mut sched = LinkSchedule::new(&net);
@@ -112,35 +150,39 @@ proptest! {
                 .timed_multicast(&net, model, cast.scheme, 0, &dests, 64, SimTime::ZERO)
                 .unwrap();
             let timed_ports: Vec<usize> = timed.iter().map(|&(p, _)| p).collect();
-            prop_assert_eq!(timed_ports, cast.delivered);
+            assert_eq!(timed_ports, cast.delivered);
             // Arrivals are strictly after departure.
-            prop_assert!(timed.iter().all(|&(_, t)| t > SimTime::ZERO));
+            assert!(timed.iter().all(|&(_, t)| t > SimTime::ZERO));
         }
     }
+}
 
-    #[test]
-    fn destset_roundtrips_sorted_unique((m, ports) in arb_ports(9)) {
+#[test]
+fn destset_roundtrips_sorted_unique() {
+    let mut rng = SimRng::seed_from(0x5027);
+    for _ in 0..CASES {
+        let (m, ports) = arb_ports(&mut rng, 9);
         let n = 1usize << m;
         let dests = DestSet::from_ports(n, ports.clone()).unwrap();
         let mut want = ports;
         want.sort_unstable();
         want.dedup();
-        prop_assert_eq!(dests.iter().collect::<Vec<_>>(), want.clone());
-        prop_assert_eq!(dests.len(), want.len());
+        assert_eq!(dests.iter().collect::<Vec<_>>(), want.clone());
+        assert_eq!(dests.len(), want.len());
         for p in 0..n {
-            prop_assert_eq!(dests.contains(p), want.contains(&p));
+            assert_eq!(dests.contains(p), want.contains(&p));
         }
     }
+}
 
-    #[test]
-    fn constructed_subcubes_are_recognized(
-        m in 2u32..=9,
-        anchor_seed in 0usize..512,
-        mask_seed in 0usize..512,
-    ) {
+#[test]
+fn constructed_subcubes_are_recognized() {
+    let mut rng = SimRng::seed_from(0x5CBE);
+    for _ in 0..CASES {
+        let m = rng.gen_range(2..=9u32);
         let n = 1usize << m;
-        let mask = mask_seed % n;
-        let anchor = (anchor_seed % n) & !mask;
+        let mask = rng.gen_range(0..512usize) % n;
+        let anchor = (rng.gen_range(0..512usize) % n) & !mask;
         let bits: Vec<usize> = (0..m as usize).filter(|&b| mask >> b & 1 == 1).collect();
         let members = (0..1usize << bits.len()).map(|combo| {
             let mut p = anchor;
@@ -152,6 +194,6 @@ proptest! {
             p
         });
         let set = DestSet::from_ports(n, members).unwrap();
-        prop_assert_eq!(set.subcube_spec(), Some((anchor, mask)));
+        assert_eq!(set.subcube_spec(), Some((anchor, mask)));
     }
 }

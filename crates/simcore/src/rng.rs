@@ -1,8 +1,8 @@
 //! Seedable randomness for reproducible experiments.
-
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::prelude::*;
-use rand::rngs::StdRng;
+//!
+//! The generator is a self-contained xoshiro256** (Blackman & Vigna) seeded
+//! through SplitMix64, so the whole workspace needs no external RNG crate and
+//! every stream is bit-for-bit reproducible across platforms.
 
 /// A deterministic random-number source.
 ///
@@ -21,17 +21,33 @@ use rand::rngs::StdRng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// SplitMix64 step: expands a seed into decorrelated 64-bit words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
+        let mut sm = seed;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = splitmix64(&mut sm);
         }
+        // xoshiro's one forbidden state; SplitMix64 cannot emit four zeros
+        // from any seed, but keep the guard explicit.
+        if state == [0; 4] {
+            state = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        SimRng { state, seed }
     }
 
     /// The seed this generator was created from.
@@ -39,9 +55,36 @@ impl SimRng {
         self.seed
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256**).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `0..bound` via Lemire's multiply-and-reject method
+    /// (unbiased, usually a single multiply).
+    fn uniform_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform sample from `range`.
@@ -51,10 +94,9 @@ impl SimRng {
     /// Panics if the range is empty.
     pub fn gen_range<T, R>(&mut self, range: R) -> T
     where
-        T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample_from(self)
     }
 
     /// Returns `true` with probability `p`.
@@ -63,22 +105,31 @@ impl SimRng {
     ///
     /// Panics if `p` is not within `0.0..=1.0`.
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p)
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        self.gen_unit() < p
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// Uniform sample in `[0, 1)`, with 53 bits of precision.
     pub fn gen_unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Chooses a uniformly random element of `slice`, or `None` if empty.
     pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
-        slice.choose(&mut self.inner)
+        if slice.is_empty() {
+            None
+        } else {
+            let idx = self.uniform_below(slice.len() as u64) as usize;
+            Some(&slice[idx])
+        }
     }
 
     /// Shuffles `slice` in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
-        slice.shuffle(&mut self.inner);
+        for i in (1..slice.len()).rev() {
+            let j = self.uniform_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
     }
 
     /// Draws `k` distinct values uniformly from `0..n`, in random order.
@@ -88,7 +139,14 @@ impl SimRng {
     /// Panics if `k > n`.
     pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
         assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
-        rand::seq::index::sample(&mut self.inner, n, k).into_vec()
+        // Partial Fisher–Yates: the first k slots of a shuffled 0..n.
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.uniform_below((n - i) as u64) as usize;
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
     }
 
     /// Splits off an independent generator for a named subcomponent.
@@ -106,6 +164,53 @@ impl SimRng {
         SimRng::seed_from(z ^ (z >> 31))
     }
 }
+
+/// Range types [`SimRng::gen_range`] can sample from, mirroring the subset of
+/// `rand`'s `SampleRange` the workspace uses: half-open and inclusive ranges
+/// of the primitive integer types.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from(self, rng: &mut SimRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[allow(clippy::unnecessary_cast)]
+            fn sample_from(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add(rng.uniform_below(span) as $u as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[allow(clippy::unnecessary_cast)]
+            fn sample_from(self, rng: &mut SimRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = end.wrapping_sub(start) as $u as u64;
+                if span == u64::MAX {
+                    // Full 64-bit range: every raw draw is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.uniform_below(span + 1) as $u as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(
+    u8 => u8,
+    u16 => u16,
+    u32 => u32,
+    u64 => u64,
+    usize => usize,
+    i8 => u8,
+    i16 => u16,
+    i32 => u32,
+    i64 => u64,
+    isize => usize,
+);
 
 #[cfg(test)]
 mod tests {
@@ -161,5 +266,40 @@ mod tests {
         let empty: [u8; 0] = [];
         assert_eq!(rng.choose(&empty), None);
         assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn gen_range_covers_bounds() {
+        let mut rng = SimRng::seed_from(17);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..8 should appear");
+        for _ in 0..64 {
+            let v = rng.gen_range(3..=5u64);
+            assert!((3..=5).contains(&v));
+        }
+        let v: i32 = rng.gen_range(-4..4);
+        assert!((-4..4).contains(&v));
+    }
+
+    #[test]
+    fn gen_unit_in_half_open_interval() {
+        let mut rng = SimRng::seed_from(21);
+        for _ in 0..256 {
+            let u = rng.gen_unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(9);
+        let mut v: Vec<u32> = (0..32).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
     }
 }

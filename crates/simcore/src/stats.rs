@@ -7,8 +7,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming mean/variance/extrema over `f64` samples (Welford's algorithm).
 ///
 /// # Example
@@ -24,7 +22,8 @@ use serde::{Deserialize, Serialize};
 /// assert!((acc.mean() - 5.0).abs() < 1e-12);
 /// assert!((acc.population_variance() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Accumulator {
     count: u64,
     mean: f64,
@@ -188,7 +187,8 @@ impl FromIterator<f64> for Accumulator {
 /// assert_eq!(h.bucket_count(0), 1); // the zero
 /// assert_eq!(h.bucket_count(3), 1); // 5 lands in [4, 8)
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -306,7 +306,8 @@ impl Histogram {
 /// c.incr();
 /// assert_eq!(c.get(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Counter(u64);
 
 impl Counter {
@@ -354,7 +355,8 @@ impl fmt::Display for Counter {
 /// assert_eq!(cs.get("read_hit"), 10);
 /// assert_eq!(cs.get("never_touched"), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct CounterSet {
     counters: BTreeMap<&'static str, u64>,
 }

@@ -9,8 +9,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulated time, in cycles since the start of the simulation.
 ///
 /// `SimTime` is an absolute instant; differences between instants are plain
@@ -25,7 +23,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.cycles(), 5);
 /// assert_eq!(t - SimTime::new(2), 3);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimTime(u64);
 
 impl SimTime {

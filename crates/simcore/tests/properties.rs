@@ -1,89 +1,119 @@
-//! Property-based tests for the event queue and the statistics types.
+//! Randomized invariant tests for the event queue and the statistics types.
+//!
+//! Formerly proptest-based; now driven by the in-tree [`SimRng`] so the test
+//! suite needs no external crates. Each test draws many random cases from a
+//! fixed seed, keeping runs deterministic and failures reproducible.
 
-use proptest::prelude::*;
-use tmc_simcore::{Accumulator, EventQueue, Histogram, SimTime};
+use tmc_simcore::{Accumulator, EventQueue, Histogram, SimRng, SimTime};
 
-proptest! {
-    /// The queue is a stable priority queue: popping yields events sorted
-    /// by time, with insertion order preserved among equal times.
-    #[test]
-    fn event_queue_is_a_stable_sort(times in proptest::collection::vec(0u64..50, 0..200)) {
+const CASES: usize = 64;
+
+fn vec_u64(rng: &mut SimRng, bound: u64, min_len: usize, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_range(min_len..max_len);
+    (0..len).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+fn vec_f64(rng: &mut SimRng, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let len = rng.gen_range(min_len..max_len);
+    (0..len).map(|_| lo + rng.gen_unit() * (hi - lo)).collect()
+}
+
+/// The queue is a stable priority queue: popping yields events sorted
+/// by time, with insertion order preserved among equal times.
+#[test]
+fn event_queue_is_a_stable_sort() {
+    let mut rng = SimRng::seed_from(0xE0E0);
+    for _ in 0..CASES {
+        let times = vec_u64(&mut rng, 50, 0, 200);
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::new(t), i);
         }
-        let mut want: Vec<(u64, usize)> =
-            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let mut want: Vec<(u64, usize)> = times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         want.sort(); // stable by (time, insertion index)
         let got: Vec<(u64, usize)> =
             std::iter::from_fn(|| q.pop().map(|(t, i)| (t.cycles(), i))).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// now() is monotone and equals the last popped timestamp.
-    #[test]
-    fn clock_is_monotone(times in proptest::collection::vec(0u64..100, 1..100)) {
+/// now() is monotone and equals the last popped timestamp.
+#[test]
+fn clock_is_monotone() {
+    let mut rng = SimRng::seed_from(0xC10C);
+    for _ in 0..CASES {
+        let times = vec_u64(&mut rng, 100, 1, 100);
         let mut q = EventQueue::new();
         for &t in &times {
             q.schedule(SimTime::new(t), ());
         }
         let mut last = SimTime::ZERO;
         while let Some((t, ())) = q.pop() {
-            prop_assert!(t >= last);
-            prop_assert_eq!(q.now(), t);
+            assert!(t >= last);
+            assert_eq!(q.now(), t);
             last = t;
         }
     }
+}
 
-    /// Streaming mean/variance agree with the two-pass computation.
-    #[test]
-    fn accumulator_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+/// Streaming mean/variance agree with the two-pass computation.
+#[test]
+fn accumulator_matches_two_pass() {
+    let mut rng = SimRng::seed_from(0xACC0);
+    for _ in 0..CASES {
+        let xs = vec_f64(&mut rng, -1e6, 1e6, 1, 200);
         let acc: Accumulator = xs.iter().copied().collect();
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-        prop_assert!((acc.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((acc.population_variance() - var).abs() <= 1e-4 * (1.0 + var));
-        prop_assert_eq!(acc.min(), xs.iter().copied().reduce(f64::min));
-        prop_assert_eq!(acc.max(), xs.iter().copied().reduce(f64::max));
+        assert!((acc.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        assert!((acc.population_variance() - var).abs() <= 1e-4 * (1.0 + var));
+        assert_eq!(acc.min(), xs.iter().copied().reduce(f64::min));
+        assert_eq!(acc.max(), xs.iter().copied().reduce(f64::max));
     }
+}
 
-    /// Merging any split equals sequential accumulation.
-    #[test]
-    fn accumulator_merge_is_split_invariant(
-        xs in proptest::collection::vec(-1e5f64..1e5, 2..120),
-        cut_seed in any::<prop::sample::Index>(),
-    ) {
-        let cut = cut_seed.index(xs.len());
+/// Merging any split equals sequential accumulation.
+#[test]
+fn accumulator_merge_is_split_invariant() {
+    let mut rng = SimRng::seed_from(0x3E16E);
+    for _ in 0..CASES {
+        let xs = vec_f64(&mut rng, -1e5, 1e5, 2, 120);
+        let cut = rng.gen_range(0..xs.len());
         let seq: Accumulator = xs.iter().copied().collect();
         let mut left: Accumulator = xs[..cut].iter().copied().collect();
         let right: Accumulator = xs[cut..].iter().copied().collect();
         left.merge(&right);
-        prop_assert_eq!(left.count(), seq.count());
-        prop_assert!((left.mean() - seq.mean()).abs() <= 1e-6 * (1.0 + seq.mean().abs()));
-        prop_assert!(
+        assert_eq!(left.count(), seq.count());
+        assert!((left.mean() - seq.mean()).abs() <= 1e-6 * (1.0 + seq.mean().abs()));
+        assert!(
             (left.population_variance() - seq.population_variance()).abs()
                 <= 1e-4 * (1.0 + seq.population_variance())
         );
     }
+}
 
-    /// Histograms conserve count and total, and bucket bounds bracket every
-    /// recorded value.
-    #[test]
-    fn histogram_conserves_mass(xs in proptest::collection::vec(any::<u64>(), 1..200)) {
+/// Histograms conserve count and total, and bucket bounds bracket every
+/// recorded value.
+#[test]
+fn histogram_conserves_mass() {
+    let mut rng = SimRng::seed_from(0x4157);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..200usize);
+        let xs: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
         let mut h = Histogram::new();
         for &x in &xs {
             h.record(x);
         }
-        prop_assert_eq!(h.count(), xs.len() as u64);
-        prop_assert_eq!(h.total(), xs.iter().map(|&x| x as u128).sum::<u128>());
+        assert_eq!(h.count(), xs.len() as u64);
+        assert_eq!(h.total(), xs.iter().map(|&x| x as u128).sum::<u128>());
         let bucketed: u64 = h.iter().map(|(_, c)| c).sum();
-        prop_assert_eq!(bucketed, xs.len() as u64);
+        assert_eq!(bucketed, xs.len() as u64);
         // Quantile lower bounds are monotone in q.
         let mut prev = 0;
         for q in [0.1, 0.5, 0.9, 1.0] {
             let b = h.quantile_bucket_low(q).unwrap();
-            prop_assert!(b >= prev);
+            assert!(b >= prev);
             prev = b;
         }
     }

@@ -8,7 +8,6 @@
 //! private per-task data. This generator produces that mix, which is what
 //! the latency/throughput experiments use to expose link contention.
 
-use serde::{Deserialize, Serialize};
 use tmc_memsys::{BlockAddr, BlockSpec};
 use tmc_simcore::SimRng;
 
@@ -32,7 +31,8 @@ use crate::trace::{Op, Reference, Trace};
 /// let trace = HotSpotWorkload::new(4, 0.2, 0.1).references(1000).generate(8, &mut rng);
 /// assert_eq!(trace.len(), 1000);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HotSpotWorkload {
     n_tasks: usize,
     hot_fraction: f64,
@@ -115,7 +115,7 @@ impl HotSpotWorkload {
     /// Panics if the placement cannot host the tasks.
     pub fn generate(self, n_procs: usize, rng: &mut SimRng) -> Trace {
         let assignment = self.placement.assign(self.n_tasks, n_procs, rng);
-        let mut trace = Trace::new(n_procs);
+        let mut trace = Trace::with_capacity(n_procs, self.references);
         for _ in 0..self.references {
             if rng.gen_bool(self.hot_fraction) {
                 let offset = rng.gen_range(0..self.spec.words_per_block());
@@ -150,7 +150,11 @@ impl HotSpotWorkload {
                 trace.push(Reference {
                     proc: assignment[task],
                     addr: self.spec.word_at(block, offset),
-                    op: if rng.gen_bool(0.5) { Op::Write } else { Op::Read },
+                    op: if rng.gen_bool(0.5) {
+                        Op::Write
+                    } else {
+                        Op::Read
+                    },
                 });
             }
         }

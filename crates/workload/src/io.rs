@@ -155,7 +155,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(matches!(parse_trace(""), Err(ParseTraceError::BadHeader(_))));
+        assert!(matches!(
+            parse_trace(""),
+            Err(ParseTraceError::BadHeader(_))
+        ));
         assert!(matches!(
             parse_trace("tmctrace v2 procs=2\n"),
             Err(ParseTraceError::BadHeader(_))

@@ -7,7 +7,6 @@
 //! `migration_period` references, forcing ownership to migrate at a
 //! controllable rate.
 
-use serde::{Deserialize, Serialize};
 use tmc_memsys::{BlockAddr, BlockSpec};
 use tmc_simcore::SimRng;
 
@@ -28,7 +27,8 @@ use crate::trace::{Op, Reference, Trace};
 ///     .generate(8, &mut rng);
 /// assert_eq!(trace.len(), 1000);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MigratingWorkload {
     n_tasks: usize,
     n_blocks: u64,
@@ -111,7 +111,7 @@ impl MigratingWorkload {
     /// Panics if the placement cannot host the tasks.
     pub fn generate(self, n_procs: usize, rng: &mut SimRng) -> Trace {
         let assignment = self.placement.assign(self.n_tasks, n_procs, rng);
-        let mut trace = Trace::new(n_procs);
+        let mut trace = Trace::with_capacity(n_procs, self.references);
         for i in 0..self.references {
             let block = BlockAddr::new(self.block_base + rng.gen_range(0..self.n_blocks));
             let offset = rng.gen_range(0..self.spec.words_per_block());

@@ -5,11 +5,11 @@
 //! requirement and the scheme-2 region bound both come from adjacency).
 //! Placement is therefore a first-class experiment parameter.
 
-use serde::{Deserialize, Serialize};
 use tmc_simcore::SimRng;
 
 /// How `n_tasks` logical tasks map onto `n_procs` processors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Placement {
     /// Task `t` runs on processor `base + t` — the allocation the paper
     /// recommends ("tasks that share a data structure are allocated to
@@ -41,33 +41,50 @@ impl Placement {
     /// `n_procs` processors (too many tasks, region out of range, or a
     /// stride colliding modulo `n_procs`).
     pub fn assign(&self, n_tasks: usize, n_procs: usize, rng: &mut SimRng) -> Vec<usize> {
+        let mut out = Vec::with_capacity(n_tasks);
+        self.assign_into(n_tasks, n_procs, rng, &mut out);
+        out
+    }
+
+    /// Like [`assign`](Self::assign), but appends into a caller-provided
+    /// vector so repeated placements (one per sweep cell) can reuse its
+    /// allocation. Consumes exactly the same rng stream as
+    /// [`assign`](Self::assign).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`assign`](Self::assign).
+    pub fn assign_into(
+        &self,
+        n_tasks: usize,
+        n_procs: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<usize>,
+    ) {
         assert!(n_tasks <= n_procs, "more tasks than processors");
-        let procs = match *self {
+        match *self {
             Placement::Adjacent { base } => {
                 assert!(
                     base + n_tasks <= n_procs,
                     "adjacent region [{base}, {}) exceeds {n_procs} processors",
                     base + n_tasks
                 );
-                (0..n_tasks).map(|t| base + t).collect::<Vec<_>>()
+                out.extend((0..n_tasks).map(|t| base + t));
             }
             Placement::Strided { base, stride } => {
                 assert!(stride > 0, "stride must be positive");
-                let v: Vec<usize> = (0..n_tasks)
-                    .map(|t| (base + t * stride) % n_procs)
-                    .collect();
-                let mut sorted = v.clone();
+                let start = out.len();
+                out.extend((0..n_tasks).map(|t| (base + t * stride) % n_procs));
+                let mut sorted = out[start..].to_vec();
                 sorted.sort_unstable();
                 sorted.dedup();
                 assert!(
                     sorted.len() == n_tasks,
                     "stride {stride} collides modulo {n_procs}"
                 );
-                v
             }
-            Placement::Random => rng.sample_distinct(n_procs, n_tasks),
-        };
-        procs
+            Placement::Random => out.extend(rng.sample_distinct(n_procs, n_tasks)),
+        }
     }
 }
 

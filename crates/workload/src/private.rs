@@ -4,7 +4,6 @@
 //! cache system should serve essentially every reference locally, so
 //! consistency traffic should be near zero regardless of protocol.
 
-use serde::{Deserialize, Serialize};
 use tmc_memsys::{BlockAddr, BlockSpec};
 use tmc_simcore::SimRng;
 
@@ -24,7 +23,8 @@ use crate::trace::{Op, Reference, Trace};
 /// let trace = PrivateWorkload::new(4, 4, 0.5).references(100).generate(8, &mut rng);
 /// assert_eq!(trace.len(), 100);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PrivateWorkload {
     n_tasks: usize,
     blocks_per_task: u64,
@@ -98,7 +98,7 @@ impl PrivateWorkload {
     /// Panics if the placement cannot host the tasks.
     pub fn generate(self, n_procs: usize, rng: &mut SimRng) -> Trace {
         let assignment = self.placement.assign(self.n_tasks, n_procs, rng);
-        let mut trace = Trace::new(n_procs);
+        let mut trace = Trace::with_capacity(n_procs, self.references);
         for _ in 0..self.references {
             let task = rng.gen_range(0..self.n_tasks);
             let block = BlockAddr::new(

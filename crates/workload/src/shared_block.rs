@@ -1,7 +1,6 @@
 //! The paper's §4 sharing model: one writer per block, n sharers, write
 //! fraction w.
 
-use serde::{Deserialize, Serialize};
 use tmc_memsys::{BlockAddr, BlockSpec};
 use tmc_simcore::SimRng;
 
@@ -36,7 +35,8 @@ use crate::trace::{Op, Reference, Trace};
 /// }
 /// # let _ = writers;
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SharedBlockWorkload {
     n_tasks: usize,
     n_blocks: u64,
@@ -127,15 +127,35 @@ impl SharedBlockWorkload {
     /// Panics if the placement cannot host the tasks (see
     /// [`Placement::assign`]).
     pub fn generate(self, n_procs: usize, rng: &mut SimRng) -> Trace {
-        let assignment = self.placement.assign(self.n_tasks, n_procs, rng);
-        let mut trace = Trace::new(n_procs);
+        let mut trace = Trace::with_capacity(n_procs, self.references);
+        let mut assignment = Vec::with_capacity(self.n_tasks);
+        self.generate_into(rng, &mut trace, &mut assignment);
+        trace
+    }
+
+    /// Allocation-free variant of [`generate`](Self::generate): clears and
+    /// refills the caller's `trace` and task-assignment scratch vector,
+    /// reusing both allocations. Sweeps that regenerate a trace per cell
+    /// can hoist the buffers out of the loop. The reference stream is
+    /// identical to [`generate`](Self::generate) for the same rng state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement cannot host the tasks (see
+    /// [`Placement::assign`]).
+    pub fn generate_into(&self, rng: &mut SimRng, trace: &mut Trace, assignment: &mut Vec<usize>) {
+        let n_procs = trace.n_procs();
+        assignment.clear();
+        self.placement
+            .assign_into(self.n_tasks, n_procs, rng, assignment);
+        trace.clear();
         for _ in 0..self.references {
             let block = BlockAddr::new(self.block_base + rng.gen_range(0..self.n_blocks));
             let offset = rng.gen_range(0..self.spec.words_per_block());
             let addr = self.spec.word_at(block, offset);
             if rng.gen_bool(self.write_fraction) {
                 trace.push(Reference {
-                    proc: self.writer_proc(block, &assignment),
+                    proc: self.writer_proc(block, assignment),
                     addr,
                     op: Op::Write,
                 });
@@ -148,7 +168,6 @@ impl SharedBlockWorkload {
                 });
             }
         }
-        trace
     }
 }
 

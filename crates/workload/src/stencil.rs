@@ -8,7 +8,6 @@
 //! own rows plus the boundary rows of its two neighbors, then writes its own
 //! rows. Ownership never migrates — the paper's best case.
 
-use serde::{Deserialize, Serialize};
 use tmc_memsys::{BlockAddr, BlockSpec};
 use tmc_simcore::SimRng;
 
@@ -32,7 +31,8 @@ use crate::trace::{Op, Reference, Trace};
 /// // All four tasks participate.
 /// assert_eq!(trace.active_procs(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StencilWorkload {
     n_tasks: usize,
     rows_per_task: usize,
@@ -113,13 +113,17 @@ impl StencilWorkload {
     pub fn generate(self, n_procs: usize, rng: &mut SimRng) -> Trace {
         let assignment = self.placement.assign(self.n_tasks, n_procs, rng);
         let words = self.spec.words_per_block();
-        let mut trace = Trace::new(n_procs);
+        // Per task and iteration: reads of own + boundary rows (at most
+        // rows_per_task + 2), then writes of own rows.
+        let per_task = (2 * self.rows_per_task + 2) * words;
+        let mut trace = Trace::with_capacity(n_procs, self.iterations * self.n_tasks * per_task);
+        let mut reads: Vec<usize> = Vec::with_capacity(self.rows_per_task + 2);
         for _ in 0..self.iterations {
             for (task, &proc) in assignment.iter().enumerate() {
                 let first = task * self.rows_per_task;
                 let last = first + self.rows_per_task - 1;
                 // Boundary rows of the neighbors.
-                let mut reads: Vec<usize> = Vec::new();
+                reads.clear();
                 if task > 0 {
                     reads.push(first - 1);
                 }
@@ -127,7 +131,7 @@ impl StencilWorkload {
                 if task + 1 < self.n_tasks {
                     reads.push(last + 1);
                 }
-                for row in reads {
+                for &row in &reads {
                     for w in 0..words {
                         trace.push(Reference {
                             proc,

@@ -1,10 +1,10 @@
 //! Reference traces: the input every protocol engine consumes.
 
-use serde::{Deserialize, Serialize};
 use tmc_memsys::WordAddr;
 
 /// A memory operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Op {
     /// A load.
     Read,
@@ -13,7 +13,8 @@ pub enum Op {
 }
 
 /// One memory reference issued by one processor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Reference {
     /// Issuing processor (cache / network port index).
     pub proc: usize,
@@ -37,7 +38,8 @@ pub struct Reference {
 /// assert_eq!(t.len(), 2);
 /// assert_eq!(t.write_fraction(), 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Trace {
     refs: Vec<Reference>,
     n_procs: usize,
@@ -50,11 +52,28 @@ impl Trace {
     ///
     /// Panics if `n_procs` is zero.
     pub fn new(n_procs: usize) -> Self {
+        Trace::with_capacity(n_procs, 0)
+    }
+
+    /// Creates an empty trace with room for `capacity` references — lets
+    /// generators that know their reference count up front fill the trace
+    /// without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_procs` is zero.
+    pub fn with_capacity(n_procs: usize, capacity: usize) -> Self {
         assert!(n_procs > 0, "need at least one processor");
         Trace {
-            refs: Vec::new(),
+            refs: Vec::with_capacity(capacity),
             n_procs,
         }
+    }
+
+    /// Removes every reference, keeping the allocation (and the machine
+    /// size) for reuse.
+    pub fn clear(&mut self) {
+        self.refs.clear();
     }
 
     /// Number of processors this trace targets.
@@ -169,6 +188,17 @@ mod tests {
     fn rejects_foreign_processor() {
         let mut t = Trace::new(2);
         t.push(r(2, 0, Op::Read));
+    }
+
+    #[test]
+    fn with_capacity_and_clear_reuse_storage() {
+        let mut t = Trace::with_capacity(2, 8);
+        t.push(r(0, 1, Op::Read));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.n_procs(), 2);
+        t.push(r(1, 2, Op::Write));
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

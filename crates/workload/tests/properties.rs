@@ -1,22 +1,24 @@
-//! Property-based tests for the workload generators and the trace format.
+//! Randomized tests for the workload generators and the trace format,
+//! driven by the in-tree [`SimRng`] (no external crates needed).
 
-use proptest::prelude::*;
 use tmc_simcore::SimRng;
 use tmc_workload::{
-    format_trace, parse_trace, HotSpotWorkload, MigratingWorkload, Op, Placement,
-    PrivateWorkload, SharedBlockWorkload, StencilWorkload, Trace,
+    format_trace, parse_trace, HotSpotWorkload, MigratingWorkload, Op, Placement, PrivateWorkload,
+    SharedBlockWorkload, StencilWorkload, Trace,
 };
 
-proptest! {
-    /// Every generator: references stay within the machine, counts are
-    /// exact, and generation is a pure function of the seed.
-    #[test]
-    fn generators_are_deterministic_and_in_range(
-        seed in any::<u64>(),
-        n_tasks in 1usize..=8,
-        refs in 1usize..400,
-        w in 0.0f64..=1.0,
-    ) {
+const CASES: usize = 48;
+
+/// Every generator: references stay within the machine, counts are
+/// exact, and generation is a pure function of the seed.
+#[test]
+fn generators_are_deterministic_and_in_range() {
+    let mut meta = SimRng::seed_from(0xDE7E);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let n_tasks = meta.gen_range(1..=8usize);
+        let refs = meta.gen_range(1..400usize);
+        let w = meta.gen_unit();
         let n_procs = 16;
         let traces: Vec<Trace> = (0..2)
             .map(|_| {
@@ -26,16 +28,21 @@ proptest! {
                     .generate(n_procs, &mut rng)
             })
             .collect();
-        prop_assert_eq!(&traces[0], &traces[1]);
-        prop_assert_eq!(traces[0].len(), refs);
+        assert_eq!(&traces[0], &traces[1]);
+        assert_eq!(traces[0].len(), refs);
         for r in traces[0].iter() {
-            prop_assert!(r.proc < n_procs);
+            assert!(r.proc < n_procs);
         }
     }
+}
 
-    /// The one-writer invariant holds for every generator that promises it.
-    #[test]
-    fn one_writer_invariant(seed in any::<u64>(), n_tasks in 1usize..=6) {
+/// The one-writer invariant holds for every generator that promises it.
+#[test]
+fn one_writer_invariant() {
+    let mut meta = SimRng::seed_from(0x0E13);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let n_tasks = meta.gen_range(1..=6usize);
         let mut rng = SimRng::seed_from(seed);
         let wl = SharedBlockWorkload::new(n_tasks, 12, 0.4);
         let spec = wl.spec();
@@ -44,14 +51,19 @@ proptest! {
         for r in trace.iter().filter(|r| r.op == Op::Write) {
             let b = spec.block_of(r.addr);
             if let Some(prev) = writers.insert(b, r.proc) {
-                prop_assert_eq!(prev, r.proc);
+                assert_eq!(prev, r.proc);
             }
         }
     }
+}
 
-    /// Trace text format round-trips every generator's output.
-    #[test]
-    fn trace_text_roundtrip(seed in any::<u64>(), pick in 0usize..5) {
+/// Trace text format round-trips every generator's output.
+#[test]
+fn trace_text_roundtrip() {
+    let mut meta = SimRng::seed_from(0x2077);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let pick = meta.gen_range(0..5usize);
         let mut rng = SimRng::seed_from(seed);
         let n_procs = 16;
         let trace = match pick {
@@ -70,41 +82,53 @@ proptest! {
                 .generate(n_procs, &mut rng),
         };
         let text = format_trace(&trace);
-        prop_assert_eq!(parse_trace(&text).unwrap(), trace);
+        assert_eq!(parse_trace(&text).unwrap(), trace);
     }
+}
 
-    /// Placements are injective and land inside the machine.
-    #[test]
-    fn placements_are_injective(
-        seed in any::<u64>(),
-        n_tasks in 1usize..=16,
-        pick in 0usize..3,
-    ) {
+/// Placements are injective and land inside the machine.
+#[test]
+fn placements_are_injective() {
+    let mut meta = SimRng::seed_from(0x14CE);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let n_tasks = meta.gen_range(1..=16usize);
+        let pick = meta.gen_range(0..3usize);
         let n_procs = 32;
         let placement = match pick {
             0 => Placement::Adjacent { base: 0 },
-            1 => Placement::Strided { base: 0, stride: n_procs / n_tasks.next_power_of_two() },
+            1 => Placement::Strided {
+                base: 0,
+                stride: n_procs / n_tasks.next_power_of_two(),
+            },
             _ => Placement::Random,
         };
         if let Placement::Strided { stride, .. } = placement {
-            prop_assume!(stride > 0 && n_tasks * stride < n_procs + stride);
+            if !(stride > 0 && n_tasks * stride < n_procs + stride) {
+                continue;
+            }
         }
         let mut rng = SimRng::seed_from(seed);
         let a = placement.assign(n_tasks, n_procs, &mut rng);
         let mut sorted = a.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), n_tasks, "{:?}", placement);
-        prop_assert!(a.iter().all(|&p| p < n_procs));
+        assert_eq!(sorted.len(), n_tasks, "{placement:?}");
+        assert!(a.iter().all(|&p| p < n_procs));
     }
+}
 
-    /// Empirical write fraction converges to the configured one.
-    #[test]
-    fn write_fraction_converges(seed in any::<u64>(), w in 0.05f64..=0.95) {
+/// Empirical write fraction converges to the configured one.
+#[test]
+fn write_fraction_converges() {
+    let mut meta = SimRng::seed_from(0xF2AC);
+    for _ in 0..16 {
+        let seed = meta.next_u64();
+        let w = 0.05 + meta.gen_unit() * 0.9;
         let mut rng = SimRng::seed_from(seed);
         let trace = SharedBlockWorkload::new(4, 8, w)
             .references(8000)
             .generate(8, &mut rng);
-        prop_assert!((trace.write_fraction() - w).abs() < 0.05);
+        assert!((trace.write_fraction() - w).abs() < 0.05);
     }
 }

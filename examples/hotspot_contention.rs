@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release --example hotspot_contention`
 
+use two_mode_coherence::net::TimingModel;
 use two_mode_coherence::protocol::driver::{run_concurrent, DriverOp};
 use two_mode_coherence::protocol::{Mode, ModePolicy, System, SystemConfig};
-use two_mode_coherence::net::TimingModel;
 use two_mode_coherence::sim::SimRng;
 use two_mode_coherence::workload::{HotSpotWorkload, Op, Placement};
 

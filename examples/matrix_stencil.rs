@@ -46,7 +46,11 @@ fn main() {
         let (pname, placement) = ("adjacent", Placement::Adjacent { base: 0 });
         let trace = trace_for(placement, 11);
         println!("\n=== stencil 8 tasks x 4 rows x 60 iterations, placement: {pname} ===");
-        println!("{} references, write fraction {:.2}", trace.len(), trace.write_fraction());
+        println!(
+            "{} references, write fraction {:.2}",
+            trace.len(),
+            trace.write_fraction()
+        );
 
         let mut two_mode = two_mode_adaptive(N_PROCS, 64);
         let mut directory = DirectoryInvalidateSystem::new(N_PROCS);

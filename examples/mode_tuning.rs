@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example mode_tuning`
 
-use two_mode_coherence::baselines::{
-    two_mode_adaptive, two_mode_fixed, CoherentSystem,
-};
+use two_mode_coherence::baselines::{two_mode_adaptive, two_mode_fixed, CoherentSystem};
 use two_mode_coherence::protocol::Mode;
 use two_mode_coherence::sim::SimRng;
 use two_mode_coherence::workload::{Op, Placement, SharedBlockWorkload};
@@ -44,7 +42,10 @@ fn main() {
         "n = {N_TASKS} sharing tasks -> threshold w1 = 2/(n+2) = {w1:.3}\n\
          bits per reference (steady state):\n"
     );
-    println!("{:>6} {:>14} {:>14} {:>14}  note", "w", "fixed DW", "fixed GR", "adaptive");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}  note",
+        "w", "fixed DW", "fixed GR", "adaptive"
+    );
     let mut crossover: Option<f64> = None;
     let mut prev_dw_wins = true;
     for i in 0..=16 {

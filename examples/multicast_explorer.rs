@@ -17,18 +17,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (kind, label) in [
         (SchemeKind::Replicated, "scheme 1: replicated unicasts"),
-        (SchemeKind::BitVector, "scheme 2: bit-vector routing (Figure 4)"),
-        (SchemeKind::BroadcastTag, "scheme 3: broadcast-tag (widens to the enclosing subcube)"),
-        (SchemeKind::Combined, "scheme 4: combined = cheapest of the three"),
+        (
+            SchemeKind::BitVector,
+            "scheme 2: bit-vector routing (Figure 4)",
+        ),
+        (
+            SchemeKind::BroadcastTag,
+            "scheme 3: broadcast-tag (widens to the enclosing subcube)",
+        ),
+        (
+            SchemeKind::Combined,
+            "scheme 4: combined = cheapest of the three",
+        ),
     ] {
         let mut traffic = TrafficMatrix::new(&net);
         let r = net.multicast(kind, src, &dests, 20, &mut traffic)?;
         println!("{label}");
         println!("  delivered to       : {:?}", r.delivered);
-        println!("  total cost         : {} bits over {} link crossings", r.cost_bits, r.links_crossed);
+        println!(
+            "  total cost         : {} bits over {} link crossings",
+            r.cost_bits, r.links_crossed
+        );
         println!("  bits per link layer: {:?}", traffic.layer_profile());
         let (hot, bits) = traffic.hottest_link().expect("traffic exists");
-        println!("  hottest link       : layer {} line {} ({} bits)\n", hot.layer, hot.line, bits);
+        println!(
+            "  hottest link       : layer {} line {} ({} bits)\n",
+            hot.layer, hot.line, bits
+        );
     }
 
     println!("switch tree reached (Figure 3 view):");

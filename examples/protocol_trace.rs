@@ -8,9 +8,7 @@
 //! Run with: `cargo run --example protocol_trace`
 
 use two_mode_coherence::memsys::WordAddr;
-use two_mode_coherence::protocol::{
-    Destination, Mode, System, SystemConfig, TraceEvent,
-};
+use two_mode_coherence::protocol::{Destination, Mode, System, SystemConfig, TraceEvent};
 
 fn show(sys: &mut System, step: &str) {
     println!("\n--- {step}");
@@ -31,9 +29,17 @@ fn show(sys: &mut System, step: &str) {
                 };
                 println!("  msg   {kind:?}: port {from} -> {to} ({payload_bits} payload bits, {cost_bits} bits on links)");
             }
-            TraceEvent::StateChange { cache, block, from, to } => {
+            TraceEvent::StateChange {
+                cache,
+                block,
+                from,
+                to,
+            } => {
                 let fmt = |s: Option<_>| {
-                    s.map_or("(no entry)".to_string(), |v: two_mode_coherence::protocol::StateName| v.to_string())
+                    s.map_or(
+                        "(no entry)".to_string(),
+                        |v: two_mode_coherence::protocol::StateName| v.to_string(),
+                    )
                 };
                 println!("  state C{cache} {block}: {} -> {}", fmt(from), fmt(to));
             }
@@ -48,26 +54,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let block = sys.config().spec.block_of(x);
 
     sys.write(1, x, 10)?;
-    show(&mut sys, "cache 1 writes X: load from memory, become exclusive owner");
+    show(
+        &mut sys,
+        "cache 1 writes X: load from memory, become exclusive owner",
+    );
 
     sys.read(3, x)?;
-    show(&mut sys, "cache 3 reads X in global-read mode: datum only, invalid entry + OWNER pointer");
+    show(
+        &mut sys,
+        "cache 3 reads X in global-read mode: datum only, invalid entry + OWNER pointer",
+    );
 
     sys.set_mode(1, x, Mode::DistributedWrite)?;
-    show(&mut sys, "software sets mode = distributed write at the owner");
+    show(
+        &mut sys,
+        "software sets mode = distributed write at the owner",
+    );
 
     sys.read(2, x)?;
-    show(&mut sys, "cache 2 reads X: whole copy, UnOwned; owner becomes non-exclusive");
+    show(
+        &mut sys,
+        "cache 2 reads X: whole copy, UnOwned; owner becomes non-exclusive",
+    );
 
     sys.write(1, x, 11)?;
-    show(&mut sys, "cache 1 writes X: the write is distributed to the copy holders");
+    show(
+        &mut sys,
+        "cache 1 writes X: the write is distributed to the copy holders",
+    );
 
     println!("\n=== Figure 2 reconstruction ===");
     println!("block store owner : {}", sys.owner_of(block).unwrap());
     for c in 0..4 {
         match sys.state_name(c, block) {
             Some(s) => println!("cache {c}: {s}"),
-            None => println!("cache {c}: (no entry for X — holds other blocks, like Figure 2's cache 4)"),
+            None => println!(
+                "cache {c}: (no entry for X — holds other blocks, like Figure 2's cache 4)"
+            ),
         }
     }
     println!("owner's present   : {:?}", sys.present_set(block).unwrap());

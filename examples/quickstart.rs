@@ -16,12 +16,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Processor 0 writes first and becomes the exclusive owner. Freshly
     // loaded blocks start in global-read mode (the paper's initial state).
     sys.write(0, x, 1)?;
-    println!("after first write : {:?}", sys.state_name(0, block).unwrap());
+    println!(
+        "after first write : {:?}",
+        sys.state_name(0, block).unwrap()
+    );
 
     // In global-read mode, remote processors read single data from the
     // owner instead of caching the block.
     let v = sys.read(7, x)?;
-    println!("proc 7 read {v}     : proc 7 entry = {:?}", sys.state_name(7, block).unwrap());
+    println!(
+        "proc 7 read {v}     : proc 7 entry = {:?}",
+        sys.state_name(7, block).unwrap()
+    );
 
     // Software decides this block is read-mostly: switch it to
     // distributed-write mode. Now sharers cache real copies and the

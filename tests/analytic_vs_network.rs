@@ -4,9 +4,9 @@
 //! the two must agree bit-for-bit; for arbitrary placements the equations
 //! bound the measurement.
 
-use proptest::prelude::*;
 use two_mode_coherence::analytic::multicast as eqs;
 use two_mode_coherence::net::{DestSet, Omega, SchemeKind, TrafficMatrix};
+use two_mode_coherence::sim::SimRng;
 
 fn measured(net: &Omega, kind: SchemeKind, dests: &DestSet, m_bits: u64) -> u64 {
     let mut traffic = TrafficMatrix::new(net);
@@ -103,8 +103,7 @@ fn aary_equations_match_aary_network_exactly() {
             // Worst-case spread in base a: destinations differing in the
             // most significant digits, stride N/n.
             let stride = net.ports() / n;
-            let dests =
-                DestSet::from_ports(net.ports(), (0..n).map(|i| i * stride)).unwrap();
+            let dests = DestSet::from_ports(net.ports(), (0..n).map(|i| i * stride)).unwrap();
             for m_bits in [0u64, 20, 100] {
                 let mut t = net.traffic_matrix();
                 let r1 = net.cast_replicated(0, &dests, m_bits, &mut t).unwrap();
@@ -125,45 +124,53 @@ fn aary_equations_match_aary_network_exactly() {
     }
 }
 
-proptest! {
-    /// Any destination set: measured scheme-2 cost is bounded by the
-    /// unconstrained worst case (eq. 3) at the next power-of-two size, and
-    /// below by the adjacent best case (eq. 6 with n1 = n) at the previous
-    /// power of two.
-    #[test]
-    fn scheme2_measurement_bounded_by_equations(
-        m in 3u32..=9,
-        seed_ports in proptest::collection::vec(0usize..512, 1..40),
-        m_bits in 0u64..200,
-    ) {
+/// Any destination set: measured scheme-2 cost is bounded by the
+/// unconstrained worst case (eq. 3) at the next power-of-two size, and
+/// below by the adjacent best case (eq. 6 with n1 = n) at the previous
+/// power of two.
+#[test]
+fn scheme2_measurement_bounded_by_equations() {
+    let mut rng = SimRng::seed_from(0x5EB2);
+    for _ in 0..64 {
+        let m = rng.gen_range(3..=9u32);
         let net = Omega::new(m).unwrap();
-        let ports: Vec<usize> = seed_ports.iter().map(|&p| p % net.ports()).collect();
+        let len = rng.gen_range(1..40usize);
+        let ports: Vec<usize> = (0..len).map(|_| rng.gen_range(0..net.ports())).collect();
+        let m_bits = rng.gen_range(0..200u64);
         let dests = DestSet::from_ports(net.ports(), ports).unwrap();
-        prop_assume!(!dests.is_empty());
         let got = measured(&net, SchemeKind::BitVector, &dests, m_bits);
-        let n_hi = (dests.len() as u64).next_power_of_two().min(net.ports() as u64);
+        let n_hi = (dests.len() as u64)
+            .next_power_of_two()
+            .min(net.ports() as u64);
         let n_lo = 1u64 << (63 - (dests.len() as u64).leading_zeros()); // prev pow2
         let hi = eqs::scheme2_worst(n_hi, net.ports() as u64, m_bits);
         let lo = eqs::scheme2_adjacent(n_lo, net.ports() as u64, m_bits);
-        prop_assert!(got <= hi, "{got} > worst-case {hi} for {dests:?}");
-        prop_assert!(got >= lo, "{got} < best-case {lo} for {dests:?}");
+        assert!(got <= hi, "{got} > worst-case {hi} for {dests:?}");
+        assert!(got >= lo, "{got} < best-case {lo} for {dests:?}");
     }
+}
 
-    /// The combined scheme on the network never exceeds any individual
-    /// scheme and equals eq. 8's min over the applicable closed forms when
-    /// the destinations match the equations' placements.
-    #[test]
-    fn combined_is_min_on_network(
-        m in 2u32..=9,
-        k in 0u32..=6,
-        m_bits in 0u64..150,
-    ) {
-        prop_assume!(k <= m);
+/// The combined scheme on the network never exceeds any individual
+/// scheme and equals eq. 8's min over the applicable closed forms when
+/// the destinations match the equations' placements.
+#[test]
+fn combined_is_min_on_network() {
+    let mut rng = SimRng::seed_from(0xC0DE);
+    for _ in 0..64 {
+        let m = rng.gen_range(2..=9u32);
+        let k = rng.gen_range(0..=6.min(m));
+        let m_bits = rng.gen_range(0..150u64);
         let net = Omega::new(m).unwrap();
         let dests = DestSet::adjacent(net.ports(), 0, 1 << k).unwrap();
-        let c = net.multicast_cost(SchemeKind::Combined, &dests, m_bits).unwrap();
-        for kind in [SchemeKind::Replicated, SchemeKind::BitVector, SchemeKind::BroadcastTag] {
-            prop_assert!(c <= net.multicast_cost(kind, &dests, m_bits).unwrap());
+        let c = net
+            .multicast_cost(SchemeKind::Combined, &dests, m_bits)
+            .unwrap();
+        for kind in [
+            SchemeKind::Replicated,
+            SchemeKind::BitVector,
+            SchemeKind::BroadcastTag,
+        ] {
+            assert!(c <= net.multicast_cost(kind, &dests, m_bits).unwrap());
         }
         // For an aligned adjacent block the three costs ARE the paper's
         // CC1, CC2'(n = n1) and CC3, so eq. 8 holds exactly.
@@ -171,20 +178,24 @@ proptest! {
         let expect = eqs::scheme1(n, net.ports() as u64, m_bits)
             .min(eqs::scheme2_adjacent(n, net.ports() as u64, m_bits))
             .min(eqs::scheme3(n, net.ports() as u64, m_bits));
-        prop_assert_eq!(c, expect);
+        assert_eq!(c, expect);
     }
+}
 
-    /// Scheme 1 measurements for arbitrary sets are exactly linear.
-    #[test]
-    fn scheme1_linear_for_any_set(
-        m in 2u32..=8,
-        seed_ports in proptest::collection::vec(0usize..256, 1..30),
-    ) {
+/// Scheme 1 measurements for arbitrary sets are exactly linear.
+#[test]
+fn scheme1_linear_for_any_set() {
+    let mut rng = SimRng::seed_from(0x11EA2);
+    for _ in 0..64 {
+        let m = rng.gen_range(2..=8u32);
         let net = Omega::new(m).unwrap();
-        let ports: Vec<usize> = seed_ports.iter().map(|&p| p % net.ports()).collect();
+        let len = rng.gen_range(1..30usize);
+        let ports: Vec<usize> = (0..len).map(|_| rng.gen_range(0..net.ports())).collect();
         let dests = DestSet::from_ports(net.ports(), ports).unwrap();
-        prop_assume!(!dests.is_empty());
         let got = measured(&net, SchemeKind::Replicated, &dests, 20);
-        prop_assert_eq!(got, eqs::scheme1(dests.len() as u64, net.ports() as u64, 20));
+        assert_eq!(
+            got,
+            eqs::scheme1(dests.len() as u64, net.ports() as u64, 20)
+        );
     }
 }

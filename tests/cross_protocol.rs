@@ -4,8 +4,8 @@
 //! ordering claims on the §4 workload.
 
 use two_mode_coherence::baselines::{
-    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem,
-    NoCacheSystem, UpdateOnlySystem,
+    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem, NoCacheSystem,
+    UpdateOnlySystem,
 };
 use two_mode_coherence::memsys::ReferenceMemory;
 use two_mode_coherence::protocol::Mode;

@@ -2,9 +2,9 @@
 //! and policies: completion, determinism, invariants, and the expected
 //! performance orderings.
 
+use two_mode_coherence::net::TimingModel;
 use two_mode_coherence::protocol::driver::{run_concurrent, DriverOp};
 use two_mode_coherence::protocol::{Mode, ModePolicy, System, SystemConfig};
-use two_mode_coherence::net::TimingModel;
 use two_mode_coherence::sim::SimRng;
 use two_mode_coherence::workload::{HotSpotWorkload, Op, Placement, SharedBlockWorkload, Trace};
 
@@ -76,7 +76,9 @@ fn think_time_stretches_the_makespan() {
     let streams = to_streams(&trace);
     let mk = |think| {
         let mut sys = timed(8, ModePolicy::Fixed(Mode::DistributedWrite));
-        run_concurrent(&mut sys, &streams, think).expect("fits").makespan_cycles
+        run_concurrent(&mut sys, &streams, think)
+            .expect("fits")
+            .makespan_cycles
     };
     assert!(mk(10) > mk(0));
 }
@@ -108,7 +110,9 @@ fn low_write_fraction_favors_dw_in_latency_too() {
     let streams = to_streams(&trace);
     let measure = |mode| {
         let mut sys = timed(16, ModePolicy::Fixed(mode));
-        run_concurrent(&mut sys, &streams, 1).expect("fits").mean_latency()
+        run_concurrent(&mut sys, &streams, 1)
+            .expect("fits")
+            .mean_latency()
     };
     assert!(measure(Mode::DistributedWrite) < measure(Mode::GlobalRead));
 }

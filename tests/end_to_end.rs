@@ -13,10 +13,9 @@ use two_mode_coherence::workload::{Op, Placement, SharedBlockWorkload, StencilWo
 #[test]
 fn facade_full_stack_roundtrip() {
     // Build every layer through the facade and run a small scenario.
-    let mut sys = System::new(
-        SystemConfig::new(8).mode_policy(ModePolicy::Adaptive { window: 32 }),
-    )
-    .expect("valid config");
+    let mut sys =
+        System::new(SystemConfig::new(8).mode_policy(ModePolicy::Adaptive { window: 32 }))
+            .expect("valid config");
     let mut rng = SimRng::seed_from(1);
     let trace = StencilWorkload::new(4, 2, 10)
         .placement(Placement::Adjacent { base: 0 })
@@ -45,9 +44,7 @@ fn stencil_blocks_keep_their_single_writer_owner() {
     let mut sys = System::new(SystemConfig::new(8)).expect("valid");
     let wl = StencilWorkload::new(4, 2, 8);
     let spec = wl.spec();
-    let trace = wl
-        .clone()
-        .generate(8, &mut SimRng::seed_from(2));
+    let trace = wl.clone().generate(8, &mut SimRng::seed_from(2));
     let mut stamp = 1;
     for r in trace.iter() {
         match r.op {

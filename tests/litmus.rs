@@ -7,8 +7,8 @@
 //! every protocol, mode and ownership-migration path.
 
 use two_mode_coherence::baselines::{
-    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem,
-    NoCacheSystem, UpdateOnlySystem,
+    two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem, NoCacheSystem,
+    UpdateOnlySystem,
 };
 use two_mode_coherence::memsys::WordAddr;
 use two_mode_coherence::protocol::Mode;
