@@ -17,6 +17,7 @@ use tmc_memsys::{
     BlockAddr, BlockData, BlockSpec, CacheArray, CacheGeometry, MainMemory, ModuleMap, MsgSizing,
     WordAddr,
 };
+use tmc_obs::{ProtocolEvent, Tracer};
 use tmc_omeganet::{DestSet, Omega, SchemeKind, TrafficMatrix};
 use tmc_simcore::CounterSet;
 
@@ -67,6 +68,7 @@ pub struct DirectoryInvalidateSystem {
     sizing: MsgSizing,
     spec: BlockSpec,
     counters: CounterSet,
+    tracer: Tracer,
     multicast: SchemeKind,
     n_procs: usize,
 }
@@ -99,6 +101,7 @@ impl DirectoryInvalidateSystem {
             modules: ModuleMap::new(n_procs),
             sizing: MsgSizing::default(),
             counters: CounterSet::new(),
+            tracer: Tracer::new(),
             multicast: SchemeKind::Combined,
             n_procs,
             spec,
@@ -234,36 +237,65 @@ impl CoherentSystem for DirectoryInvalidateSystem {
 
     fn read(&mut self, proc: usize, addr: WordAddr) -> u64 {
         assert!(proc < self.n_procs, "processor out of range");
+        let before = if self.tracer.is_enabled() {
+            self.traffic.total_bits()
+        } else {
+            0
+        };
         let block = self.spec.block_of(addr);
         let offset = self.spec.offset_of(addr);
-        if let Some(line) = self.caches[proc].get(block) {
+        let hit = self.caches[proc].get(block).is_some();
+        let value = if hit {
             self.counters.incr("read_hit");
-            return line.data.word(offset);
-        }
-        self.counters.incr("read_miss");
-        let home = self.home(block);
-        self.send(proc, home, self.sizing.request_bits());
-        self.recall_if_dirty(block, false);
-        let data = self.memory.read_block(block).clone();
-        self.send(home, proc, self.sizing.block_transfer_bits());
-        let value = data.word(offset);
-        self.install(
-            proc,
-            block,
-            Line {
-                state: LineState::Shared,
-                data,
-            },
-        );
-        let entry = self.directory.entry(block).or_default();
-        if !entry.sharers.contains(&proc) {
-            entry.sharers.push(proc);
+            self.caches[proc]
+                .peek(block)
+                .expect("hit verified")
+                .data
+                .word(offset)
+        } else {
+            self.counters.incr("read_miss");
+            let home = self.home(block);
+            self.send(proc, home, self.sizing.request_bits());
+            self.recall_if_dirty(block, false);
+            let data = self.memory.read_block(block).clone();
+            self.send(home, proc, self.sizing.block_transfer_bits());
+            let value = data.word(offset);
+            self.install(
+                proc,
+                block,
+                Line {
+                    state: LineState::Shared,
+                    data,
+                },
+            );
+            let entry = self.directory.entry(block).or_default();
+            if !entry.sharers.contains(&proc) {
+                entry.sharers.push(proc);
+            }
+            value
+        };
+        if self.tracer.is_enabled() {
+            let cost_bits = self.traffic.total_bits() - before;
+            self.tracer.push(ProtocolEvent::Read {
+                proc,
+                addr,
+                value,
+                hit,
+                cost_bits,
+                latency: None,
+                mode: None,
+            });
         }
         value
     }
 
     fn write(&mut self, proc: usize, addr: WordAddr, value: u64) {
         assert!(proc < self.n_procs, "processor out of range");
+        let before = if self.tracer.is_enabled() {
+            self.traffic.total_bits()
+        } else {
+            0
+        };
         let block = self.spec.block_of(addr);
         let offset = self.spec.offset_of(addr);
         let home = self.home(block);
@@ -307,6 +339,18 @@ impl CoherentSystem for DirectoryInvalidateSystem {
         let line = self.caches[proc].peek_mut(block).expect("resident");
         line.data.set_word(offset, value);
         debug_assert_eq!(line.state, LineState::Exclusive);
+        if self.tracer.is_enabled() {
+            let cost_bits = self.traffic.total_bits() - before;
+            self.tracer.push(ProtocolEvent::Write {
+                proc,
+                addr,
+                value,
+                hit: state.is_some(),
+                cost_bits,
+                latency: None,
+                mode: None,
+            });
+        }
     }
 
     fn total_traffic_bits(&self) -> u64 {
@@ -348,6 +392,18 @@ impl CoherentSystem for DirectoryInvalidateSystem {
             }
         }
         self.memory.read_block(block).word(offset)
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    fn tracing_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    fn drain_trace(&mut self) -> Vec<ProtocolEvent> {
+        self.tracer.drain()
     }
 }
 

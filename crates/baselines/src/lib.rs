@@ -50,6 +50,7 @@ pub use two_mode::{two_mode_adaptive, two_mode_fixed, TwoModeAdapter};
 pub use update::UpdateOnlySystem;
 
 use tmc_memsys::WordAddr;
+use tmc_obs::ProtocolEvent;
 use tmc_simcore::CounterSet;
 
 /// The common harness interface every protocol engine implements.
@@ -86,4 +87,19 @@ pub trait CoherentSystem {
 
     /// Oracle view of a word (no traffic generated).
     fn peek_word(&self, addr: WordAddr) -> u64;
+
+    /// Turns structured protocol-event tracing on or off. Engines without a
+    /// tracer ignore the request and stay silent.
+    fn set_tracing(&mut self, _on: bool) {}
+
+    /// Whether structured tracing is currently recording.
+    fn tracing_enabled(&self) -> bool {
+        false
+    }
+
+    /// Takes every recorded protocol event (empty for engines without a
+    /// tracer, or with tracing off).
+    fn drain_trace(&mut self) -> Vec<ProtocolEvent> {
+        Vec::new()
+    }
 }

@@ -1,6 +1,7 @@
 //! The no-cache baseline (eq. 9).
 
 use tmc_memsys::{MainMemory, ModuleMap, MsgSizing, WordAddr};
+use tmc_obs::{ProtocolEvent, Tracer};
 use tmc_omeganet::{Omega, TrafficMatrix};
 use tmc_simcore::CounterSet;
 
@@ -18,6 +19,7 @@ pub struct NoCacheSystem {
     modules: ModuleMap,
     sizing: MsgSizing,
     counters: CounterSet,
+    tracer: Tracer,
     n_procs: usize,
 }
 
@@ -47,6 +49,7 @@ impl NoCacheSystem {
             )),
             modules: ModuleMap::new(n_procs),
             counters: CounterSet::new(),
+            tracer: Tracer::new(),
             n_procs,
             sizing,
             net,
@@ -77,21 +80,56 @@ impl CoherentSystem for NoCacheSystem {
 
     fn read(&mut self, proc: usize, addr: WordAddr) -> u64 {
         assert!(proc < self.n_procs, "processor out of range");
+        let before = if self.tracer.is_enabled() {
+            self.traffic.total_bits()
+        } else {
+            0
+        };
         let (block, offset, home) = self.locate(addr);
         self.send(proc, home, self.sizing.request_bits());
         self.send(home, proc, self.sizing.datum_bits());
         self.counters.incr("reads");
-        self.memory.read_block(block).word(offset)
+        let value = self.memory.read_block(block).word(offset);
+        if self.tracer.is_enabled() {
+            let cost_bits = self.traffic.total_bits() - before;
+            self.tracer.push(ProtocolEvent::Read {
+                proc,
+                addr,
+                value,
+                hit: false,
+                cost_bits,
+                latency: None,
+                mode: None,
+            });
+        }
+        value
     }
 
     fn write(&mut self, proc: usize, addr: WordAddr, value: u64) {
         assert!(proc < self.n_procs, "processor out of range");
+        let before = if self.tracer.is_enabled() {
+            self.traffic.total_bits()
+        } else {
+            0
+        };
         let (block, offset, home) = self.locate(addr);
         self.send(proc, home, self.sizing.update_bits());
         self.counters.incr("writes");
         let mut data = self.memory.read_block(block).clone();
         data.set_word(offset, value);
         self.memory.write_block(block, data);
+        if self.tracer.is_enabled() {
+            let cost_bits = self.traffic.total_bits() - before;
+            self.tracer.push(ProtocolEvent::Write {
+                proc,
+                addr,
+                value,
+                hit: false,
+                cost_bits,
+                latency: None,
+                mode: None,
+            });
+        }
     }
 
     fn total_traffic_bits(&self) -> u64 {
@@ -109,6 +147,18 @@ impl CoherentSystem for NoCacheSystem {
     fn peek_word(&self, addr: WordAddr) -> u64 {
         let (block, offset, _) = self.locate(addr);
         self.memory.read_block(block).word(offset)
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    fn tracing_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    fn drain_trace(&mut self) -> Vec<ProtocolEvent> {
+        self.tracer.drain()
     }
 }
 

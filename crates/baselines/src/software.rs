@@ -20,6 +20,7 @@ use tmc_memsys::{
     BlockAddr, BlockData, BlockSpec, CacheArray, CacheGeometry, MainMemory, ModuleMap, MsgSizing,
     WordAddr,
 };
+use tmc_obs::{ProtocolEvent, Tracer};
 use tmc_omeganet::{Omega, TrafficMatrix};
 use tmc_simcore::CounterSet;
 
@@ -54,6 +55,7 @@ pub struct SoftwareMarkedSystem {
     sizing: MsgSizing,
     spec: BlockSpec,
     counters: CounterSet,
+    tracer: Tracer,
     n_procs: usize,
 }
 
@@ -78,6 +80,7 @@ impl SoftwareMarkedSystem {
             modules: ModuleMap::new(n_procs),
             sizing: MsgSizing::default(),
             counters: CounterSet::new(),
+            tracer: Tracer::new(),
             n_procs,
             spec,
             net,
@@ -138,48 +141,89 @@ impl CoherentSystem for SoftwareMarkedSystem {
 
     fn read(&mut self, proc: usize, addr: WordAddr) -> u64 {
         assert!(proc < self.n_procs, "processor out of range");
+        let before = if self.tracer.is_enabled() {
+            self.traffic.total_bits()
+        } else {
+            0
+        };
         let block = self.spec.block_of(addr);
         let offset = self.spec.offset_of(addr);
-        if self.is_noncacheable(block) {
+        let (value, hit) = if self.is_noncacheable(block) {
             let home = self.home(block);
             self.send(proc, home, self.sizing.request_bits());
             self.send(home, proc, self.sizing.datum_bits());
             self.counters.incr("uncached_reads");
-            return self.memory.read_block(block).word(offset);
-        }
-        if self.caches[proc].get(block).is_none() {
-            self.counters.incr("read_miss");
-            self.fill(proc, block);
+            (self.memory.read_block(block).word(offset), false)
         } else {
-            self.counters.incr("read_hit");
+            let hit = self.caches[proc].get(block).is_some();
+            if hit {
+                self.counters.incr("read_hit");
+            } else {
+                self.counters.incr("read_miss");
+                self.fill(proc, block);
+            }
+            let value = self.caches[proc]
+                .peek(block)
+                .expect("resident")
+                .data
+                .word(offset);
+            (value, hit)
+        };
+        if self.tracer.is_enabled() {
+            let cost_bits = self.traffic.total_bits() - before;
+            self.tracer.push(ProtocolEvent::Read {
+                proc,
+                addr,
+                value,
+                hit,
+                cost_bits,
+                latency: None,
+                mode: None,
+            });
         }
-        self.caches[proc]
-            .peek(block)
-            .expect("resident")
-            .data
-            .word(offset)
+        value
     }
 
     fn write(&mut self, proc: usize, addr: WordAddr, value: u64) {
         assert!(proc < self.n_procs, "processor out of range");
+        let before = if self.tracer.is_enabled() {
+            self.traffic.total_bits()
+        } else {
+            0
+        };
         let block = self.spec.block_of(addr);
         let offset = self.spec.offset_of(addr);
+        let hit;
         if self.is_noncacheable(block) {
+            hit = false;
             let home = self.home(block);
             self.send(proc, home, self.sizing.update_bits());
             self.counters.incr("uncached_writes");
             let mut data = self.memory.read_block(block).clone();
             data.set_word(offset, value);
             self.memory.write_block(block, data);
-            return;
+        } else {
+            hit = self.caches[proc].get(block).is_some();
+            if !hit {
+                self.counters.incr("write_miss");
+                self.fill(proc, block);
+            }
+            let line = self.caches[proc].peek_mut(block).expect("resident");
+            line.data.set_word(offset, value);
+            line.dirty = true;
         }
-        if self.caches[proc].get(block).is_none() {
-            self.counters.incr("write_miss");
-            self.fill(proc, block);
+        if self.tracer.is_enabled() {
+            let cost_bits = self.traffic.total_bits() - before;
+            self.tracer.push(ProtocolEvent::Write {
+                proc,
+                addr,
+                value,
+                hit,
+                cost_bits,
+                latency: None,
+                mode: None,
+            });
         }
-        let line = self.caches[proc].peek_mut(block).expect("resident");
-        line.data.set_word(offset, value);
-        line.dirty = true;
     }
 
     fn total_traffic_bits(&self) -> u64 {
@@ -222,6 +266,18 @@ impl CoherentSystem for SoftwareMarkedSystem {
             }
         }
         self.memory.read_block(block).word(offset)
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    fn tracing_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    fn drain_trace(&mut self) -> Vec<ProtocolEvent> {
+        self.tracer.drain()
     }
 }
 

@@ -107,6 +107,18 @@ impl CoherentSystem for TwoModeAdapter {
     fn peek_word(&self, addr: WordAddr) -> u64 {
         self.inner.peek_word(addr)
     }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.inner.set_tracing(on);
+    }
+
+    fn tracing_enabled(&self) -> bool {
+        self.inner.tracing_enabled()
+    }
+
+    fn drain_trace(&mut self) -> Vec<tmc_obs::ProtocolEvent> {
+        self.inner.drain_trace()
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use tmc_memsys::{
     BlockAddr, BlockData, BlockSpec, CacheArray, CacheGeometry, MainMemory, ModuleMap, MsgSizing,
     WordAddr,
 };
+use tmc_obs::{ProtocolEvent, Tracer};
 use tmc_omeganet::{DestSet, Omega, SchemeKind, TrafficMatrix};
 use tmc_simcore::CounterSet;
 
@@ -53,6 +54,7 @@ pub struct UpdateOnlySystem {
     sizing: MsgSizing,
     spec: BlockSpec,
     counters: CounterSet,
+    tracer: Tracer,
     multicast: SchemeKind,
     n_procs: usize,
 }
@@ -84,6 +86,7 @@ impl UpdateOnlySystem {
             modules: ModuleMap::new(n_procs),
             sizing: MsgSizing::default(),
             counters: CounterSet::new(),
+            tracer: Tracer::new(),
             multicast: SchemeKind::Combined,
             n_procs,
             spec,
@@ -199,26 +202,56 @@ impl CoherentSystem for UpdateOnlySystem {
 
     fn read(&mut self, proc: usize, addr: WordAddr) -> u64 {
         assert!(proc < self.n_procs, "processor out of range");
+        let before = if self.tracer.is_enabled() {
+            self.traffic.total_bits()
+        } else {
+            0
+        };
         let block = self.spec.block_of(addr);
         let offset = self.spec.offset_of(addr);
-        if let Some(line) = self.caches[proc].get(block) {
+        let hit = self.caches[proc].get(block).is_some();
+        let value = if hit {
             self.counters.incr("read_hit");
-            return line.data.word(offset);
+            self.caches[proc]
+                .peek(block)
+                .expect("hit verified")
+                .data
+                .word(offset)
+        } else {
+            self.counters.incr("read_miss");
+            self.fill(proc, block);
+            self.caches[proc]
+                .peek(block)
+                .expect("just filled")
+                .data
+                .word(offset)
+        };
+        if self.tracer.is_enabled() {
+            let cost_bits = self.traffic.total_bits() - before;
+            self.tracer.push(ProtocolEvent::Read {
+                proc,
+                addr,
+                value,
+                hit,
+                cost_bits,
+                latency: None,
+                mode: None,
+            });
         }
-        self.counters.incr("read_miss");
-        self.fill(proc, block);
-        self.caches[proc]
-            .peek(block)
-            .expect("just filled")
-            .data
-            .word(offset)
+        value
     }
 
     fn write(&mut self, proc: usize, addr: WordAddr, value: u64) {
         assert!(proc < self.n_procs, "processor out of range");
+        let before = if self.tracer.is_enabled() {
+            self.traffic.total_bits()
+        } else {
+            0
+        };
         let block = self.spec.block_of(addr);
         let offset = self.spec.offset_of(addr);
-        if self.caches[proc].get(block).is_none() {
+        let hit = self.caches[proc].get(block).is_some();
+        if !hit {
             self.counters.incr("write_miss");
             self.fill(proc, block);
         }
@@ -261,6 +294,18 @@ impl CoherentSystem for UpdateOnlySystem {
         if !entry.sharers.contains(&proc) {
             entry.sharers.push(proc);
         }
+        if self.tracer.is_enabled() {
+            let cost_bits = self.traffic.total_bits() - before;
+            self.tracer.push(ProtocolEvent::Write {
+                proc,
+                addr,
+                value,
+                hit,
+                cost_bits,
+                latency: None,
+                mode: None,
+            });
+        }
     }
 
     fn total_traffic_bits(&self) -> u64 {
@@ -293,6 +338,18 @@ impl CoherentSystem for UpdateOnlySystem {
         let block = self.spec.block_of(addr);
         let offset = self.spec.offset_of(addr);
         self.authoritative(block).word(offset)
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    fn tracing_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    fn drain_trace(&mut self) -> Vec<ProtocolEvent> {
+        self.tracer.drain()
     }
 }
 

@@ -11,6 +11,11 @@
 //! `TMC_SWEEP_THREADS`-many workers (default: all cores); the serial
 //! reference runs the identical cell grid on one thread, and the two result
 //! vectors are asserted bit-for-bit equal before any timing is reported.
+//!
+//! Every timed run executes with tracing *disabled* — the zero-cost path.
+//! With `TMC_TRACE_OUT=FILE` in the environment, one representative cell
+//! (two-mode adaptive, w = 0.2) is additionally re-run *after* all timing
+//! with tracing on, and saved as a replayable JSONL protocol trace.
 
 use std::hint::black_box;
 
@@ -84,6 +89,40 @@ fn protocol_refs_per_sec() -> f64 {
     r.per_sec * trace.len() as f64
 }
 
+/// Off-the-timed-path trace capture, gated on `TMC_TRACE_OUT`.
+fn save_representative_trace() {
+    use tmc_bench::tracecheck;
+    use tmc_core::{ModePolicy, SystemConfig};
+    use tmc_workload::Op;
+    let Ok(path) = std::env::var("TMC_TRACE_OUT") else {
+        return;
+    };
+    let trace = SharedBlockWorkload::new(N_TASKS, N_BLOCKS, 0.2)
+        .references(REFS)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(N_PROCS, &mut SimRng::seed_from(1003));
+    let cfg = SystemConfig::new(N_PROCS).mode_policy(ModePolicy::Adaptive { window: 64 });
+    let text = tracecheck::capture(cfg, |sys| {
+        let mut stamp = 1u64;
+        for r in trace.iter() {
+            match r.op {
+                Op::Read => {
+                    sys.read(r.proc, r.addr).expect("valid proc");
+                }
+                Op::Write => {
+                    sys.write(r.proc, r.addr, stamp).expect("valid proc");
+                    stamp += 1;
+                }
+            }
+        }
+    })
+    .expect("default config is capturable");
+    match std::fs::write(&path, &text) {
+        Ok(()) => println!("trace            : wrote {path} (verify with trace_check)"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -131,4 +170,5 @@ fn main() {
         }
     }
     print!("{json}");
+    save_representative_trace();
 }

@@ -7,14 +7,18 @@
 //!   PROTOCOL  no-cache | dir | update | dw | gr | adaptive | all
 //!             (default: adaptive; `all` compares every protocol)
 //! ```
+//!
+//! With `TMC_TRACE_OUT=FILE` in the environment and a two-mode protocol
+//! selected (`dw`, `gr` or `adaptive`), the run is additionally captured
+//! as a replayable JSONL protocol trace (see `trace_check`).
 
 use tmc_baselines::{
     two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem, NoCacheSystem,
     UpdateOnlySystem,
 };
-use tmc_bench::{drive, sweep, Table};
-use tmc_core::Mode;
-use tmc_workload::{parse_trace, Trace};
+use tmc_bench::{drive, sweep, tracecheck, Table};
+use tmc_core::{Mode, ModePolicy, SystemConfig};
+use tmc_workload::{parse_trace, Op, Trace};
 
 const PROTOCOLS: [&str; 6] = ["no-cache", "dir", "update", "dw", "gr", "adaptive"];
 
@@ -49,6 +53,45 @@ fn replay_all(trace: &Trace, n_procs: usize) {
         ]);
     }
     t.print("Replay: all protocols");
+}
+
+/// When `TMC_TRACE_OUT` names a file and the protocol is a two-mode
+/// variant, re-run the trace on an identically configured `System` with
+/// tracing on and save the replayable JSONL protocol trace.
+fn save_protocol_trace(protocol: &str, trace: &Trace, n_procs: usize) {
+    let Ok(path) = std::env::var("TMC_TRACE_OUT") else {
+        return;
+    };
+    let policy = match protocol {
+        "dw" => ModePolicy::Fixed(Mode::DistributedWrite),
+        "gr" => ModePolicy::Fixed(Mode::GlobalRead),
+        "adaptive" => ModePolicy::Adaptive { window: 64 },
+        _ => {
+            eprintln!("TMC_TRACE_OUT: only two-mode protocols (dw|gr|adaptive) are capturable");
+            return;
+        }
+    };
+    let cfg = SystemConfig::new(n_procs).mode_policy(policy);
+    let text = tracecheck::capture(cfg, |sys| {
+        let mut stamp = 1u64;
+        for r in trace.iter() {
+            match r.op {
+                Op::Read => {
+                    sys.read(r.proc, r.addr).expect("trace uses valid procs");
+                }
+                Op::Write => {
+                    sys.write(r.proc, r.addr, stamp)
+                        .expect("trace uses valid procs");
+                    stamp += 1;
+                }
+            }
+        }
+    })
+    .expect("default config is capturable");
+    match std::fs::write(&path, &text) {
+        Ok(()) => println!("protocol trace written to {path} (verify with trace_check)"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
 }
 
 fn main() {
@@ -94,4 +137,5 @@ fn main() {
         report.total_bits, report.bits_per_ref
     );
     println!("\ncounters:\n{}", sys.counters());
+    save_protocol_trace(protocol, &trace, n_procs);
 }

@@ -18,7 +18,7 @@ use tmc_baselines::{
     two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem, NoCacheSystem,
     UpdateOnlySystem,
 };
-use tmc_bench::{drive_steady_state, sweep, Table};
+use tmc_bench::{drive_steady_state_checked, sweep, Table};
 use tmc_core::Mode;
 use tmc_simcore::SimRng;
 use tmc_workload::{Placement, SharedBlockWorkload};
@@ -50,14 +50,17 @@ fn build_system(idx: usize) -> Box<dyn CoherentSystem> {
 }
 
 /// One grid cell: simulate protocol `sys_idx` on the w-workload seeded by
-/// `seed`, reporting steady-state bits per reference.
+/// `seed`, reporting steady-state bits per reference. Every read is
+/// value-checked against the sequential-consistency oracle, so the
+/// published numbers come from verified-correct runs (the checked drive
+/// writes the same stamp sequence, keeping traffic bit-identical).
 fn run_cell(w: f64, seed: u64, sys_idx: usize) -> f64 {
     let trace = SharedBlockWorkload::new(N_TASKS, N_BLOCKS, w)
         .references(REFS)
         .placement(Placement::Adjacent { base: 0 })
         .generate(N_PROCS, &mut SimRng::seed_from(seed));
     let mut sys = build_system(sys_idx);
-    drive_steady_state(sys.as_mut(), &trace, WARMUP).bits_per_ref
+    drive_steady_state_checked(sys.as_mut(), &trace, WARMUP).bits_per_ref
 }
 
 fn main() {

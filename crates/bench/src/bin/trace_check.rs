@@ -1,0 +1,149 @@
+//! Captures a structured protocol trace, replays it against a fresh
+//! system, and verifies every trailer obligation — the top layer of the
+//! test pyramid (`docs/TESTING.md`), runnable standalone.
+//!
+//! ```text
+//! Usage: trace_check roundtrip [SEED]     capture + replay in memory
+//!        trace_check capture FILE [SEED]  write a JSONL trace to FILE
+//!        trace_check check FILE           replay + verify a saved trace
+//! ```
+//!
+//! The canonical run is the §4 sharing workload (8 tasks, 16 blocks,
+//! w = 0.3) on a 16-processor machine under the §5 adaptive policy, with
+//! software mode directives sprinkled in so every replayable event kind
+//! appears. The replay re-executes reads/writes/mode directives, checks
+//! read values against the [`tmc_memsys::ReferenceMemory`] oracle, and
+//! asserts the regenerated event stream, protocol-fingerprint hash, total
+//! link bits and per-link charges all match the recorded trace.
+
+use tmc_bench::tracecheck;
+use tmc_core::{Mode, ModePolicy, System, SystemConfig};
+use tmc_memsys::WordAddr;
+use tmc_obs::{MetricsRegistry, TraceReader};
+use tmc_simcore::SimRng;
+use tmc_workload::{Op, Placement, SharedBlockWorkload};
+
+const N_PROCS: usize = 16;
+const N_TASKS: usize = 8;
+const N_BLOCKS: u64 = 16;
+const REFS: usize = 4_000;
+
+fn canonical_config() -> SystemConfig {
+    SystemConfig::new(N_PROCS).mode_policy(ModePolicy::Adaptive { window: 64 })
+}
+
+fn canonical_drive(sys: &mut System, seed: u64) {
+    let trace = SharedBlockWorkload::new(N_TASKS, N_BLOCKS, 0.3)
+        .references(REFS)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(N_PROCS, &mut SimRng::seed_from(seed));
+    // Software directives up front (§2.2 ops 6/7) so SetMode replays too.
+    sys.set_mode(0, WordAddr::new(0), Mode::DistributedWrite)
+        .expect("valid proc");
+    sys.set_mode(1, WordAddr::new(4), Mode::GlobalRead)
+        .expect("valid proc");
+    let mut stamp = 1u64;
+    for r in trace.iter() {
+        match r.op {
+            Op::Read => {
+                sys.read(r.proc, r.addr).expect("valid proc");
+            }
+            Op::Write => {
+                sys.write(r.proc, r.addr, stamp).expect("valid proc");
+                stamp += 1;
+            }
+        }
+    }
+}
+
+fn capture(seed: u64) -> String {
+    tracecheck::capture(canonical_config(), |sys| canonical_drive(sys, seed))
+        .expect("canonical config is capturable")
+}
+
+fn summarize(trace: &str) {
+    let (header, events, trailer) = match TraceReader::new(trace.as_bytes()).read_all() {
+        Ok(parts) => parts,
+        Err(e) => {
+            eprintln!("malformed trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut metrics = MetricsRegistry::new();
+    metrics.observe_all(&events);
+    println!(
+        "trace      : v{} {}p {}x{} cache, scheme={}, policy={}, bypass={}",
+        header.version,
+        header.n_procs,
+        header.sets,
+        header.ways,
+        header.scheme,
+        header.policy,
+        header.owner_bypass
+    );
+    println!(
+        "trailer    : {} events, fingerprint {:#018x}, {} bits over {} links",
+        trailer.events,
+        trailer.fingerprint,
+        trailer.total_bits,
+        trailer.links.len()
+    );
+    println!("\nmetrics:\n{}", metrics.summary());
+}
+
+fn check(trace: &str) {
+    match tracecheck::check(trace) {
+        Ok(report) => println!("replay OK  : {report}"),
+        Err(e) => {
+            eprintln!("replay FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("roundtrip");
+    match mode {
+        "roundtrip" => {
+            let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1989);
+            let trace = capture(seed);
+            summarize(&trace);
+            check(&trace);
+        }
+        "capture" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: trace_check capture FILE [SEED]");
+                std::process::exit(2);
+            };
+            let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1989);
+            let trace = capture(seed);
+            if let Err(e) = std::fs::write(path, &trace) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            summarize(&trace);
+            println!("wrote {path}");
+        }
+        "check" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: trace_check check FILE");
+                std::process::exit(2);
+            };
+            let trace = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            summarize(&trace);
+            check(&trace);
+        }
+        other => {
+            eprintln!("unknown mode '{other}'");
+            eprintln!("usage: trace_check [roundtrip [SEED] | capture FILE [SEED] | check FILE]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -12,8 +12,10 @@
 
 pub mod sweep;
 pub mod timer;
+pub mod tracecheck;
 
 use tmc_baselines::CoherentSystem;
+use tmc_memsys::ReferenceMemory;
 use tmc_workload::{Op, Trace};
 
 /// A plain-text table printer with right-aligned numeric columns.
@@ -168,6 +170,66 @@ pub fn drive_steady_state(sys: &mut dyn CoherentSystem, trace: &Trace, warmup: u
     }
 }
 
+/// [`drive_steady_state`], but every read is value-checked against the
+/// [`ReferenceMemory`] oracle — the experiment binaries use this so the
+/// published traffic figures come from runs that were *correct*, not just
+/// cheap. Writes use `oracle.stamp()` as the value, the same sequence
+/// `drive_steady_state` generates, so traffic is bit-identical.
+///
+/// # Panics
+///
+/// Panics on the first read that returns a value other than the last one
+/// written to that word (a sequential-consistency violation).
+pub fn drive_steady_state_checked(
+    sys: &mut dyn CoherentSystem,
+    trace: &Trace,
+    warmup: usize,
+) -> RunReport {
+    let mut oracle = ReferenceMemory::new();
+    let mut warm_bits = 0u64;
+    let mut measured = 0usize;
+    for (i, r) in trace.iter().enumerate() {
+        if i == warmup {
+            warm_bits = sys.total_traffic_bits();
+        }
+        match r.op {
+            Op::Read => {
+                let got = sys.read(r.proc, r.addr);
+                let want = oracle.read(r.addr);
+                assert_eq!(
+                    got,
+                    want,
+                    "{}: stale read at reference {i} (proc {}, {:?})",
+                    sys.name(),
+                    r.proc,
+                    r.addr
+                );
+            }
+            Op::Write => {
+                let stamp = oracle.stamp();
+                sys.write(r.proc, r.addr, stamp);
+                oracle.write(r.addr, stamp);
+            }
+        }
+        if i >= warmup {
+            measured += 1;
+        }
+    }
+    if trace.len() <= warmup {
+        return RunReport {
+            references: 0,
+            total_bits: 0,
+            bits_per_ref: 0.0,
+        };
+    }
+    let total_bits = sys.total_traffic_bits() - warm_bits;
+    RunReport {
+        references: measured,
+        total_bits,
+        bits_per_ref: total_bits as f64 / measured as f64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +309,38 @@ mod tests {
             assert_eq!(r.bits_per_ref, 0.0);
         }
         assert_eq!(drive(&mut sys, &trace).bits_per_ref, 0.0);
+    }
+
+    #[test]
+    fn checked_drive_matches_unchecked_traffic_exactly() {
+        // Value checking must not perturb the measurement: the stamp
+        // sequence is identical, so bits are identical.
+        let mut rng = SimRng::seed_from(7);
+        let trace = SharedBlockWorkload::new(4, 4, 0.3)
+            .references(300)
+            .generate(8, &mut rng);
+        let mut a = NoCacheSystem::new(8);
+        let plain = drive_steady_state(&mut a, &trace, 50);
+        let mut b = NoCacheSystem::new(8);
+        let checked = drive_steady_state_checked(&mut b, &trace, 50);
+        assert_eq!(plain, checked);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale read")]
+    fn checked_drive_catches_incoherence() {
+        use tmc_baselines::SoftwareMarkedSystem;
+        use tmc_memsys::WordAddr;
+        use tmc_workload::{Op, Reference};
+        // A software-marked system with a shared read-write block left
+        // cacheable returns stale data — the §1 hazard. The oracle sees it.
+        let mut trace = Trace::new(4);
+        let a = WordAddr::new(0);
+        for (proc, op) in [(0, Op::Write), (1, Op::Read), (0, Op::Write), (1, Op::Read)] {
+            trace.push(Reference { proc, addr: a, op });
+        }
+        let mut sys = SoftwareMarkedSystem::new(4);
+        drive_steady_state_checked(&mut sys, &trace, 0);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! End-to-end trace replay: capture a run as JSONL, re-execute it against
+//! a fresh system, and verify every trailer obligation — plus the
+//! zero-perturbation guarantee that tracing never changes what it records.
+
+use tmc_bench::tracecheck::{capture, check, config_from, header_for, roundtrip};
+use tmc_core::{Mode, ModePolicy, System, SystemConfig};
+use tmc_memsys::WordAddr;
+use tmc_obs::fnv1a64;
+use tmc_omeganet::SchemeKind;
+use tmc_simcore::SimRng;
+use tmc_workload::{Op, Placement, SharedBlockWorkload, Trace};
+
+fn workload(seed: u64, refs: usize) -> Trace {
+    SharedBlockWorkload::new(4, 8, 0.3)
+        .references(refs)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(8, &mut SimRng::seed_from(seed))
+}
+
+fn drive(sys: &mut System, trace: &Trace) {
+    let mut stamp = 1u64;
+    for r in trace.iter() {
+        match r.op {
+            Op::Read => {
+                sys.read(r.proc, r.addr).unwrap();
+            }
+            Op::Write => {
+                sys.write(r.proc, r.addr, stamp).unwrap();
+                stamp += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn roundtrip_verifies_under_every_policy_and_scheme() {
+    let policies = [
+        ModePolicy::Fixed(Mode::DistributedWrite),
+        ModePolicy::Fixed(Mode::GlobalRead),
+        ModePolicy::Adaptive { window: 32 },
+    ];
+    let schemes = [SchemeKind::Combined, SchemeKind::BitVector];
+    for (pi, &policy) in policies.iter().enumerate() {
+        for (si, &scheme) in schemes.iter().enumerate() {
+            let cfg = SystemConfig::new(8).mode_policy(policy).multicast(scheme);
+            let trace = workload(40 + (pi * 2 + si) as u64, 600);
+            let report = roundtrip(cfg, |sys| drive(sys, &trace))
+                .unwrap_or_else(|e| panic!("policy {policy:?} scheme {scheme:?}: {e}"));
+            assert_eq!(report.replayed, 600, "every reference replays");
+            assert!(report.events >= report.replayed);
+            assert!(report.reads_checked > 0);
+            assert!(report.words_checked > 0);
+        }
+    }
+}
+
+#[test]
+fn roundtrip_covers_mode_directives_and_small_caches() {
+    // A 2-set cache forces replacements and ownership handoffs into the
+    // trace; directives exercise SetMode replay.
+    let cfg = SystemConfig::new(4)
+        .cache_blocks(8)
+        .mode_policy(ModePolicy::Adaptive { window: 8 });
+    let trace = workload(7, 800);
+    let report = roundtrip(cfg, |sys| {
+        sys.set_mode(0, WordAddr::new(0), Mode::DistributedWrite)
+            .unwrap();
+        drive(sys, &trace);
+        sys.set_mode(2, WordAddr::new(0), Mode::GlobalRead).unwrap();
+        sys.read(1, WordAddr::new(0)).unwrap();
+    })
+    .unwrap();
+    assert_eq!(report.replayed, 803);
+}
+
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    // The zero-cost-when-disabled claim, measured: the same drive with
+    // tracing on and off must land on identical fingerprints and traffic.
+    let cfg = SystemConfig::new(8).mode_policy(ModePolicy::Adaptive { window: 32 });
+    let trace = workload(11, 1_000);
+
+    let mut plain = System::new(cfg.clone()).unwrap();
+    drive(&mut plain, &trace);
+
+    let mut traced = System::new(cfg).unwrap();
+    traced.set_tracing(true);
+    drive(&mut traced, &trace);
+
+    assert_eq!(
+        fnv1a64(&plain.protocol_fingerprint()),
+        fnv1a64(&traced.protocol_fingerprint())
+    );
+    assert_eq!(plain.traffic().total_bits(), traced.traffic().total_bits());
+    assert!(plain.trace_events().is_empty());
+    assert!(!traced.trace_events().is_empty());
+}
+
+#[test]
+fn corrupted_traces_are_rejected() {
+    let cfg = SystemConfig::new(4);
+    let trace = workload(3, 200);
+    let text = capture(cfg, |sys| drive(sys, &trace)).unwrap();
+
+    // Baseline: the pristine trace verifies.
+    check(&text).unwrap();
+
+    // Tamper with the trailer's total_bits: the replay must notice.
+    let lines: Vec<&str> = text.lines().collect();
+    let trailer = lines.last().unwrap();
+    let tampered = trailer.replace("\"total_bits\":", "\"total_bits\":9");
+    assert_ne!(*trailer, tampered);
+    let mut bad = lines[..lines.len() - 1].join("\n");
+    bad.push('\n');
+    bad.push_str(&tampered);
+    let err = check(&bad).unwrap_err();
+    assert!(err.contains("total link bits"), "unexpected error: {err}");
+
+    // Drop an event: the count check must notice.
+    let event_line = lines
+        .iter()
+        .position(|l| l.contains("\"type\":\"write\""))
+        .expect("trace has writes");
+    let mut dropped: Vec<&str> = lines.clone();
+    dropped.remove(event_line);
+    let err = check(&dropped.join("\n")).unwrap_err();
+    assert!(
+        err.contains("events") || err.contains("regenerated"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn headers_pin_the_machine_exactly() {
+    let cfg = SystemConfig::new(16)
+        .mode_policy(ModePolicy::Adaptive { window: 64 })
+        .multicast(SchemeKind::BroadcastTag)
+        .owner_bypass(false);
+    let sys = System::new(cfg.clone()).unwrap();
+    let header = header_for(&sys).unwrap();
+    assert_eq!(header.policy, "adaptive:64");
+    assert_eq!(header.scheme, "broadcast-tag");
+    assert_eq!(config_from(&header).unwrap(), cfg);
+}

@@ -106,6 +106,7 @@ pub fn run_concurrent(
         .min_by_key(|&p| (ready_at[p], p))
     {
         sys.depart_at(ready_at[proc]);
+        sys.trace_issue(proc, ready_at[proc].cycles());
         let stats = match streams[proc][next_index[proc]] {
             DriverOp::Read(addr) => sys.read_stats(proc, addr)?,
             DriverOp::Write(addr, value) => sys.write_stats(proc, addr, value)?,

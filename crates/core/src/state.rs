@@ -37,6 +37,24 @@ impl std::fmt::Display for Mode {
     }
 }
 
+impl From<Mode> for tmc_obs::TraceMode {
+    fn from(mode: Mode) -> Self {
+        match mode {
+            Mode::DistributedWrite => tmc_obs::TraceMode::DistributedWrite,
+            Mode::GlobalRead => tmc_obs::TraceMode::GlobalRead,
+        }
+    }
+}
+
+impl From<tmc_obs::TraceMode> for Mode {
+    fn from(mode: tmc_obs::TraceMode) -> Self {
+        match mode {
+            tmc_obs::TraceMode::DistributedWrite => Mode::DistributedWrite,
+            tmc_obs::TraceMode::GlobalRead => Mode::GlobalRead,
+        }
+    }
+}
+
 /// Validity/ownership of a resident line (the V and O bits).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]

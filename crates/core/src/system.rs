@@ -10,6 +10,7 @@
 //! and never affects correctness.
 
 use tmc_memsys::{BlockAddr, BlockStore, CacheArray, CacheId, MainMemory, ModuleMap, WordAddr};
+use tmc_obs::{LinkCharge, ProtocolEvent, Tracer};
 use tmc_omeganet::{CastCache, DestSet, LinkSchedule, Omega, TrafficMatrix};
 use tmc_simcore::{CounterSet, Histogram, SimTime};
 
@@ -85,6 +86,9 @@ pub struct System {
     /// Memoized multicast traversals; repeat casts replay recorded link
     /// charges instead of re-walking the routing tree.
     cast_cache: CastCache,
+    /// Structured protocol-event buffer (disabled by default; zero cost on
+    /// the access path while off).
+    tracer: Tracer,
 }
 
 impl System {
@@ -121,6 +125,7 @@ impl System {
             txn_msgs: 0,
             nak_budget: 0,
             cast_cache: CastCache::new(),
+            tracer: Tracer::new(),
             net,
             traffic,
             cfg,
@@ -159,6 +164,38 @@ impl System {
     /// Drains the transaction log (empty unless logging is enabled).
     pub fn take_log(&mut self) -> Vec<TraceEvent> {
         self.log.drain()
+    }
+
+    /// Turns structured protocol-event tracing on or off. Off by default;
+    /// while off, the hooks on the access path cost one branch each.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    /// Whether structured tracing is currently recording.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Events recorded since the last drain.
+    pub fn trace_events(&self) -> &[ProtocolEvent] {
+        self.tracer.events()
+    }
+
+    /// Takes every recorded protocol event, leaving the buffer empty (the
+    /// enabled state is unchanged).
+    pub fn drain_trace(&mut self) -> Vec<ProtocolEvent> {
+        self.tracer.drain()
+    }
+
+    /// The block's mode as a trace label, if the block is owned.
+    fn trace_mode_of(&self, block: BlockAddr) -> Option<tmc_obs::TraceMode> {
+        self.mode_of(block).map(Into::into)
+    }
+
+    /// Records a driver issue event (hook for [`crate::driver`]).
+    pub(crate) fn trace_issue(&mut self, proc: usize, cycle: u64) {
+        self.tracer.push(ProtocolEvent::Issue { proc, cycle });
     }
 
     /// Table 1 classification of `proc`'s entry for `block`, or `None` if
@@ -290,17 +327,34 @@ impl System {
         dests: &DestSet,
         payload_bits: u64,
     ) -> Vec<usize> {
+        let mut charges = Vec::new();
+        let record = self.tracer.is_enabled().then_some(&mut charges);
         let receipt = self
             .cast_cache
-            .multicast(
+            .multicast_recording(
                 &self.net,
                 self.cfg.multicast,
                 from,
                 dests,
                 payload_bits,
                 &mut self.traffic,
+                record,
             )
             .expect("dest sets are valid by construction");
+        self.tracer.emit(|| ProtocolEvent::Cast {
+            from,
+            scheme: receipt.scheme,
+            payload_bits,
+            cost_bits: receipt.cost_bits,
+            links: charges
+                .iter()
+                .map(|&(link, bits)| LinkCharge {
+                    layer: link.layer,
+                    line: link.line,
+                    bits,
+                })
+                .collect(),
+        });
         self.txn_bits += receipt.cost_bits;
         self.txn_msgs += 1;
         self.counters.incr("msgs_total");
@@ -434,7 +488,9 @@ impl System {
         let block = self.cfg.spec.block_of(addr);
         let offset = self.cfg.spec.offset_of(addr);
         let start = self.txn_begin();
-        let value = match self.lookup(proc, block) {
+        let lookup = self.lookup(proc, block);
+        let hit = matches!(lookup, Lookup::OwnedHit | Lookup::UnOwnedHit);
+        let value = match lookup {
             Lookup::OwnedHit | Lookup::UnOwnedHit => {
                 self.counters.incr("read_hit");
                 self.caches[proc]
@@ -445,15 +501,40 @@ impl System {
             }
             Lookup::InvalidEntry => {
                 self.counters.incr("read_miss_invalid");
+                self.tracer.push(ProtocolEvent::Miss {
+                    proc,
+                    block,
+                    write: false,
+                    cold: false,
+                });
                 self.read_invalid(proc, block, offset)
             }
             Lookup::Missing => {
                 self.counters.incr("read_miss_cold");
+                self.tracer.push(ProtocolEvent::Miss {
+                    proc,
+                    block,
+                    write: false,
+                    cold: true,
+                });
                 self.read_cold(proc, block, offset)
             }
         };
         self.note_block_ref(block, false);
-        Ok(self.txn_end(start, value))
+        let stats = self.txn_end(start, value);
+        if self.tracer.is_enabled() {
+            let mode = self.trace_mode_of(block);
+            self.tracer.push(ProtocolEvent::Read {
+                proc,
+                addr,
+                value,
+                hit,
+                cost_bits: stats.cost_bits,
+                latency: stats.latency_cycles,
+                mode,
+            });
+        }
+        Ok(stats)
     }
 
     /// Processor `proc` writes `value` to `addr`.
@@ -480,7 +561,9 @@ impl System {
         let block = self.cfg.spec.block_of(addr);
         let offset = self.cfg.spec.offset_of(addr);
         let start = self.txn_begin();
-        match self.lookup(proc, block) {
+        let lookup = self.lookup(proc, block);
+        let hit = matches!(lookup, Lookup::OwnedHit | Lookup::UnOwnedHit);
+        match lookup {
             Lookup::OwnedHit => {
                 self.counters.incr("write_hit_owner");
             }
@@ -490,12 +573,31 @@ impl System {
             }
             Lookup::InvalidEntry | Lookup::Missing => {
                 self.counters.incr("write_miss");
+                self.tracer.push(ProtocolEvent::Miss {
+                    proc,
+                    block,
+                    write: true,
+                    cold: matches!(lookup, Lookup::Missing),
+                });
                 self.load_with_ownership(proc, block);
             }
         }
         self.perform_owned_write(proc, block, offset, value);
         self.note_block_ref(block, true);
-        Ok(self.txn_end(start, value))
+        let stats = self.txn_end(start, value);
+        if self.tracer.is_enabled() {
+            let mode = self.trace_mode_of(block);
+            self.tracer.push(ProtocolEvent::Write {
+                proc,
+                addr,
+                value,
+                hit,
+                cost_bits: stats.cost_bits,
+                latency: stats.latency_cycles,
+                mode,
+            });
+        }
+        Ok(stats)
     }
 
     /// Software mode directive (operations 6 and 7 of §2.2): make `proc`
@@ -511,12 +613,17 @@ impl System {
         self.check_proc(proc)?;
         let block = self.cfg.spec.block_of(addr);
         let start = self.txn_begin();
+        self.tracer.push(ProtocolEvent::SetMode {
+            proc,
+            addr,
+            mode: mode.into(),
+        });
         match self.lookup(proc, block) {
             Lookup::OwnedHit => {}
             Lookup::UnOwnedHit => self.acquire_ownership_from_unowned(proc, block),
             Lookup::InvalidEntry | Lookup::Missing => self.load_with_ownership(proc, block),
         }
-        self.switch_mode_at_owner(proc, block, mode);
+        self.switch_mode_at_owner(proc, block, mode, /* adaptive */ false);
         let _ = self.txn_end(start, 0);
         Ok(())
     }
@@ -815,6 +922,12 @@ impl System {
         requester_has_data: bool,
     ) {
         self.counters.incr("ownership_transfers");
+        self.tracer.push(ProtocolEvent::OwnershipTransfer {
+            block,
+            from: old,
+            to: new,
+            handoff: false,
+        });
         let before_old = self.log_state(old, block);
         let (mode, modified, data, mut present) = {
             let line = self.caches[old].peek_mut(block).expect("old owner line");
@@ -929,6 +1042,13 @@ impl System {
             .peek(victim)
             .expect("victim exists")
             .clone();
+        self.tracer.push(ProtocolEvent::Replacement {
+            proc,
+            block: victim,
+            wrote_back: line.validity == Validity::Owned
+                && line.is_exclusive(CacheId(proc as u16))
+                && line.modified,
+        });
         match line.validity {
             Validity::Owned => {
                 let me = CacheId(proc as u16);
@@ -1009,6 +1129,12 @@ impl System {
             break;
         }
         let cand = accepted.expect("final candidate always accepts");
+        self.tracer.push(ProtocolEvent::OwnershipTransfer {
+            block,
+            from: proc,
+            to: cand,
+            handoff: true,
+        });
         self.note(format!("C{proc} hands ownership of {block} to C{cand}"));
 
         // The acceptor requests ownership "according to the protocol":
@@ -1098,12 +1224,26 @@ impl System {
     // Mode switching (§2.2 cases 6 and 7) and the adaptive policy (§5).
     // ------------------------------------------------------------------
 
-    /// Switches the mode of an already-owned block in place.
-    fn switch_mode_at_owner(&mut self, owner: usize, block: BlockAddr, target: Mode) {
+    /// Switches the mode of an already-owned block in place. `adaptive`
+    /// only labels the trace event: `true` for §5 window decisions, `false`
+    /// for software directives.
+    fn switch_mode_at_owner(
+        &mut self,
+        owner: usize,
+        block: BlockAddr,
+        target: Mode,
+        adaptive: bool,
+    ) {
         let current = self.caches[owner].peek(block).expect("owner line").mode;
         if current == target {
             return;
         }
+        self.tracer.push(ProtocolEvent::ModeSwitch {
+            owner,
+            block,
+            to: target.into(),
+            adaptive,
+        });
         let before = self.log_state(owner, block);
         match target {
             Mode::DistributedWrite => {
@@ -1192,7 +1332,7 @@ impl System {
         if let Some(target) = decision {
             self.counters.incr("adaptive_switches");
             self.note(format!("adaptive switch of {block} to {target}"));
-            self.switch_mode_at_owner(owner, block, target);
+            self.switch_mode_at_owner(owner, block, target, /* adaptive */ true);
         }
     }
 }

@@ -11,7 +11,7 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use tmc_core::{Mode, System, SystemConfig};
+use tmc_core::{Mode, ModePolicy, System, SystemConfig};
 use tmc_memsys::{BlockAddr, BlockSpec, CacheGeometry};
 
 #[derive(Debug, Clone, Copy)]
@@ -52,11 +52,20 @@ fn apply(sys: &mut System, op: Op) {
     }
 }
 
-/// Breadth-first exploration up to `depth`; returns the number of distinct
-/// protocol states visited. Panics on any invariant violation.
+/// Breadth-first exploration up to `depth` with every cache active;
+/// returns the number of distinct protocol states visited. Panics on any
+/// invariant violation.
 fn explore(cfg: SystemConfig, n_blocks: u64, depth: usize) -> usize {
-    let n_procs = cfg.n_caches;
-    let ops = all_ops(n_procs, n_blocks);
+    let active = cfg.n_caches;
+    explore_procs(cfg, active, n_blocks, depth)
+}
+
+/// [`explore`] with only the first `active_procs` processors issuing
+/// operations — how a 3-processor machine is modelled on a 4-cache
+/// (power-of-two) network.
+fn explore_procs(cfg: SystemConfig, active_procs: usize, n_blocks: u64, depth: usize) -> usize {
+    assert!(active_procs <= cfg.n_caches);
+    let ops = all_ops(active_procs, n_blocks);
     let initial = System::new(cfg).expect("valid config");
     let mut seen: HashSet<Vec<u8>> = HashSet::new();
     seen.insert(initial.protocol_fingerprint());
@@ -113,6 +122,99 @@ fn exhaustive_three_procs_shallow() {
     // 4 procs x 1 block x 4 op kinds = 16 ops per level; depth 4.
     let states = explore(cfg, 1, 4);
     assert!(states > 30);
+}
+
+/// The regression matrix: exact visited-state counts for a grid of small
+/// machines under each mode policy. Any protocol change that adds, merges
+/// or removes reachable states moves one of these numbers.
+fn matrix_configs() -> Vec<(&'static str, SystemConfig, usize, u64, usize)> {
+    // (label, config, active_procs, blocks, depth)
+    let tiny = |n: usize| {
+        SystemConfig::new(n)
+            .geometry(CacheGeometry::new(1, 1))
+            .block_spec(BlockSpec::new(0))
+    };
+    vec![
+        (
+            "2p2b-gr",
+            tiny(2).mode_policy(ModePolicy::Fixed(Mode::GlobalRead)),
+            2,
+            2,
+            6,
+        ),
+        (
+            "2p2b-dw",
+            tiny(2).mode_policy(ModePolicy::Fixed(Mode::DistributedWrite)),
+            2,
+            2,
+            6,
+        ),
+        (
+            "2p2b-adaptive",
+            tiny(2).mode_policy(ModePolicy::Adaptive { window: 2 }),
+            2,
+            2,
+            5,
+        ),
+        (
+            "3p2b-gr",
+            tiny(4).mode_policy(ModePolicy::Fixed(Mode::GlobalRead)),
+            3,
+            2,
+            4,
+        ),
+        (
+            "3p2b-dw",
+            tiny(4).mode_policy(ModePolicy::Fixed(Mode::DistributedWrite)),
+            3,
+            2,
+            4,
+        ),
+    ]
+}
+
+/// The measured counts, pinned. These are regression values, not truths
+/// derived from the paper: re-measure (print the counts from `explore_procs`)
+/// and update deliberately when the protocol's reachable space changes.
+#[test]
+fn config_matrix_visited_state_counts_are_pinned() {
+    let expected = [
+        ("2p2b-gr", 137),
+        ("2p2b-dw", 137),
+        ("2p2b-adaptive", 137),
+        ("3p2b-gr", 1675),
+        ("3p2b-dw", 1663),
+    ];
+    for ((label, cfg, active, blocks, depth), (elabel, count)) in
+        matrix_configs().into_iter().zip(expected)
+    {
+        assert_eq!(label, elabel, "matrix/expectation tables out of sync");
+        let states = explore_procs(cfg, active, blocks, depth);
+        assert_eq!(states, count, "{label}: visited-state count moved");
+    }
+}
+
+/// The full reachable space of the 3-active-processor machine closes at
+/// 3349 protocol states — identical under every mode policy, because the
+/// software directives (§2.2 ops 6/7) are in the exploration alphabet, so
+/// any policy can steer every block into either mode. Deep: runs in the
+/// release-mode CI job (`--include-ignored`), skipped under debug.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "deep exploration; run in release")]
+fn three_proc_space_closes_at_the_same_size_under_every_policy() {
+    let tiny4 = SystemConfig::new(4)
+        .geometry(CacheGeometry::new(1, 1))
+        .block_spec(BlockSpec::new(0));
+    for policy in [
+        ModePolicy::Fixed(Mode::GlobalRead),
+        ModePolicy::Fixed(Mode::DistributedWrite),
+        ModePolicy::Adaptive { window: 2 },
+    ] {
+        let at_8 = explore_procs(tiny4.clone().mode_policy(policy), 3, 2, 8);
+        let at_9 = explore_procs(tiny4.clone().mode_policy(policy), 3, 2, 9);
+        assert_eq!(at_8, 3349, "{policy:?}: closed-space size moved");
+        assert_eq!(at_8, at_9, "{policy:?}: space not closed at depth 8");
+    }
 }
 
 #[test]

@@ -1,0 +1,397 @@
+//! A tiny JSON subset codec, just big enough for the trace format.
+//!
+//! The hermetic build bans external dependencies, so the JSONL sink cannot
+//! use a real JSON library. Trace records only ever need a *flat* object
+//! whose values are unsigned integers, strings, booleans, or arrays of
+//! integer arrays (the per-link charge lists) — this module writes and
+//! parses exactly that subset and nothing more.
+
+use std::collections::BTreeMap;
+
+/// A value in a trace record object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    /// An unsigned integer.
+    Int(u64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array of integer arrays, e.g. `[[0,3,96],[1,1,96]]`.
+    Arr(Vec<Vec<u64>>),
+}
+
+impl JsonValue {
+    /// The integer payload, if this is an [`JsonValue::Int`].
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`JsonValue::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`JsonValue::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an [`JsonValue::Arr`].
+    pub fn as_arr(&self) -> Option<&[Vec<u64>]> {
+        match self {
+            JsonValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An incremental writer for one flat JSON object.
+#[derive(Debug, Default)]
+pub struct ObjectWriter {
+    buf: String,
+}
+
+impl ObjectWriter {
+    /// Starts an object.
+    pub fn new() -> Self {
+        ObjectWriter { buf: "{".into() }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        write_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Writes an integer field.
+    pub fn int(&mut self, key: &str, v: u64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a string field.
+    pub fn str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.key(key);
+        write_str(&mut self.buf, v);
+        self
+    }
+
+    /// Writes a boolean field.
+    pub fn bool(&mut self, key: &str, v: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Writes an array-of-integer-arrays field.
+    pub fn arr(&mut self, key: &str, rows: &[Vec<u64>]) -> &mut Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, row) in rows.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push('[');
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    self.buf.push(',');
+                }
+                self.buf.push_str(&v.to_string());
+            }
+            self.buf.push(']');
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Closes the object and returns the JSON text (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} in trace record",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string in trace record")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape in trace record")?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape code point")?);
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", other as char)),
+                    }
+                }
+                b => {
+                    // Re-decode multi-byte UTF-8 starting at this byte.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = match b {
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            _ => 4,
+                        };
+                        let chunk = self
+                            .bytes
+                            .get(start..start + len)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+                        out.push_str(s);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_int(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected integer at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad integer: {e}"))
+    }
+
+    fn parse_int_row(&mut self) -> Result<Vec<u64>, String> {
+        self.expect(b'[')?;
+        let mut row = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(row);
+        }
+        loop {
+            row.push(self.parse_int()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(row);
+                }
+                _ => return Err("expected ',' or ']' in integer array".into()),
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek().ok_or("unexpected end of trace record")? {
+            b'"' => Ok(JsonValue::Str(self.parse_string()?)),
+            b'0'..=b'9' => Ok(JsonValue::Int(self.parse_int()?)),
+            b't' => {
+                self.pos += 4;
+                Ok(JsonValue::Bool(true))
+            }
+            b'f' => {
+                self.pos += 5;
+                Ok(JsonValue::Bool(false))
+            }
+            b'[' => {
+                self.expect(b'[')?;
+                let mut rows = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(rows));
+                }
+                loop {
+                    rows.push(self.parse_int_row()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(JsonValue::Arr(rows));
+                        }
+                        _ => return Err("expected ',' or ']' in array".into()),
+                    }
+                }
+            }
+            other => Err(format!(
+                "unsupported JSON value starting '{}'",
+                other as char
+            )),
+        }
+    }
+}
+
+/// Parses one flat trace-record object into a key → value map.
+///
+/// Supports exactly the subset [`ObjectWriter`] emits; anything else (nested
+/// objects, floats, nulls) is an error.
+pub fn parse_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    if p.peek() == Some(b'}') {
+        return Ok(map);
+    }
+    loop {
+        let key = p.parse_string()?;
+        p.expect(b':')?;
+        let value = p.parse_value()?;
+        map.insert(key, value);
+        match p.peek() {
+            Some(b',') => p.pos += 1,
+            Some(b'}') => {
+                p.pos += 1;
+                p.skip_ws();
+                if p.pos != p.bytes.len() {
+                    return Err("trailing bytes after trace record".into());
+                }
+                return Ok(map);
+            }
+            _ => return Err("expected ',' or '}' in trace record".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_and_parser_roundtrip() {
+        let mut w = ObjectWriter::new();
+        w.str("type", "cast")
+            .int("bits", 96)
+            .bool("hit", true)
+            .arr("links", &[vec![0, 3, 48], vec![1, 1, 48]]);
+        let line = w.finish();
+        assert_eq!(
+            line,
+            r#"{"type":"cast","bits":96,"hit":true,"links":[[0,3,48],[1,1,48]]}"#
+        );
+        let map = parse_object(&line).unwrap();
+        assert_eq!(map["type"].as_str(), Some("cast"));
+        assert_eq!(map["bits"].as_int(), Some(96));
+        assert_eq!(map["hit"].as_bool(), Some(true));
+        assert_eq!(
+            map["links"].as_arr(),
+            Some(&[vec![0, 3, 48], vec![1, 1, 48]][..])
+        );
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let nasty = "a\"b\\c\nd\te\u{1}ü→";
+        let mut w = ObjectWriter::new();
+        w.str("s", nasty);
+        let line = w.finish();
+        let map = parse_object(&line).unwrap();
+        assert_eq!(map["s"].as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn empty_object_and_empty_array() {
+        assert!(parse_object("{}").unwrap().is_empty());
+        let map = parse_object(r#"{"links":[]}"#).unwrap();
+        assert_eq!(map["links"].as_arr(), Some(&[][..]));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_object("").is_err());
+        assert!(parse_object("{").is_err());
+        assert!(parse_object(r#"{"a":1} trailing"#).is_err());
+        assert!(parse_object(r#"{"a":{"nested":1}}"#).is_err());
+        assert!(parse_object(r#"{"a":1.5}"#).is_err());
+    }
+}

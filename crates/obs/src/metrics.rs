@@ -1,0 +1,350 @@
+//! A metrics registry folded from protocol event streams.
+
+use tmc_omeganet::SchemeChoice;
+use tmc_simcore::{Accumulator, CounterSet, Histogram};
+
+use crate::event::ProtocolEvent;
+use crate::event::TraceMode;
+
+/// Counters, histograms and accumulators summarizing an event stream.
+///
+/// Built on [`tmc_simcore`]'s statistics types, so registries from
+/// different runs (or parallel sweep shards) merge exactly like the
+/// underlying accumulators. Feed it events with
+/// [`MetricsRegistry::observe`]; what it tracks:
+///
+/// * **counters** — reads/writes split by hit/miss, miss classes (cold vs.
+///   invalid-entry), mode switches (adaptive vs. directive), ownership
+///   transfers (handoff vs. request), replacements and write-backs, casts
+///   per concrete scheme, and *mode residency* (`refs_dw` / `refs_gr`:
+///   accesses that completed with the block in each mode);
+/// * **latency histogram** — per-transaction cycles (timed runs only);
+/// * **cast-cost histogram** — bits per consistency multicast;
+/// * **access-cost accumulator** — bits per access, with mean/stddev.
+///
+/// # Example
+///
+/// ```
+/// use tmc_obs::{MetricsRegistry, ProtocolEvent, Tracer};
+/// use tmc_memsys::WordAddr;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.observe(&ProtocolEvent::Write {
+///     proc: 2,
+///     addr: WordAddr::new(8),
+///     value: 1,
+///     hit: false,
+///     cost_bits: 230,
+///     latency: Some(12),
+///     mode: None,
+/// });
+/// assert_eq!(m.counters().get("writes"), 1);
+/// assert_eq!(m.counters().get("write_misses"), 1);
+/// assert_eq!(m.latency().count(), 1);
+/// assert!((m.access_cost().mean() - 230.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    counters: CounterSet,
+    latency: Histogram,
+    cast_cost: Histogram,
+    access_cost: Accumulator,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            counters: CounterSet::default(),
+            latency: Histogram::new(),
+            cast_cost: Histogram::new(),
+            access_cost: Accumulator::default(),
+        }
+    }
+
+    /// Folds one event into the registry.
+    pub fn observe(&mut self, event: &ProtocolEvent) {
+        match event {
+            ProtocolEvent::Read {
+                hit,
+                cost_bits,
+                latency,
+                mode,
+                ..
+            } => {
+                self.counters.incr("reads");
+                self.counters
+                    .incr(if *hit { "read_hits" } else { "read_misses" });
+                self.access(*cost_bits, *latency, *mode);
+            }
+            ProtocolEvent::Write {
+                hit,
+                cost_bits,
+                latency,
+                mode,
+                ..
+            } => {
+                self.counters.incr("writes");
+                self.counters
+                    .incr(if *hit { "write_hits" } else { "write_misses" });
+                self.access(*cost_bits, *latency, *mode);
+            }
+            ProtocolEvent::SetMode { .. } => self.counters.incr("mode_directives"),
+            ProtocolEvent::Miss { cold, .. } => {
+                self.counters.incr("misses");
+                self.counters.incr(if *cold {
+                    "misses_cold"
+                } else {
+                    "misses_invalid"
+                });
+            }
+            ProtocolEvent::ModeSwitch { to, adaptive, .. } => {
+                self.counters.incr("mode_switches");
+                self.counters.incr(match to {
+                    TraceMode::DistributedWrite => "mode_switches_to_dw",
+                    TraceMode::GlobalRead => "mode_switches_to_gr",
+                });
+                if *adaptive {
+                    self.counters.incr("mode_switches_adaptive");
+                }
+            }
+            ProtocolEvent::OwnershipTransfer { handoff, .. } => {
+                self.counters.incr("ownership_transfers");
+                if *handoff {
+                    self.counters.incr("ownership_handoffs");
+                }
+            }
+            ProtocolEvent::Replacement { wrote_back, .. } => {
+                self.counters.incr("replacements");
+                if *wrote_back {
+                    self.counters.incr("writebacks");
+                }
+            }
+            ProtocolEvent::Cast {
+                scheme, cost_bits, ..
+            } => {
+                self.counters.incr("casts");
+                self.counters.incr(match scheme {
+                    SchemeChoice::Replicated => "casts_replicated",
+                    SchemeChoice::BitVector => "casts_bitvector",
+                    SchemeChoice::BroadcastTag => "casts_broadcast_tag",
+                });
+                self.cast_cost.record(*cost_bits);
+            }
+            ProtocolEvent::Issue { .. } => self.counters.incr("driver_issues"),
+        }
+    }
+
+    fn access(&mut self, cost_bits: u64, latency: Option<u64>, mode: Option<TraceMode>) {
+        self.access_cost.record(cost_bits as f64);
+        if let Some(l) = latency {
+            self.latency.record(l);
+        }
+        match mode {
+            Some(TraceMode::DistributedWrite) => self.counters.incr("refs_dw"),
+            Some(TraceMode::GlobalRead) => self.counters.incr("refs_gr"),
+            None => {}
+        }
+    }
+
+    /// Folds a whole slice of events.
+    pub fn observe_all<'a>(&mut self, events: impl IntoIterator<Item = &'a ProtocolEvent>) {
+        for e in events {
+            self.observe(e);
+        }
+    }
+
+    /// The event counters.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// Transaction-latency histogram (cycles; empty for untimed runs).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Bits-per-multicast histogram.
+    pub fn cast_cost(&self) -> &Histogram {
+        &self.cast_cost
+    }
+
+    /// Bits-per-access accumulator (mean, stddev, min/max).
+    pub fn access_cost(&self) -> &Accumulator {
+        &self.access_cost
+    }
+
+    /// Fraction of mode-attributed accesses that ran in distributed-write
+    /// mode, or `None` when no access carried a mode.
+    pub fn dw_residency(&self) -> Option<f64> {
+        let dw = self.counters.get("refs_dw");
+        let gr = self.counters.get("refs_gr");
+        let total = dw + gr;
+        (total > 0).then(|| dw as f64 / total as f64)
+    }
+
+    /// Adds every tally of `other` into `self` (for merging sweep shards).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        self.counters.merge(&other.counters);
+        self.latency.merge(&other.latency);
+        self.cast_cost.merge(&other.cast_cost);
+        self.access_cost.merge(&other.access_cost);
+    }
+
+    /// A compact multi-line report.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "accesses: {} reads ({} hits) / {} writes ({} hits)\n",
+            self.counters.get("reads"),
+            self.counters.get("read_hits"),
+            self.counters.get("writes"),
+            self.counters.get("write_hits"),
+        ));
+        out.push_str(&format!(
+            "cost/access: mean {:.1} bits (sd {:.1}, n {})\n",
+            self.access_cost.mean(),
+            self.access_cost.std_dev(),
+            self.access_cost.count(),
+        ));
+        out.push_str(&format!(
+            "casts: {} (mean {:.1} bits)\n",
+            self.counters.get("casts"),
+            self.cast_cost.mean(),
+        ));
+        out.push_str(&format!(
+            "mode: {} switches ({} adaptive)",
+            self.counters.get("mode_switches"),
+            self.counters.get("mode_switches_adaptive"),
+        ));
+        if let Some(r) = self.dw_residency() {
+            out.push_str(&format!(", DW residency {:.1}%", 100.0 * r));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmc_memsys::{BlockAddr, WordAddr};
+
+    fn sample_events() -> Vec<ProtocolEvent> {
+        vec![
+            ProtocolEvent::Read {
+                proc: 0,
+                addr: WordAddr::new(0),
+                value: 1,
+                hit: true,
+                cost_bits: 0,
+                latency: Some(1),
+                mode: Some(TraceMode::DistributedWrite),
+            },
+            ProtocolEvent::Write {
+                proc: 1,
+                addr: WordAddr::new(0),
+                value: 2,
+                hit: false,
+                cost_bits: 300,
+                latency: Some(9),
+                mode: Some(TraceMode::GlobalRead),
+            },
+            ProtocolEvent::Miss {
+                proc: 1,
+                block: BlockAddr::new(0),
+                write: true,
+                cold: true,
+            },
+            ProtocolEvent::ModeSwitch {
+                owner: 1,
+                block: BlockAddr::new(0),
+                to: TraceMode::GlobalRead,
+                adaptive: true,
+            },
+            ProtocolEvent::Cast {
+                from: 1,
+                scheme: SchemeChoice::BitVector,
+                payload_bits: 32,
+                cost_bits: 96,
+                links: vec![],
+            },
+            ProtocolEvent::Replacement {
+                proc: 0,
+                block: BlockAddr::new(3),
+                wrote_back: true,
+            },
+            ProtocolEvent::OwnershipTransfer {
+                block: BlockAddr::new(0),
+                from: 0,
+                to: 1,
+                handoff: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn folds_every_event_class() {
+        let mut m = MetricsRegistry::new();
+        m.observe_all(&sample_events());
+        let c = m.counters();
+        assert_eq!(c.get("reads"), 1);
+        assert_eq!(c.get("read_hits"), 1);
+        assert_eq!(c.get("writes"), 1);
+        assert_eq!(c.get("write_misses"), 1);
+        assert_eq!(c.get("misses_cold"), 1);
+        assert_eq!(c.get("mode_switches_adaptive"), 1);
+        assert_eq!(c.get("mode_switches_to_gr"), 1);
+        assert_eq!(c.get("casts_bitvector"), 1);
+        assert_eq!(c.get("writebacks"), 1);
+        assert_eq!(c.get("ownership_handoffs"), 1);
+        assert_eq!(m.latency().count(), 2);
+        assert_eq!(m.cast_cost().count(), 1);
+        assert_eq!(m.access_cost().count(), 2);
+        assert_eq!(m.dw_residency(), Some(0.5));
+        let s = m.summary();
+        assert!(s.contains("1 reads"));
+        assert!(s.contains("DW residency 50.0%"));
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let events = sample_events();
+        let mut whole = MetricsRegistry::new();
+        whole.observe_all(&events);
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.observe_all(&events[..3]);
+        b.observe_all(&events[3..]);
+        a.merge(&b);
+        assert_eq!(
+            a.counters().get("mode_switches"),
+            whole.counters().get("mode_switches")
+        );
+        assert_eq!(a.access_cost().count(), whole.access_cost().count());
+        assert!((a.access_cost().mean() - whole.access_cost().mean()).abs() < 1e-9);
+        assert_eq!(a.cast_cost().count(), whole.cast_cost().count());
+    }
+
+    #[test]
+    fn residency_is_none_without_mode_attribution() {
+        let mut m = MetricsRegistry::new();
+        m.observe(&ProtocolEvent::Read {
+            proc: 0,
+            addr: WordAddr::new(0),
+            value: 0,
+            hit: false,
+            cost_bits: 4,
+            latency: None,
+            mode: None,
+        });
+        assert_eq!(m.dw_residency(), None);
+        assert_eq!(m.latency().count(), 0);
+    }
+}

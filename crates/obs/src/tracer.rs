@@ -1,0 +1,144 @@
+//! The event buffer the engines own.
+
+use crate::event::ProtocolEvent;
+
+/// A zero-cost-when-disabled buffer of [`ProtocolEvent`]s.
+///
+/// Engines own a `Tracer` by value and call [`Tracer::push`] (cheap bool
+/// check, then drop) or [`Tracer::emit`] (the closure that *builds* the
+/// event only runs when tracing is on — use it when constructing the event
+/// itself would allocate). `Tracer` is `Clone` so that engines that must
+/// stay cloneable — `tmc_core::System` is cloned by the bounded model
+/// checker — can carry one without losing that property.
+///
+/// # Example
+///
+/// ```
+/// use tmc_obs::{ProtocolEvent, Tracer};
+/// use tmc_memsys::BlockAddr;
+///
+/// let mut t = Tracer::new();
+/// t.push(ProtocolEvent::Miss { proc: 0, block: BlockAddr::new(1), write: false, cold: true });
+/// assert!(t.events().is_empty()); // disabled: nothing recorded
+/// t.set_enabled(true);
+/// t.push(ProtocolEvent::Miss { proc: 0, block: BlockAddr::new(1), write: false, cold: true });
+/// assert_eq!(t.drain().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    enabled: bool,
+    events: Vec<ProtocolEvent>,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer (the engines' initial state).
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Turns recording on or off. Disabling does not drop already-recorded
+    /// events.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether events are currently being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `event` if enabled; drops it otherwise.
+    #[inline]
+    pub fn push(&mut self, event: ProtocolEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// Records the event built by `f`, running `f` only when enabled — the
+    /// hook for events whose construction allocates (e.g. per-link charge
+    /// lists).
+    #[inline]
+    pub fn emit(&mut self, f: impl FnOnce() -> ProtocolEvent) {
+        if self.enabled {
+            self.events.push(f());
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> &[ProtocolEvent] {
+        &self.events
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Takes every recorded event, leaving the buffer empty (enabled state
+    /// unchanged).
+    pub fn drain(&mut self) -> Vec<ProtocolEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmc_memsys::BlockAddr;
+
+    fn miss() -> ProtocolEvent {
+        ProtocolEvent::Miss {
+            proc: 1,
+            block: BlockAddr::new(2),
+            write: true,
+            cold: false,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new();
+        assert!(!t.is_enabled());
+        t.push(miss());
+        t.emit(miss);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn emit_runs_closure_only_when_enabled() {
+        let mut t = Tracer::new();
+        let mut ran = false;
+        t.emit(|| {
+            ran = true;
+            miss()
+        });
+        assert!(!ran);
+        t.set_enabled(true);
+        t.emit(|| {
+            ran = true;
+            miss()
+        });
+        assert!(ran);
+        assert_eq!(t.events(), &[miss()]);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_enabled() {
+        let mut t = Tracer::new();
+        t.set_enabled(true);
+        t.push(miss());
+        assert_eq!(t.drain().len(), 1);
+        assert!(t.is_empty());
+        assert!(t.is_enabled());
+        t.push(miss());
+        assert_eq!(t.len(), 1);
+    }
+}

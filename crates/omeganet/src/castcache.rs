@@ -94,6 +94,25 @@ impl CastCache {
         payload_bits: u64,
         traffic: &mut TrafficMatrix,
     ) -> Result<CastReceipt, NetError> {
+        self.multicast_recording(net, kind, src, dests, payload_bits, traffic, None)
+    }
+
+    /// [`CastCache::multicast`] that additionally appends the cast's
+    /// per-link charges to `record` when one is supplied — the hook trace
+    /// sinks use to attribute bits to individual links. Charges come back
+    /// in `(layer, line)` order whether the cast hit or missed the memo
+    /// table, and nothing is appended on error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn multicast_recording(
+        &mut self,
+        net: &Omega,
+        kind: SchemeKind,
+        src: PortId,
+        dests: &DestSet,
+        payload_bits: u64,
+        traffic: &mut TrafficMatrix,
+        record: Option<&mut Vec<(LinkId, u64)>>,
+    ) -> Result<CastReceipt, NetError> {
         let key = CastKey {
             kind,
             src,
@@ -104,6 +123,9 @@ impl CastCache {
             self.hits += 1;
             for &(link, bits) in &cached.charges {
                 traffic.add(link, bits);
+            }
+            if let Some(out) = record {
+                out.extend_from_slice(&cached.charges);
             }
             return Ok(cached.receipt.clone());
         }
@@ -130,6 +152,9 @@ impl CastCache {
                     traffic.add(link, bits);
                 }
             }
+        }
+        if let Some(out) = record {
+            out.extend_from_slice(&charges);
         }
         if self.map.len() >= Self::MAX_ENTRIES {
             self.map.clear();
@@ -250,6 +275,39 @@ mod tests {
             .is_err());
         assert!(cache.is_empty());
         assert_eq!(t.total_bits(), 0);
+    }
+
+    #[test]
+    fn recorded_charges_match_traffic_on_miss_and_hit() {
+        let net = Omega::new(4).unwrap();
+        let d = DestSet::worst_case_spread(16, 4).unwrap();
+        let mut cache = CastCache::new();
+        for pass in 0..2 {
+            let mut t = TrafficMatrix::new(&net);
+            let mut rec = Vec::new();
+            let receipt = cache
+                .multicast_recording(
+                    &net,
+                    SchemeKind::Combined,
+                    2,
+                    &d,
+                    33,
+                    &mut t,
+                    Some(&mut rec),
+                )
+                .unwrap();
+            let rec_total: u64 = rec.iter().map(|&(_, bits)| bits).sum();
+            assert_eq!(rec_total, receipt.cost_bits, "pass {pass}");
+            assert_eq!(rec_total, t.total_bits(), "pass {pass}");
+            for &(link, bits) in &rec {
+                assert_eq!(t.link_bits(link), bits, "pass {pass}");
+            }
+            // Charges come back sorted by (layer, line) on both paths.
+            let mut sorted = rec.clone();
+            sorted.sort_by_key(|&(l, _)| (l.layer, l.line));
+            assert_eq!(rec, sorted, "pass {pass}");
+        }
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Randomized invariant tests for routing, destination sets and multicast,
 //! driven by the in-tree [`SimRng`] (no external crates needed).
 
-use tmc_omeganet::{DestSet, LinkSchedule, Omega, SchemeKind, TimingModel, TrafficMatrix};
+use tmc_omeganet::{
+    CastCache, DestSet, LinkSchedule, Omega, SchemeKind, TimingModel, TrafficMatrix,
+};
 use tmc_simcore::{SimRng, SimTime};
 
 const CASES: usize = 48;
@@ -154,6 +156,50 @@ fn timed_multicast_reaches_the_same_ports() {
             // Arrivals are strictly after departure.
             assert!(timed.iter().all(|&(_, t)| t > SimTime::ZERO));
         }
+    }
+}
+
+#[test]
+fn castcache_replay_charges_links_identically_to_uncached_traversal() {
+    let mut rng = SimRng::seed_from(0xCAC4E);
+    let schemes = [
+        SchemeKind::Replicated,
+        SchemeKind::BitVector,
+        SchemeKind::BroadcastTag,
+        SchemeKind::Combined,
+    ];
+    for _ in 0..CASES {
+        let (m, ports) = arb_ports(&mut rng, 7);
+        let net = Omega::new(m).unwrap();
+        let dests = DestSet::from_ports(net.ports(), ports).unwrap();
+        let src = rng.gen_range(0..net.ports());
+        let payload = rng.gen_range(0..300u64);
+        let kind = schemes[rng.gen_range(0..schemes.len())];
+        let mut cache = CastCache::new();
+        let mut direct = TrafficMatrix::new(&net);
+        let want = net
+            .multicast(kind, src, &dests, payload, &mut direct)
+            .unwrap();
+        // Drive the same cast through the cache repeatedly: the first call
+        // is a miss (full traversal), the rest replay memoized charges.
+        // Every pass must reproduce the uncached matrix link-for-link.
+        for pass in 0..3 {
+            let mut via = TrafficMatrix::new(&net);
+            let mut rec = Vec::new();
+            let got = cache
+                .multicast_recording(&net, kind, src, &dests, payload, &mut via, Some(&mut rec))
+                .unwrap();
+            assert_eq!(got, want, "pass {pass}");
+            assert_eq!(via, direct, "pass {pass}: matrices diverge");
+            // The recorded charge list is exactly the nonzero links.
+            let rec_total: u64 = rec.iter().map(|&(_, bits)| bits).sum();
+            assert_eq!(rec_total, via.total_bits(), "pass {pass}");
+            for &(link, bits) in &rec {
+                assert!(bits > 0, "pass {pass}: zero-bit link recorded");
+                assert_eq!(via.link_bits(link), bits, "pass {pass}");
+            }
+        }
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
     }
 }
 

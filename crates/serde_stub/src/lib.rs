@@ -1,0 +1,30 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace builds hermetically: every dependency is an in-tree path
+//! dependency, so no registry access is ever required. The sources still
+//! carry `#[cfg_attr(feature = "serde", derive(serde::Serialize,
+//! serde::Deserialize))]` placeholders on the public data types; this crate
+//! is what makes that feature *buildable* offline. Member crates rename it
+//! to `serde` (`serde = { package = "tmc-serde-stub", ... }`), so the
+//! `serde::Serialize` paths in the attributes resolve here.
+//!
+//! Both derives expand to nothing — no trait, no impl, no generated code —
+//! which is exactly right for a placeholder: enabling the feature proves the
+//! attribute plumbing is sound without changing any behavior. Swapping in
+//! real serialization later is a per-crate one-line `Cargo.toml` change
+//! (point the `serde` dependency at crates.io instead of this stub); none of
+//! the attribute sites need to move.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; stands in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; stands in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -14,6 +14,7 @@
 //! | [`workload`] | `tmc-workload` | §4 sharing model, stencil and private workloads |
 //! | [`baselines`] | `tmc-baselines` | no-cache, directory-invalidate, update-only comparators |
 //! | [`sim`] | `tmc-simcore` | event queue, RNG, statistics |
+//! | [`obs`] | `tmc-obs` | protocol events, metrics registry, replayable JSONL traces |
 //!
 //! # Quick start
 //!
@@ -71,4 +72,10 @@ pub mod baselines {
 /// Simulation kernel and statistics (re-export of `tmc-simcore`).
 pub mod sim {
     pub use tmc_simcore::*;
+}
+
+/// Observability: protocol events, metrics, replayable traces (re-export
+/// of `tmc-obs`).
+pub mod obs {
+    pub use tmc_obs::*;
 }

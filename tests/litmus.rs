@@ -105,6 +105,56 @@ fn iriw_observers_agree() {
     }
 }
 
+/// Coherence write-write (CoWW): writes to one location are serialized —
+/// after the last write, no processor can resurface an earlier value.
+#[test]
+fn coww_last_write_wins() {
+    for mut sys in engines() {
+        sys.write(0, a(), 1);
+        sys.write(0, a(), 2);
+        for p in 0..4 {
+            assert_eq!(sys.read(p, a()), 2, "{}: proc {p} resurrected", sys.name());
+        }
+        // A different writer (ownership migrates) extends the same order.
+        sys.write(1, a(), 3);
+        for p in 0..4 {
+            assert_eq!(sys.read(p, a()), 3, "{}: proc {p} stale", sys.name());
+        }
+    }
+}
+
+/// IRIW with the reads *interleaved* between the writes: each observer's
+/// two reads bracket one of the writes, so the exact values are forced
+/// under sequential consistency — no observer may see the writes in
+/// contradictory orders.
+#[test]
+fn iriw_interleaved_observers_agree() {
+    for mut sys in engines() {
+        sys.write(0, a(), 1);
+        let o2 = (sys.read(2, a()), sys.read(2, b())); // between the writes
+        sys.write(1, b(), 1);
+        let o3 = (sys.read(3, b()), sys.read(3, a()));
+        assert_eq!(o2, (1, 0), "{}: observer 2", sys.name());
+        assert_eq!(o3, (1, 1), "{}: observer 3", sys.name());
+        // Observer 2 re-reads b: the write must now be visible (CoRR
+        // forward progress), completing an agreed a-before-b order.
+        assert_eq!(sys.read(2, b()), 1, "{}: observer 2 stuck", sys.name());
+    }
+}
+
+/// Write-to-read causality (WRC): a value observed and passed on through
+/// a second location must imply the original write is visible.
+#[test]
+fn wrc_causality_chain() {
+    for mut sys in engines() {
+        sys.write(0, a(), 1); // P0: x = 1
+        assert_eq!(sys.read(1, a()), 1, "{}", sys.name());
+        sys.write(1, b(), 1); // P1 saw x, then y = 1
+        assert_eq!(sys.read(2, b()), 1, "{}", sys.name());
+        assert_eq!(sys.read(2, a()), 1, "{}: causality broken", sys.name());
+    }
+}
+
 /// The same patterns survive mode switches mid-stream on the two-mode
 /// protocol (the paper: "both modes maintain consistency. The sole
 /// difference is performance").
@@ -128,4 +178,106 @@ fn message_passing_across_mode_switches() {
         .expect("switch back");
     assert_eq!(adapter.read(2, a()), 42);
     adapter.inner().check_invariants().expect("invariants");
+}
+
+/// Write-after-mode-switch: a write landing immediately after a software
+/// mode directive (§2.2 ops 6/7) is never lost, in either direction, for
+/// every two-mode variant (fixed DW, fixed GR, adaptive).
+#[test]
+fn write_after_mode_switch_is_never_lost() {
+    let variants: Vec<two_mode_coherence::baselines::TwoModeAdapter> = vec![
+        two_mode_fixed(4, Mode::DistributedWrite),
+        two_mode_fixed(4, Mode::GlobalRead),
+        two_mode_adaptive(4, 8),
+    ];
+    for mut sys in variants {
+        let name = sys.name();
+        sys.write(0, a(), 1);
+        // DW → GR, then write: copies must be invalidated, not updated late.
+        sys.inner_mut()
+            .set_mode(0, a(), Mode::GlobalRead)
+            .expect("switch to GR");
+        sys.write(0, a(), 2);
+        for p in 0..4 {
+            assert_eq!(sys.read(p, a()), 2, "{name}: proc {p} after GR switch");
+        }
+        // GR → DW, then write from a *different* processor (ownership moves).
+        sys.inner_mut()
+            .set_mode(0, a(), Mode::DistributedWrite)
+            .expect("switch to DW");
+        sys.write(2, a(), 3);
+        for p in 0..4 {
+            assert_eq!(sys.read(p, a()), 3, "{name}: proc {p} after DW switch");
+        }
+        sys.inner().check_invariants().expect("invariants");
+    }
+}
+
+/// A storm of alternating mode directives interleaved with writes and
+/// reads from every processor: values always track program order and the
+/// protocol invariants hold throughout.
+#[test]
+fn mode_switch_storm_preserves_values() {
+    let mut sys = two_mode_adaptive(4, 8);
+    let mut expected_a; // assigned every round before any read
+    let mut expected_b = 0u64;
+    for round in 0..24u64 {
+        let mode = if round % 2 == 0 {
+            Mode::GlobalRead
+        } else {
+            Mode::DistributedWrite
+        };
+        let proc = (round % 4) as usize;
+        sys.inner_mut()
+            .set_mode(proc, a(), mode)
+            .expect("directive");
+        expected_a = 100 + round;
+        sys.write(proc, a(), expected_a);
+        if round % 3 == 0 {
+            expected_b = 200 + round;
+            sys.write((round % 4) as usize, b(), expected_b);
+        }
+        for p in 0..4 {
+            assert_eq!(sys.read(p, a()), expected_a, "round {round}, proc {p}");
+            assert_eq!(sys.read(p, b()), expected_b, "round {round}, proc {p}");
+        }
+        sys.inner().check_invariants().expect("invariants");
+    }
+}
+
+/// Tracing is observation, not participation: running the same litmus
+/// script with tracing on must leave every engine's values and traffic
+/// untouched, while producing a nonempty event stream.
+#[test]
+fn tracing_does_not_perturb_any_engine() {
+    let script = |sys: &mut dyn CoherentSystem| -> Vec<u64> {
+        sys.write(0, a(), 42);
+        sys.write(0, b(), 1);
+        sys.write(1, a(), 43);
+        (0..4)
+            .flat_map(|p| [sys.read(p, a()), sys.read(p, b())])
+            .collect()
+    };
+    for (mut plain, mut traced) in engines().into_iter().zip(engines()) {
+        traced.set_tracing(true);
+        assert!(!plain.tracing_enabled() && traced.tracing_enabled());
+        let values_plain = script(plain.as_mut());
+        let values_traced = script(traced.as_mut());
+        assert_eq!(values_plain, values_traced, "{}", plain.name());
+        assert_eq!(
+            plain.total_traffic_bits(),
+            traced.total_traffic_bits(),
+            "{}: tracing changed traffic",
+            plain.name()
+        );
+        assert!(plain.drain_trace().is_empty(), "{}", plain.name());
+        let events = traced.drain_trace();
+        assert!(!events.is_empty(), "{}: no events", traced.name());
+        assert!(
+            events
+                .iter()
+                .all(|e| !matches!(e, two_mode_coherence::obs::ProtocolEvent::Issue { .. })),
+            "no driver in this script"
+        );
+    }
 }
