@@ -1,11 +1,17 @@
 //! Machine-readable performance baseline: times the serial and parallel
-//! sim_fig8-style sweep, raw event-queue throughput and raw protocol
-//! throughput, and writes the numbers to `BENCH_sim.json` so regressions
-//! are diffable across commits.
+//! sim_fig8-style sweep, raw event-queue throughput, raw protocol
+//! throughput, and the block-sharded single-run engine, and writes the
+//! numbers to `BENCH_sim.json` so regressions are diffable across commits.
 //!
 //! ```text
 //! Usage: perf_report [OUTPUT_PATH]     (default: BENCH_sim.json)
+//!        perf_report --check [PATH]    validate an existing report file
 //! ```
+//!
+//! `--check` does not re-run any benchmark: it verifies that `PATH` holds a
+//! well-formed report — every required field present, every rate positive,
+//! and `deterministic` true — so CI can gate on the *committed* baseline
+//! without paying benchmark wall-clock or inheriting runner noise.
 //!
 //! The parallel sweep uses [`tmc_bench::sweep`] with
 //! `TMC_SWEEP_THREADS`-many workers (default: all cores); the serial
@@ -20,7 +26,7 @@
 use std::hint::black_box;
 
 use tmc_baselines::{two_mode_adaptive, CoherentSystem};
-use tmc_bench::{drive, drive_steady_state, sweep, timer};
+use tmc_bench::{drive, drive_steady_state, shardsim, sweep, timer};
 use tmc_simcore::{EventQueue, SimRng, SimTime};
 use tmc_workload::{Placement, SharedBlockWorkload};
 
@@ -30,6 +36,12 @@ const N_BLOCKS: u64 = 16;
 const REFS: usize = 24_000;
 const WARMUP: usize = 4_000;
 const N_SYSTEMS: usize = 6;
+
+/// References in the single-run shard benchmark — long enough that the
+/// per-run thread-spawn cost is noise against the protocol work.
+const SHARD_REFS: usize = 200_000;
+/// Worker threads the shard benchmark asks for (the acceptance point).
+const SHARD_WORKERS: usize = 8;
 
 /// The sim_fig8 grid: 8 write fractions × 6 systems.
 fn grid_cells() -> Vec<(f64, u64, usize)> {
@@ -89,6 +101,112 @@ fn protocol_refs_per_sec() -> f64 {
     r.per_sec * trace.len() as f64
 }
 
+/// Times the block-sharded single-run engine against the serial `System`
+/// on one long trace, asserting bit-identical results before reporting.
+/// Returns `(serial refs/s, sharded refs/s, shards used, workers used)`.
+fn shard_bench() -> (f64, f64, usize, usize) {
+    use tmc_core::{ModePolicy, System, SystemConfig};
+
+    let cfg = SystemConfig::new(N_PROCS).mode_policy(ModePolicy::Adaptive { window: 64 });
+    let trace = SharedBlockWorkload::new(N_TASKS, N_BLOCKS, 0.2)
+        .references(SHARD_REFS)
+        .placement(Placement::Adjacent { base: 0 })
+        .generate(N_PROCS, &mut SimRng::seed_from(42));
+    let script = shardsim::script_from_trace(&trace);
+    let opts = shardsim::ShardRunOptions::new(SHARD_WORKERS, SHARD_WORKERS);
+
+    // Best-of-3 each: single runs are long enough to be stable, and the
+    // minimum discards scheduler hiccups.
+    let mut serial_secs = f64::INFINITY;
+    let mut serial_sys = None;
+    for _ in 0..3 {
+        let (sys, t) = timer::time_once(|| {
+            let mut sys = System::new(cfg.clone()).expect("valid config");
+            shardsim::apply_script(&mut sys, &script);
+            sys
+        });
+        serial_secs = serial_secs.min(t.as_secs_f64());
+        serial_sys = Some(sys);
+    }
+    let serial_sys = serial_sys.expect("ran");
+
+    let mut shard_secs = f64::INFINITY;
+    let mut shard_run = None;
+    for _ in 0..3 {
+        let (run, t) =
+            timer::time_once(|| shardsim::run(&cfg, &script, &opts).expect("shardable config"));
+        shard_secs = shard_secs.min(t.as_secs_f64());
+        shard_run = Some(run);
+    }
+    let shard_run = shard_run.expect("ran");
+
+    assert_eq!(
+        shard_run.system.protocol_fingerprint(),
+        serial_sys.protocol_fingerprint(),
+        "sharded run must be bit-identical to serial"
+    );
+    assert_eq!(shard_run.system.counters(), serial_sys.counters());
+    assert_eq!(shard_run.system.traffic(), serial_sys.traffic());
+
+    let refs = script.len() as f64;
+    (
+        refs / serial_secs,
+        refs / shard_secs,
+        shard_run.shards,
+        shard_run.threads,
+    )
+}
+
+/// `--check` mode: validates an existing report file without re-running
+/// anything. Returns an error string naming the first problem found.
+fn check_report(text: &str) -> Result<(), String> {
+    // The report is hand-formatted `"key": value` lines; a full JSON parser
+    // is overkill for a schema smoke check.
+    let field = |key: &str| -> Result<String, String> {
+        let pat = format!("\"{key}\":");
+        let at = text
+            .find(&pat)
+            .ok_or_else(|| format!("missing field {key:?}"))?;
+        let rest = &text[at + pat.len()..];
+        let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+        Ok(rest[..end].trim().trim_matches('"').to_string())
+    };
+    for key in [
+        "event_queue_events_per_sec",
+        "protocol_refs_per_sec",
+        "sweep_parallel_refs_per_sec",
+        "sweep_speedup",
+        "shard_serial_refs_per_sec",
+        "shard_refs_per_sec",
+        "shard_speedup",
+    ] {
+        let v: f64 = field(key)?
+            .parse()
+            .map_err(|e| format!("field {key:?}: {e}"))?;
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("field {key:?} must be positive, got {v}"));
+        }
+    }
+    for key in [
+        "grid_cells",
+        "sweep_threads",
+        "shards",
+        "shard_workers",
+        "shard_refs",
+    ] {
+        let v: u64 = field(key)?
+            .parse()
+            .map_err(|e| format!("field {key:?}: {e}"))?;
+        if v == 0 {
+            return Err(format!("field {key:?} must be nonzero"));
+        }
+    }
+    match field("deterministic")?.as_str() {
+        "true" => Ok(()),
+        other => Err(format!("deterministic must be true, got {other:?}")),
+    }
+}
+
 /// Off-the-timed-path trace capture, gated on `TMC_TRACE_OUT`.
 fn save_representative_trace() {
     use tmc_bench::tracecheck;
@@ -124,8 +242,28 @@ fn save_representative_trace() {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_sim.json");
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf_report --check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match check_report(&text) {
+            Ok(()) => println!("perf_report --check: {path} ok"),
+            Err(e) => {
+                eprintln!("perf_report --check: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
     let threads = sweep::num_threads();
     let cells = grid_cells();
@@ -156,8 +294,15 @@ fn main() {
     println!("speedup          : {speedup:.2}x on {threads} thread(s)");
     let sweep_refs = (n_cells * REFS) as f64;
 
+    let (shard_serial_rps, shard_rps, shards, shard_workers) = shard_bench();
+    let shard_speedup = shard_rps / shard_serial_rps;
+    println!(
+        "shard single-run : {shard_rps:.0} refs/s ({shards} shards, {shard_workers} workers, \
+         {shard_speedup:.2}x vs {shard_serial_rps:.0} serial)"
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": {n_cells},\n  \"refs_per_cell\": {REFS},\n  \"sweep_threads\": {threads},\n  \"event_queue_events_per_sec\": {events_per_sec:.1},\n  \"protocol_refs_per_sec\": {refs_per_sec:.1},\n  \"sweep_serial_seconds\": {:.6},\n  \"sweep_parallel_seconds\": {:.6},\n  \"sweep_parallel_refs_per_sec\": {:.1},\n  \"sweep_speedup\": {speedup:.4},\n  \"deterministic\": true\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": {n_cells},\n  \"refs_per_cell\": {REFS},\n  \"sweep_threads\": {threads},\n  \"event_queue_events_per_sec\": {events_per_sec:.1},\n  \"protocol_refs_per_sec\": {refs_per_sec:.1},\n  \"sweep_serial_seconds\": {:.6},\n  \"sweep_parallel_seconds\": {:.6},\n  \"sweep_parallel_refs_per_sec\": {:.1},\n  \"sweep_speedup\": {speedup:.4},\n  \"shards\": {shards},\n  \"shard_workers\": {shard_workers},\n  \"shard_refs\": {SHARD_REFS},\n  \"shard_serial_refs_per_sec\": {shard_serial_rps:.1},\n  \"shard_refs_per_sec\": {shard_rps:.1},\n  \"shard_speedup\": {shard_speedup:.4},\n  \"deterministic\": true\n}}\n",
         serial_time.as_secs_f64(),
         parallel_time.as_secs_f64(),
         sweep_refs / parallel_time.as_secs_f64(),

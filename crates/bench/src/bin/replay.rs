@@ -16,7 +16,7 @@ use tmc_baselines::{
     two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem, NoCacheSystem,
     UpdateOnlySystem,
 };
-use tmc_bench::{drive, sweep, tracecheck, Table};
+use tmc_bench::{drive, shardsim, sweep, tracecheck, Table};
 use tmc_core::{Mode, ModePolicy, SystemConfig};
 use tmc_workload::{parse_trace, Op, Trace};
 
@@ -34,10 +34,34 @@ fn build(protocol: &str, n_procs: usize) -> Option<Box<dyn CoherentSystem>> {
     })
 }
 
+/// The two-mode policy for a shardable protocol name, if it is one.
+fn two_mode_policy(protocol: &str) -> Option<ModePolicy> {
+    match protocol {
+        "dw" => Some(ModePolicy::Fixed(Mode::DistributedWrite)),
+        "gr" => Some(ModePolicy::Fixed(Mode::GlobalRead)),
+        "adaptive" => Some(ModePolicy::Adaptive { window: 64 }),
+        _ => None,
+    }
+}
+
 fn replay_all(trace: &Trace, n_procs: usize) {
+    let shards = shardsim::env_shards();
+    if shards > 0 {
+        println!("sharded    : two-mode rows run block-sharded ({shards} shards requested)");
+    }
     let rows = sweep::map(PROTOCOLS.to_vec(), |p| {
         let mut sys = build(p, n_procs).expect("known protocol");
-        let report = drive(sys.as_mut(), trace);
+        // With TMC_SHARDS set, the two-mode rows replay on the sharded
+        // engine — bit-identical traffic, several cores per row.
+        let report = match (shards > 0).then(|| two_mode_policy(p)).flatten() {
+            Some(policy) => {
+                let cfg = SystemConfig::new(n_procs).mode_policy(policy);
+                shardsim::drive_sharded(&cfg, trace, shards, 0)
+                    .expect("default two-mode configs are shardable")
+                    .0
+            }
+            None => drive(sys.as_mut(), trace),
+        };
         (sys.name().to_string(), report)
     });
     let mut t = Table::new(vec![

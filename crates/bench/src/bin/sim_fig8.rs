@@ -18,8 +18,9 @@ use tmc_baselines::{
     two_mode_adaptive, two_mode_fixed, CoherentSystem, DirectoryInvalidateSystem, NoCacheSystem,
     UpdateOnlySystem,
 };
+use tmc_bench::shardsim::{self, ShardRunOptions};
 use tmc_bench::{drive_steady_state_checked, sweep, Table};
-use tmc_core::Mode;
+use tmc_core::{Mode, ModePolicy, SystemConfig};
 use tmc_simcore::SimRng;
 use tmc_workload::{Placement, SharedBlockWorkload};
 
@@ -49,16 +50,42 @@ fn build_system(idx: usize) -> Box<dyn CoherentSystem> {
     }
 }
 
+/// The two-mode engine's config for a shardable cell, if `sys_idx` is one.
+fn two_mode_cfg(sys_idx: usize) -> Option<SystemConfig> {
+    let policy = match sys_idx {
+        3 => ModePolicy::Fixed(Mode::DistributedWrite),
+        4 => ModePolicy::Fixed(Mode::GlobalRead),
+        5 => ModePolicy::Adaptive { window: 64 },
+        _ => return None,
+    };
+    Some(SystemConfig::new(N_PROCS).mode_policy(policy))
+}
+
 /// One grid cell: simulate protocol `sys_idx` on the w-workload seeded by
 /// `seed`, reporting steady-state bits per reference. Every read is
 /// value-checked against the sequential-consistency oracle, so the
 /// published numbers come from verified-correct runs (the checked drive
 /// writes the same stamp sequence, keeping traffic bit-identical).
+///
+/// With `TMC_SHARDS` set, the two-mode cells run on the block-sharded
+/// engine instead — same oracle checking, bit-identical traffic — so one
+/// cell can use several cores.
 fn run_cell(w: f64, seed: u64, sys_idx: usize) -> f64 {
     let trace = SharedBlockWorkload::new(N_TASKS, N_BLOCKS, w)
         .references(REFS)
         .placement(Placement::Adjacent { base: 0 })
         .generate(N_PROCS, &mut SimRng::seed_from(seed));
+    let shards = shardsim::env_shards();
+    if shards > 0 {
+        if let Some(cfg) = two_mode_cfg(sys_idx) {
+            let script = shardsim::script_from_trace(&trace);
+            let opts = ShardRunOptions::new(shards, 0).warmup(WARMUP).check(true);
+            return shardsim::run(&cfg, &script, &opts)
+                .expect("default two-mode configs are shardable")
+                .report
+                .bits_per_ref;
+        }
+    }
     let mut sys = build_system(sys_idx);
     drive_steady_state_checked(sys.as_mut(), &trace, WARMUP).bits_per_ref
 }
@@ -75,6 +102,10 @@ fn main() {
          ({} sweep threads):",
         sweep::num_threads()
     );
+    let shards = shardsim::env_shards();
+    if shards > 0 {
+        println!("Two-mode cells run block-sharded ({shards} shards requested).");
+    }
 
     let cells: Vec<(f64, u64, usize)> = ws
         .iter()

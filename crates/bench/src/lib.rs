@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod shardsim;
 pub mod sweep;
 pub mod timer;
 pub mod tracecheck;

@@ -10,10 +10,11 @@
 //! Results are returned **in cell order** regardless of which thread ran
 //! which cell or when it finished, so a parallel sweep's output is
 //! bit-for-bit identical to the serial one (`tests/sweep_determinism.rs`
-//! checks exactly that). Scheduling is work-stealing: cells are dealt
-//! round-robin onto per-worker queues, each worker drains its own queue from
-//! the front and steals from the back of others when idle, which keeps long
-//! cells (high write fractions, big caches) from serializing the sweep.
+//! checks exactly that). Scheduling is a chunked atomic cursor: cells are
+//! pre-split into contiguous chunks (a few per worker) and idle workers
+//! claim the next chunk with one `fetch_add` — no per-cell locking, no
+//! steal scans, and the tail chunks still rebalance long cells (high write
+//! fractions, big caches) across whichever workers finish early.
 //!
 //! Built entirely on `std::thread::scope` — no external crates, so the
 //! hermetic offline build keeps working.
@@ -25,7 +26,7 @@
 //! assert_eq!(squares, [0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Environment variable overriding the worker-thread count.
@@ -82,40 +83,49 @@ where
     }
     let threads = threads.min(n);
 
-    // Deal cells round-robin onto per-worker queues. Indexes ride along so
-    // the merge can restore cell order.
-    let queues: Vec<Mutex<VecDeque<(usize, I)>>> =
-        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    // Pre-split the cells into contiguous chunks — about four per worker,
+    // so the shared cursor is touched rarely while the tail still
+    // rebalances across workers that finish early. Each chunk is claimed
+    // exactly once via `fetch_add`; the `Mutex` exists only to move the
+    // owned cells out (this crate forbids `unsafe`), so every lock
+    // acquisition is uncontended and happens once per chunk, not per cell.
+    // A chunk of indexed cells, `take`n by exactly one worker.
+    type Chunk<I> = Mutex<Option<Vec<(usize, I)>>>;
+    let chunk_len = n.div_ceil(threads * 4).max(1);
+    let mut chunks: Vec<Chunk<I>> = Vec::new();
+    let mut buf: Vec<(usize, I)> = Vec::with_capacity(chunk_len);
     for (idx, cell) in cells.into_iter().enumerate() {
-        queues[idx % threads]
-            .lock()
-            .expect("queue poisoned")
-            .push_back((idx, cell));
+        buf.push((idx, cell));
+        if buf.len() == chunk_len {
+            let full = std::mem::replace(&mut buf, Vec::with_capacity(chunk_len));
+            chunks.push(Mutex::new(Some(full)));
+        }
     }
+    if !buf.is_empty() {
+        chunks.push(Mutex::new(Some(buf)));
+    }
+    let cursor = AtomicUsize::new(0);
 
-    let queues = &queues;
+    let chunks = &chunks;
+    let cursor = &cursor;
     let worker = &worker;
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|me| {
+            .map(|_| {
                 scope.spawn(move || {
                     let mut done = Vec::new();
                     loop {
-                        // Own queue first (front), then steal from the back
-                        // of the busiest-looking victim order: a simple
-                        // cyclic scan starting at our right neighbor.
-                        let job = queues[me].lock().expect("queue poisoned").pop_front();
-                        let job = job.or_else(|| {
-                            (1..threads).find_map(|off| {
-                                queues[(me + off) % threads]
-                                    .lock()
-                                    .expect("queue poisoned")
-                                    .pop_back()
-                            })
-                        });
-                        match job {
-                            Some((idx, cell)) => done.push((idx, worker(cell))),
-                            None => break,
+                        let claim = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(claim) else {
+                            break;
+                        };
+                        let batch = chunk
+                            .lock()
+                            .expect("chunk poisoned")
+                            .take()
+                            .expect("chunk claimed twice");
+                        for (idx, cell) in batch {
+                            done.push((idx, worker(cell)));
                         }
                     }
                     done

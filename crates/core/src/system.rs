@@ -11,7 +11,7 @@
 
 use tmc_memsys::{BlockAddr, BlockStore, CacheArray, CacheId, MainMemory, ModuleMap, WordAddr};
 use tmc_obs::{LinkCharge, ProtocolEvent, Tracer};
-use tmc_omeganet::{CastCache, DestSet, LinkSchedule, Omega, TrafficMatrix};
+use tmc_omeganet::{CastCache, DestSet, LinkId, LinkSchedule, Omega, TrafficMatrix};
 use tmc_simcore::{CounterSet, Histogram, SimTime};
 
 use crate::config::{ModePolicy, SystemConfig};
@@ -89,6 +89,12 @@ pub struct System {
     /// Structured protocol-event buffer (disabled by default; zero cost on
     /// the access path while off).
     tracer: Tracer,
+    /// Reusable scratch for [`System::mcast`]: the delivered-port list and
+    /// the per-link charge record. Lets a steady-state multicast run without
+    /// allocating at all (the cast cache replays memoized charges into
+    /// these same buffers).
+    cast_delivered: Vec<usize>,
+    cast_charges: Vec<(LinkId, u64)>,
 }
 
 impl System {
@@ -126,6 +132,8 @@ impl System {
             nak_budget: 0,
             cast_cache: CastCache::new(),
             tracer: Tracer::new(),
+            cast_delivered: Vec::new(),
+            cast_charges: Vec::new(),
             net,
             traffic,
             cfg,
@@ -212,10 +220,13 @@ impl System {
     }
 
     /// The present-flag vector at `block`'s owner, if the block is owned.
-    pub fn present_set(&self, block: BlockAddr) -> Option<Vec<usize>> {
+    /// Borrows the owner's [`DestSet`] directly — iterate it with
+    /// [`DestSet::iter`] or collect if a list is needed; the lookup itself
+    /// never allocates.
+    pub fn present_set(&self, block: BlockAddr) -> Option<&DestSet> {
         let o = self.store.owner(block)?;
         let line = self.caches[o.port()].peek(block)?;
-        Some(line.present.iter().collect())
+        Some(&line.present)
     }
 
     /// The consistency mode at `block`'s owner, if owned.
@@ -286,6 +297,50 @@ impl System {
         out
     }
 
+    /// Absorbs the protocol state and statistics of `shard` — a machine
+    /// that simulated a disjoint slice of the block address space (see
+    /// `tmc_bench::shardsim`) — leaving `self` exactly as if it had executed
+    /// that shard's references itself: counters, per-link traffic, latency
+    /// histogram, cache lines, memory image and block store all merge.
+    ///
+    /// Valid only under the sharding preconditions: identical configs, no
+    /// timing model, no transaction logging, and shard state whose home
+    /// modules and cache sets never overlap with `self`'s (the
+    /// per-component `absorb`s assert that disjointness). The shard's trace
+    /// buffer must be drained first — trace events need a canonical global
+    /// order that only the sharding driver knows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configs differ, a timing model or transaction log is
+    /// enabled, or the two machines' block state overlaps.
+    pub fn merge_shard(&mut self, shard: System) {
+        assert!(
+            self.cfg == shard.cfg,
+            "merge_shard requires identical configs"
+        );
+        assert!(
+            self.cfg.timing.is_none(),
+            "merge_shard does not support the timing model"
+        );
+        assert!(
+            !self.cfg.log_transactions,
+            "merge_shard does not support transaction logging"
+        );
+        assert!(
+            shard.tracer.is_empty(),
+            "drain the shard's trace before merging"
+        );
+        self.counters.merge(&shard.counters);
+        self.traffic.merge(&shard.traffic);
+        self.latencies.merge(&shard.latencies);
+        for (mine, theirs) in self.caches.iter_mut().zip(shard.caches) {
+            mine.absorb(theirs);
+        }
+        self.memory.absorb(shard.memory);
+        self.store.absorb(shard.store);
+    }
+
     // ------------------------------------------------------------------
     // Message plumbing.
     // ------------------------------------------------------------------
@@ -319,7 +374,10 @@ impl System {
     }
 
     /// Multicasts to `dests` (must be nonempty) and returns the ports that
-    /// actually received the message (scheme 3 may widen the set).
+    /// actually received the message (scheme 3 may widen the set). The
+    /// returned vector is the system's reusable scratch buffer — hand it
+    /// back with [`System::recycle_delivered`] after iterating so repeat
+    /// casts stay allocation-free.
     fn mcast(
         &mut self,
         kind: MsgKind,
@@ -327,25 +385,28 @@ impl System {
         dests: &DestSet,
         payload_bits: u64,
     ) -> Vec<usize> {
-        let mut charges = Vec::new();
-        let record = self.tracer.is_enabled().then_some(&mut charges);
-        let receipt = self
+        let mut delivered = std::mem::take(&mut self.cast_delivered);
+        self.cast_charges.clear();
+        let record = self.tracer.is_enabled().then_some(&mut self.cast_charges);
+        let (scheme, cost_bits) = self
             .cast_cache
-            .multicast_recording(
+            .multicast_into(
                 &self.net,
                 self.cfg.multicast,
                 from,
                 dests,
                 payload_bits,
                 &mut self.traffic,
+                &mut delivered,
                 record,
             )
             .expect("dest sets are valid by construction");
+        let charges = &self.cast_charges;
         self.tracer.emit(|| ProtocolEvent::Cast {
             from,
-            scheme: receipt.scheme,
+            scheme,
             payload_bits,
-            cost_bits: receipt.cost_bits,
+            cost_bits,
             links: charges
                 .iter()
                 .map(|&(link, bits)| LinkCharge {
@@ -355,17 +416,17 @@ impl System {
                 })
                 .collect(),
         });
-        self.txn_bits += receipt.cost_bits;
+        self.txn_bits += cost_bits;
         self.txn_msgs += 1;
         self.counters.incr("msgs_total");
-        self.counters.add("bits_total", receipt.cost_bits);
-        self.counters.add(kind.bits_counter(), receipt.cost_bits);
+        self.counters.add("bits_total", cost_bits);
+        self.counters.add(kind.bits_counter(), cost_bits);
         if let (Some(sched), Some(model)) = (self.schedule.as_mut(), self.cfg.timing) {
             let arrivals = sched
                 .timed_multicast(
                     &self.net,
                     model,
-                    receipt.scheme,
+                    scheme,
                     from,
                     dests,
                     payload_bits,
@@ -381,14 +442,20 @@ impl System {
                 kind,
                 from,
                 to: Destination::Multicast {
-                    ports: receipt.delivered.clone(),
-                    scheme: receipt.scheme,
+                    ports: delivered.clone(),
+                    scheme,
                 },
                 payload_bits,
-                cost_bits: receipt.cost_bits,
+                cost_bits,
             });
         }
-        receipt.delivered
+        delivered
+    }
+
+    /// Returns [`System::mcast`]'s scratch buffer so the next cast reuses
+    /// its capacity.
+    fn recycle_delivered(&mut self, buf: Vec<usize>) {
+        self.cast_delivered = buf;
     }
 
     fn log_state(&mut self, cache: usize, block: BlockAddr) -> Option<StateName> {
@@ -409,9 +476,11 @@ impl System {
         }
     }
 
-    fn note(&mut self, text: String) {
+    /// Appends a note to the transaction log, building the text only when
+    /// logging is on — the format machinery never runs on the hot path.
+    fn note_with(&mut self, f: impl FnOnce() -> String) {
         if self.cfg.log_transactions {
-            self.log.push(TraceEvent::Note(text));
+            self.log.push(TraceEvent::Note(f()));
         }
     }
 
@@ -703,9 +772,9 @@ impl System {
                     // Stale hint (possible after a GR→DW switch followed by
                     // ownership movement): bounce through the memory module.
                     self.counters.incr("redirects");
-                    self.note(format!(
-                        "stale OWNER hint at C{proc} for {block}: redirect via memory"
-                    ));
+                    self.note_with(|| {
+                        format!("stale OWNER hint at C{proc} for {block}: redirect via memory")
+                    });
                     let h = self.home_port(block);
                     self.send(
                         MsgKind::Redirect,
@@ -845,7 +914,7 @@ impl System {
                 &others,
                 self.cfg.sizing.update_bits(),
             );
-            for dest in delivered {
+            for &dest in &delivered {
                 if dest == proc {
                     continue;
                 }
@@ -856,6 +925,7 @@ impl System {
                 }
                 others.remove(dest);
             }
+            self.recycle_delivered(delivered);
             debug_assert!(others.is_empty(), "scheme must cover all copy holders");
         }
     }
@@ -973,13 +1043,14 @@ impl System {
                         &announce,
                         self.cfg.sizing.new_owner_bits(self.cfg.n_caches),
                     );
-                    for dest in delivered {
+                    for &dest in &delivered {
                         if let Some(line) = self.caches[dest].peek_mut(block) {
                             if !line.is_valid() {
                                 line.owner_hint = Some(CacheId(new as u16));
                             }
                         }
                     }
+                    self.recycle_delivered(delivered);
                 }
                 let line = self.caches[old].peek_mut(block).expect("old owner line");
                 line.validity = Validity::Invalid;
@@ -1107,17 +1178,25 @@ impl System {
     /// regular ownership-request handshake through the memory module.
     fn handoff_ownership(&mut self, proc: usize, block: BlockAddr, line: &CacheLine) {
         let h = self.home_port(block);
-        let candidates: Vec<usize> = line.present.iter().filter(|&p| p != proc).collect();
-        debug_assert!(!candidates.is_empty(), "nonexclusive implies other copies");
+        // Candidates are the present-vector ports other than the replacer,
+        // iterated in ascending order straight off the DestSet — no
+        // collected list.
+        let n_candidates = line.present.len() - usize::from(line.present.contains(proc));
+        debug_assert!(n_candidates > 0, "nonexclusive implies other copies");
         let mut accepted = None;
-        for (i, &cand) in candidates.iter().enumerate() {
+        let mut offered = 0;
+        for cand in line.present.iter() {
+            if cand == proc {
+                continue;
+            }
+            offered += 1;
             self.send(
                 MsgKind::OwnershipOffer,
                 proc,
                 cand,
                 self.cfg.sizing.request_bits(),
             );
-            let last = i + 1 == candidates.len();
+            let last = offered == n_candidates;
             if self.nak_budget > 0 && !last {
                 self.nak_budget -= 1;
                 self.counters.incr("offer_nak");
@@ -1135,7 +1214,7 @@ impl System {
             to: cand,
             handoff: true,
         });
-        self.note(format!("C{proc} hands ownership of {block} to C{cand}"));
+        self.note_with(|| format!("C{proc} hands ownership of {block} to C{cand}"));
 
         // The acceptor requests ownership "according to the protocol":
         // through the memory module, which updates the block store.
@@ -1207,13 +1286,14 @@ impl System {
                         &announce,
                         self.cfg.sizing.new_owner_bits(self.cfg.n_caches),
                     );
-                    for dest in delivered {
+                    for &dest in &delivered {
                         if let Some(dline) = self.caches[dest].peek_mut(block) {
                             if !dline.is_valid() {
                                 dline.owner_hint = Some(CacheId(cand as u16));
                             }
                         }
                     }
+                    self.recycle_delivered(delivered);
                 }
             }
         }
@@ -1278,7 +1358,7 @@ impl System {
                         &others,
                         self.cfg.sizing.invalidate_bits(),
                     );
-                    for dest in delivered {
+                    for &dest in &delivered {
                         if let Some(line) = self.caches[dest].peek_mut(block) {
                             if line.is_valid() && !line.is_owned() {
                                 let b = self.log_state(dest, block);
@@ -1290,6 +1370,7 @@ impl System {
                         }
                         others.remove(dest);
                     }
+                    self.recycle_delivered(delivered);
                     debug_assert!(others.is_empty(), "invalidation must reach all copies");
                 }
             }
@@ -1331,7 +1412,7 @@ impl System {
         };
         if let Some(target) = decision {
             self.counters.incr("adaptive_switches");
-            self.note(format!("adaptive switch of {block} to {target}"));
+            self.note_with(|| format!("adaptive switch of {block} to {target}"));
             self.switch_mode_at_owner(owner, block, target, /* adaptive */ true);
         }
     }

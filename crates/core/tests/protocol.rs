@@ -52,7 +52,10 @@ fn figure2_like_distributed_state() {
     assert_eq!(sys.state_name(2, block), Some(StateName::UnOwned));
     assert_eq!(sys.state_name(3, block), None); // no entry at all
     assert_eq!(sys.owner_of(block).unwrap().port(), 1);
-    assert_eq!(sys.present_set(block).unwrap(), vec![1, 2]);
+    assert_eq!(
+        sys.present_set(block).unwrap().iter().collect::<Vec<_>>(),
+        vec![1, 2]
+    );
     // The sharer sees the distributed write without any further traffic.
     let before = sys.traffic().total_bits();
     assert_eq!(sys.read(2, addr(0)).unwrap(), 8);
@@ -147,12 +150,18 @@ fn dw_to_gr_switch_invalidates_copies() {
     sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap();
     sys.read(1, addr(0)).unwrap();
     sys.read(2, addr(0)).unwrap();
-    assert_eq!(sys.present_set(block).unwrap(), vec![0, 1, 2]);
+    assert_eq!(
+        sys.present_set(block).unwrap().iter().collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
     sys.set_mode(0, addr(0), Mode::GlobalRead).unwrap(); // case 7
     assert_eq!(sys.state_name(1, block), Some(StateName::Invalid));
     assert_eq!(sys.state_name(2, block), Some(StateName::Invalid));
     // The present vector survives: it now marks the invalid entries.
-    assert_eq!(sys.present_set(block).unwrap(), vec![0, 1, 2]);
+    assert_eq!(
+        sys.present_set(block).unwrap().iter().collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
     assert!(sys.counters().get("invalidate_multicast") >= 1);
     assert_eq!(sys.read(1, addr(0)).unwrap(), 1);
     sys.check_invariants().unwrap();
@@ -202,9 +211,15 @@ fn unowned_replacement_clears_present_flag() {
     sys.write(0, addr(0), 1).unwrap();
     sys.set_mode(0, addr(0), Mode::DistributedWrite).unwrap();
     sys.read(1, addr(0)).unwrap(); // C1 holds UnOwned copy
-    assert_eq!(sys.present_set(block0).unwrap(), vec![0, 1]);
+    assert_eq!(
+        sys.present_set(block0).unwrap().iter().collect::<Vec<_>>(),
+        vec![0, 1]
+    );
     sys.read(1, addr(4)).unwrap(); // evicts C1's copy → 5(c)
-    assert_eq!(sys.present_set(block0).unwrap(), vec![0]);
+    assert_eq!(
+        sys.present_set(block0).unwrap().iter().collect::<Vec<_>>(),
+        vec![0]
+    );
     assert_eq!(
         sys.state_name(0, block0),
         Some(StateName::OwnedExclusivelyDistributedWrite),

@@ -52,9 +52,15 @@ fn gr_invalid_entry_replacement_clears_presence() {
     let block0 = sys.config().spec.block_of(addr(0));
     sys.write(0, addr(0), 1).unwrap(); // GR owner
     sys.read(1, addr(0)).unwrap(); // C1 invalid entry, in P
-    assert_eq!(sys.present_set(block0).unwrap(), vec![0, 1]);
+    assert_eq!(
+        sys.present_set(block0).unwrap().iter().collect::<Vec<_>>(),
+        vec![0, 1]
+    );
     sys.read(1, addr(4)).unwrap(); // C1 replaces its invalid entry → 5(c)
-    assert_eq!(sys.present_set(block0).unwrap(), vec![0]);
+    assert_eq!(
+        sys.present_set(block0).unwrap().iter().collect::<Vec<_>>(),
+        vec![0]
+    );
     assert_eq!(
         sys.state_name(0, block0),
         Some(StateName::OwnedExclusivelyGlobalRead)

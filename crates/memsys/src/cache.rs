@@ -3,6 +3,12 @@
 //! Each protocol in the workspace defines its own line type (state bits,
 //! present vector, data, …); this container supplies the geometry: set
 //! indexing by block address, way lookup by tag, and true-LRU replacement.
+//!
+//! The storage is a flat structure-of-arrays layout: one slot per
+//! `(set, way)` pair, with tags, LRU stamps and lines in parallel vectors.
+//! A lookup scans the `ways` contiguous tag words of one set — no pointer
+//! chasing, no per-way struct padding — which is what the protocol hot path
+//! (`tmc_core::System`) hits on every reference.
 
 use crate::addr::BlockAddr;
 
@@ -49,17 +55,11 @@ impl CacheGeometry {
     }
 }
 
-/// One occupied way.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-struct Way<L> {
-    block: BlockAddr,
-    line: L,
-    /// Monotone use stamp; smallest = least recently used.
-    stamp: u64,
-}
+/// A free slot's stamp. Occupied slots always carry a stamp from
+/// [`CacheArray::next_stamp`], which starts at 1, so 0 is unambiguous.
+const FREE: u64 = 0;
 
-/// A set-associative, true-LRU cache array.
+/// A set-associative, true-LRU cache array on a flat SoA slot layout.
 ///
 /// `L` is whatever per-line state a protocol needs. Lookups by
 /// [`CacheArray::get`]/[`CacheArray::get_mut`] refresh recency;
@@ -80,16 +80,26 @@ struct Way<L> {
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheArray<L> {
     geometry: CacheGeometry,
-    sets: Vec<Vec<Way<L>>>,
+    /// Slot `set * ways + way` holds that way's tag (block index).
+    tags: Vec<u64>,
+    /// Monotone use stamps, [`FREE`] marking an empty slot; among occupied
+    /// ways the smallest stamp is the least recently used.
+    stamps: Vec<u64>,
+    lines: Vec<Option<L>>,
+    len: usize,
     tick: u64,
 }
 
 impl<L> CacheArray<L> {
     /// Creates an empty array with `geometry`.
     pub fn new(geometry: CacheGeometry) -> Self {
+        let slots = geometry.capacity_blocks();
         CacheArray {
             geometry,
-            sets: (0..geometry.sets()).map(|_| Vec::new()).collect(),
+            tags: vec![0; slots],
+            stamps: vec![FREE; slots],
+            lines: (0..slots).map(|_| None).collect(),
+            len: 0,
             tick: 0,
         }
     }
@@ -101,17 +111,32 @@ impl<L> CacheArray<L> {
 
     /// Number of resident blocks.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.len
     }
 
     /// Whether no blocks are resident.
     pub fn is_empty(&self) -> bool {
-        self.sets.iter().all(Vec::is_empty)
+        self.len == 0
     }
 
     fn next_stamp(&mut self) -> u64 {
         self.tick += 1;
         self.tick
+    }
+
+    /// The slot range of `block`'s set.
+    #[inline]
+    fn set_range(&self, block: BlockAddr) -> std::ops::Range<usize> {
+        let base = self.geometry.set_of(block) * self.geometry.ways;
+        base..base + self.geometry.ways
+    }
+
+    /// The slot holding `block`, if resident.
+    #[inline]
+    fn slot_of(&self, block: BlockAddr) -> Option<usize> {
+        let idx = block.index();
+        self.set_range(block)
+            .find(|&s| self.tags[s] == idx && self.stamps[s] != FREE)
     }
 
     /// Looks up `block`, refreshing its recency.
@@ -121,87 +146,158 @@ impl<L> CacheArray<L> {
 
     /// Mutable lookup, refreshing recency.
     pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut L> {
+        let slot = self.slot_of(block)?;
         let stamp = self.next_stamp();
-        let set = &mut self.sets[self.geometry.set_of(block)];
-        let way = set.iter_mut().find(|w| w.block == block)?;
-        way.stamp = stamp;
-        Some(&mut way.line)
+        self.stamps[slot] = stamp;
+        self.lines[slot].as_mut()
     }
 
     /// Looks up `block` without touching recency.
     pub fn peek(&self, block: BlockAddr) -> Option<&L> {
-        self.sets[self.geometry.set_of(block)]
-            .iter()
-            .find(|w| w.block == block)
-            .map(|w| &w.line)
+        self.slot_of(block).and_then(|s| self.lines[s].as_ref())
     }
 
     /// Mutable lookup without touching recency.
     pub fn peek_mut(&mut self, block: BlockAddr) -> Option<&mut L> {
-        let set_idx = self.geometry.set_of(block);
-        self.sets[set_idx]
-            .iter_mut()
-            .find(|w| w.block == block)
-            .map(|w| &mut w.line)
+        let slot = self.slot_of(block)?;
+        self.lines[slot].as_mut()
+    }
+
+    /// The LRU slot of a full set, for an `incoming` block not resident.
+    fn lru_slot(&self, incoming: BlockAddr) -> Option<usize> {
+        let mut lru: Option<usize> = None;
+        for s in self.set_range(incoming) {
+            if self.stamps[s] == FREE {
+                return None; // room left: nothing would be evicted
+            }
+            if self.tags[s] == incoming.index() {
+                return None; // already resident: replaces in place
+            }
+            if lru.is_none_or(|l| self.stamps[s] < self.stamps[l]) {
+                lru = Some(s);
+            }
+        }
+        lru
     }
 
     /// The block that would be evicted to make room for `incoming`, if its
     /// set is full and `incoming` is not already resident.
     pub fn would_evict(&self, incoming: BlockAddr) -> Option<(BlockAddr, &L)> {
-        let set = &self.sets[self.geometry.set_of(incoming)];
-        if set.len() < self.geometry.ways() || set.iter().any(|w| w.block == incoming) {
-            return None;
-        }
-        set.iter()
-            .min_by_key(|w| w.stamp)
-            .map(|w| (w.block, &w.line))
+        let slot = self.lru_slot(incoming)?;
+        Some((
+            BlockAddr::new(self.tags[slot]),
+            self.lines[slot].as_ref().expect("occupied slot has a line"),
+        ))
     }
 
     /// Installs `line` for `block` (replacing any existing line for the same
     /// block), evicting and returning the LRU way if the set is full.
     pub fn insert(&mut self, block: BlockAddr, line: L) -> Option<(BlockAddr, L)> {
         let stamp = self.next_stamp();
-        let ways = self.geometry.ways();
-        let set = &mut self.sets[self.geometry.set_of(block)];
-        if let Some(way) = set.iter_mut().find(|w| w.block == block) {
-            way.line = line;
-            way.stamp = stamp;
+        if let Some(slot) = self.slot_of(block) {
+            self.lines[slot] = Some(line);
+            self.stamps[slot] = stamp;
             return None;
         }
-        let evicted = if set.len() == ways {
-            let lru = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.stamp)
-                .map(|(i, _)| i)
-                .expect("full set is nonempty");
-            let w = set.swap_remove(lru);
-            Some((w.block, w.line))
-        } else {
-            None
+        // Prefer a free way; otherwise evict the LRU one.
+        let range = self.set_range(block);
+        let slot = match range.clone().find(|&s| self.stamps[s] == FREE) {
+            Some(free) => free,
+            None => range
+                .min_by_key(|&s| self.stamps[s])
+                .expect("ways >= 1 by construction"),
         };
-        set.push(Way { block, line, stamp });
+        let evicted = if self.stamps[slot] == FREE {
+            self.len += 1;
+            None
+        } else {
+            Some((
+                BlockAddr::new(self.tags[slot]),
+                self.lines[slot].take().expect("occupied slot has a line"),
+            ))
+        };
+        self.tags[slot] = block.index();
+        self.stamps[slot] = stamp;
+        self.lines[slot] = Some(line);
         evicted
     }
 
     /// Removes `block`, returning its line if it was resident.
     pub fn remove(&mut self, block: BlockAddr) -> Option<L> {
-        let set = &mut self.sets[self.geometry.set_of(block)];
-        let idx = set.iter().position(|w| w.block == block)?;
-        Some(set.swap_remove(idx).line)
+        let slot = self.slot_of(block)?;
+        self.stamps[slot] = FREE;
+        self.len -= 1;
+        self.lines[slot].take()
     }
 
     /// Iterates over `(block, line)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &L)> {
-        self.sets.iter().flatten().map(|w| (w.block, &w.line))
+        self.stamps
+            .iter()
+            .zip(self.tags.iter())
+            .zip(self.lines.iter())
+            .filter(|((&stamp, _), _)| stamp != FREE)
+            .map(|((_, &tag), line)| {
+                (
+                    BlockAddr::new(tag),
+                    line.as_ref().expect("occupied slot has a line"),
+                )
+            })
     }
 
     /// Iterates mutably over `(block, line)` pairs in unspecified order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (BlockAddr, &mut L)> {
-        self.sets
-            .iter_mut()
-            .flatten()
-            .map(|w| (w.block, &mut w.line))
+        self.stamps
+            .iter()
+            .zip(self.tags.iter())
+            .zip(self.lines.iter_mut())
+            .filter(|((&stamp, _), _)| stamp != FREE)
+            .map(|((_, &tag), line)| {
+                (
+                    BlockAddr::new(tag),
+                    line.as_mut().expect("occupied slot has a line"),
+                )
+            })
+    }
+
+    /// Absorbs every resident line of `other` into `self`, asserting that no
+    /// insertion evicts. Valid only when the two arrays' resident blocks map
+    /// to disjoint sets (the shard-merge invariant: a shard's blocks fill
+    /// sets no other shard touches). Recency stamps are re-issued in
+    /// `other`'s LRU order, so relative recency within each absorbed set is
+    /// preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` and `other` have different geometries, or if an
+    /// insertion would evict a resident line (overlapping sets).
+    pub fn absorb(&mut self, other: CacheArray<L>) {
+        assert_eq!(
+            self.geometry, other.geometry,
+            "absorb requires identical geometries"
+        );
+        let mut ways: Vec<(u64, BlockAddr, L)> = other
+            .stamps
+            .into_iter()
+            .zip(other.tags)
+            .zip(other.lines)
+            .filter(|((stamp, _), _)| *stamp != FREE)
+            .map(|((stamp, tag), line)| {
+                (
+                    stamp,
+                    BlockAddr::new(tag),
+                    line.expect("occupied slot has a line"),
+                )
+            })
+            .collect();
+        ways.sort_by_key(|&(stamp, _, _)| stamp);
+        for (_, block, line) in ways {
+            let evicted = self.insert(block, line);
+            assert!(
+                evicted.is_none(),
+                "absorb must not evict: shard sets overlap at {block}"
+            );
+        }
     }
 }
 
@@ -288,9 +384,51 @@ mod tests {
     }
 
     #[test]
+    fn remove_then_reinsert_reuses_the_way() {
+        let mut c: CacheArray<u8> = CacheArray::new(CacheGeometry::new(1, 2));
+        c.insert(b(0), 0);
+        c.insert(b(1), 1);
+        assert_eq!(c.remove(b(0)), Some(0));
+        assert_eq!(c.len(), 1);
+        // The freed way takes the new block without evicting block 1.
+        assert!(c.insert(b(2), 2).is_none());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(b(1)), Some(&1));
+        assert_eq!(c.peek(b(2)), Some(&2));
+    }
+
+    #[test]
     fn capacity_accounts_geometry() {
         let g = CacheGeometry::new(8, 4);
         assert_eq!(g.capacity_blocks(), 32);
         assert_eq!(g.set_of(b(13)), 13 % 8);
+    }
+
+    #[test]
+    fn absorb_merges_disjoint_sets_preserving_recency() {
+        let g = CacheGeometry::new(2, 2);
+        // Shard 0 fills set 0 (even blocks), shard 1 fills set 1 (odd).
+        let mut even: CacheArray<u8> = CacheArray::new(g);
+        even.insert(b(0), 10);
+        even.insert(b(2), 12);
+        even.get(b(0)); // block 2 is now LRU in set 0
+        let mut odd: CacheArray<u8> = CacheArray::new(g);
+        odd.insert(b(1), 11);
+        even.absorb(odd);
+        assert_eq!(even.len(), 3);
+        assert_eq!(even.peek(b(1)), Some(&11));
+        // Recency within the absorbed sets survived the merge.
+        assert_eq!(even.would_evict(b(4)).map(|(bl, _)| bl), Some(b(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "absorb must not evict")]
+    fn absorb_rejects_overlapping_sets() {
+        let g = CacheGeometry::new(1, 1);
+        let mut a: CacheArray<u8> = CacheArray::new(g);
+        a.insert(b(0), 0);
+        let mut c: CacheArray<u8> = CacheArray::new(g);
+        c.insert(b(1), 1);
+        a.absorb(c);
     }
 }

@@ -70,6 +70,28 @@ impl MainMemory {
     pub fn dirty_blocks(&self) -> usize {
         self.blocks.len()
     }
+
+    /// Iterates over every written block in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &BlockData)> {
+        self.blocks.iter().map(|(&b, d)| (b, d))
+    }
+
+    /// Absorbs every written block of `other`, asserting disjointness — the
+    /// shard-merge invariant: two shards never write the same block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a geometry mismatch or if both memories wrote a block.
+    pub fn absorb(&mut self, other: MainMemory) {
+        assert_eq!(self.spec, other.spec, "absorb requires identical specs");
+        for (block, data) in other.blocks {
+            let clash = self.blocks.insert(block, data);
+            assert!(
+                clash.is_none(),
+                "absorb must be disjoint: both wrote {block}"
+            );
+        }
+    }
 }
 
 /// The paper's *block store* (§2.1): "Each memory module keeps track of the
@@ -127,6 +149,22 @@ impl BlockStore {
     /// Iterates over `(block, owner)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, CacheId)> + '_ {
         self.owners.iter().map(|(&b, &c)| (b, c))
+    }
+
+    /// Absorbs every entry of `other`, asserting disjointness — the
+    /// shard-merge invariant: a block's owner is tracked by one shard only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both stores track an owner for the same block.
+    pub fn absorb(&mut self, other: BlockStore) {
+        for (block, owner) in other.owners {
+            let clash = self.owners.insert(block, owner);
+            assert!(
+                clash.is_none(),
+                "absorb must be disjoint: {block} owned twice"
+            );
+        }
     }
 }
 

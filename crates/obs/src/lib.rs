@@ -57,9 +57,11 @@ pub mod event;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
+pub mod stream;
 pub mod tracer;
 
 pub use event::{LinkCharge, ProtocolEvent, TraceMode};
 pub use jsonl::{fnv1a64, TraceHeader, TraceReader, TraceRecord, TraceTrailer, TraceWriter};
 pub use metrics::MetricsRegistry;
+pub use stream::{interleave, ShardEvents};
 pub use tracer::Tracer;

@@ -1,0 +1,145 @@
+//! Canonical-order merge of per-shard event streams.
+//!
+//! A sharded run (`tmc_bench::shardsim`) hands each worker a disjoint slice
+//! of the block address space; every worker records its own
+//! [`ProtocolEvent`] stream. To reproduce the *serial* engine's trace
+//! bit-for-bit, those streams must be interleaved back into global
+//! reference order — each shard knows the global index of every reference
+//! it executed, and within one reference the events are already in engine
+//! emission order.
+
+use crate::event::ProtocolEvent;
+
+/// One shard's contribution to a merged trace: `(global index, event
+/// count)` groups, ascending in global index, alongside the flat event
+/// buffer the groups partition.
+#[derive(Debug, Clone, Default)]
+pub struct ShardEvents {
+    /// Per-reference groups: the reference's global index and how many
+    /// events it emitted. Indices must be strictly increasing.
+    pub groups: Vec<(u64, u32)>,
+    /// All events, concatenated in group order.
+    pub events: Vec<ProtocolEvent>,
+}
+
+impl ShardEvents {
+    /// An empty stream.
+    pub fn new() -> Self {
+        ShardEvents::default()
+    }
+
+    /// Closes the group for global reference `index`, claiming every event
+    /// recorded since the previous group. `total_len` is the stream's
+    /// running event count (e.g. `Tracer::len` after the reference ran).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_len` ran backwards.
+    pub fn push_group(&mut self, index: u64, total_len: usize) {
+        let claimed: usize = self.groups.iter().map(|&(_, n)| n as usize).sum();
+        let fresh = total_len
+            .checked_sub(claimed)
+            .expect("event count cannot shrink");
+        self.groups.push((index, fresh as u32));
+    }
+}
+
+/// Interleaves per-shard streams into one stream ordered by global
+/// reference index — the canonical order a serial engine would have
+/// recorded. Groups from different shards never share an index (each
+/// reference ran on exactly one shard), so the merge is total.
+///
+/// # Panics
+///
+/// Panics if a stream's groups claim more events than its buffer holds, or
+/// if two shards claim the same global index.
+pub fn interleave(shards: Vec<ShardEvents>) -> Vec<ProtocolEvent> {
+    let total: usize = shards.iter().map(|s| s.events.len()).sum();
+    let mut merged = Vec::with_capacity(total);
+    // (global index, shard, offset, count) for every group, sorted by
+    // global index. Offsets locate the group inside its shard's buffer.
+    let mut order: Vec<(u64, usize, usize, usize)> = Vec::new();
+    for (shard_idx, shard) in shards.iter().enumerate() {
+        let mut offset = 0usize;
+        for &(index, count) in &shard.groups {
+            order.push((index, shard_idx, offset, count as usize));
+            offset += count as usize;
+        }
+        assert!(
+            offset <= shard.events.len(),
+            "groups claim more events than the stream holds"
+        );
+    }
+    order.sort_unstable_by_key(|&(index, ..)| index);
+    for pair in order.windows(2) {
+        assert_ne!(
+            pair[0].0, pair[1].0,
+            "two shards claim global reference {}",
+            pair[0].0
+        );
+    }
+    for (_, shard_idx, offset, count) in order {
+        merged.extend_from_slice(&shards[shard_idx].events[offset..offset + count]);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmc_memsys::BlockAddr;
+
+    fn ev(proc: usize) -> ProtocolEvent {
+        ProtocolEvent::Miss {
+            proc,
+            block: BlockAddr::new(proc as u64),
+            write: false,
+            cold: true,
+        }
+    }
+
+    #[test]
+    fn interleave_restores_global_order() {
+        // Shard A ran references 0 and 3; shard B ran 1 and 2.
+        let a = ShardEvents {
+            groups: vec![(0, 2), (3, 1)],
+            events: vec![ev(0), ev(1), ev(30)],
+        };
+        let b = ShardEvents {
+            groups: vec![(1, 1), (2, 0)],
+            events: vec![ev(10)],
+        };
+        let merged = interleave(vec![a, b]);
+        assert_eq!(merged, vec![ev(0), ev(1), ev(10), ev(30)]);
+    }
+
+    #[test]
+    fn push_group_claims_fresh_events_only() {
+        let mut s = ShardEvents::new();
+        s.events.push(ev(0));
+        s.push_group(7, 1);
+        s.events.push(ev(1));
+        s.events.push(ev(2));
+        s.push_group(9, 3);
+        assert_eq!(s.groups, vec![(7, 1), (9, 2)]);
+    }
+
+    #[test]
+    fn empty_streams_merge_to_nothing() {
+        assert!(interleave(vec![ShardEvents::new(), ShardEvents::new()]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "claim global reference")]
+    fn duplicate_indices_are_rejected() {
+        let a = ShardEvents {
+            groups: vec![(4, 0)],
+            events: vec![],
+        };
+        let b = ShardEvents {
+            groups: vec![(4, 0)],
+            events: vec![],
+        };
+        interleave(vec![a, b]);
+    }
+}

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use crate::destset::DestSet;
 use crate::error::NetError;
-use crate::multicast::{CastReceipt, SchemeKind};
+use crate::multicast::{CastReceipt, SchemeChoice, SchemeKind};
 use crate::topology::{LinkId, Omega, PortId};
 use crate::traffic::TrafficMatrix;
 
@@ -129,9 +129,65 @@ impl CastCache {
             }
             return Ok(cached.receipt.clone());
         }
+        let cached = self.record_miss(net, key, traffic, record)?;
+        Ok(cached.receipt.clone())
+    }
 
-        // Miss: run the real traversal into a private scratch matrix so the
-        // charges can be captured, then replay them into the caller's.
+    /// [`CastCache::multicast_recording`] without the receipt allocation:
+    /// the delivered-port list is written into the caller's reusable
+    /// `delivered` buffer (cleared first) and only the resolved scheme and
+    /// cost come back by value. This is the protocol hot path — a memoized
+    /// hit allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NetError`] from the underlying cast; `delivered` is
+    /// left empty on error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn multicast_into(
+        &mut self,
+        net: &Omega,
+        kind: SchemeKind,
+        src: PortId,
+        dests: &DestSet,
+        payload_bits: u64,
+        traffic: &mut TrafficMatrix,
+        delivered: &mut Vec<PortId>,
+        record: Option<&mut Vec<(LinkId, u64)>>,
+    ) -> Result<(SchemeChoice, u64), NetError> {
+        delivered.clear();
+        let key = CastKey {
+            kind,
+            src,
+            payload_bits,
+            dests: dests.clone(),
+        };
+        if let Some(cached) = self.map.get(&key) {
+            self.hits += 1;
+            for &(link, bits) in &cached.charges {
+                traffic.add(link, bits);
+            }
+            if let Some(out) = record {
+                out.extend_from_slice(&cached.charges);
+            }
+            delivered.extend_from_slice(&cached.receipt.delivered);
+            return Ok((cached.receipt.scheme, cached.receipt.cost_bits));
+        }
+        let cached = self.record_miss(net, key, traffic, record)?;
+        delivered.extend_from_slice(&cached.receipt.delivered);
+        Ok((cached.receipt.scheme, cached.receipt.cost_bits))
+    }
+
+    /// Miss path shared by the lookup entry points: run the real traversal
+    /// into a private scratch matrix so the charges can be captured, replay
+    /// them into the caller's, and memoize the outcome.
+    fn record_miss(
+        &mut self,
+        net: &Omega,
+        key: CastKey,
+        traffic: &mut TrafficMatrix,
+        record: Option<&mut Vec<(LinkId, u64)>>,
+    ) -> Result<&CachedCast, NetError> {
         let layers = net.link_layers() as usize;
         let scratch = match &mut self.scratch {
             Some(s) if s.n_ports() == net.ports() && s.layers() == layers => {
@@ -140,7 +196,7 @@ impl CastCache {
             }
             slot => slot.insert(TrafficMatrix::new(net)),
         };
-        let receipt = net.multicast(kind, src, dests, payload_bits, scratch)?;
+        let receipt = net.multicast(key.kind, key.src, &key.dests, key.payload_bits, scratch)?;
         self.misses += 1;
         let mut charges = Vec::new();
         for layer in 0..layers as u32 {
@@ -159,14 +215,11 @@ impl CastCache {
         if self.map.len() >= Self::MAX_ENTRIES {
             self.map.clear();
         }
-        self.map.insert(
-            key,
-            CachedCast {
-                receipt: receipt.clone(),
-                charges,
-            },
-        );
-        Ok(receipt)
+        Ok(self
+            .map
+            .entry(key)
+            .insert_entry(CachedCast { receipt, charges })
+            .into_mut())
     }
 
     /// Number of memoized replay hits so far.
@@ -306,6 +359,42 @@ mod tests {
             let mut sorted = rec.clone();
             sorted.sort_by_key(|&(l, _)| (l.layer, l.line));
             assert_eq!(rec, sorted, "pass {pass}");
+        }
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn multicast_into_matches_recording_on_miss_and_hit() {
+        let net = Omega::new(4).unwrap();
+        let d = DestSet::worst_case_spread(16, 8).unwrap();
+        let mut cache = CastCache::new();
+        let mut delivered = Vec::new();
+        for pass in 0..2 {
+            let mut t_ref = TrafficMatrix::new(&net);
+            let mut ref_cache = CastCache::new();
+            let want = ref_cache
+                .multicast(&net, SchemeKind::Combined, 5, &d, 21, &mut t_ref)
+                .unwrap();
+            let mut t = TrafficMatrix::new(&net);
+            let mut rec = Vec::new();
+            let (scheme, cost) = cache
+                .multicast_into(
+                    &net,
+                    SchemeKind::Combined,
+                    5,
+                    &d,
+                    21,
+                    &mut t,
+                    &mut delivered,
+                    Some(&mut rec),
+                )
+                .unwrap();
+            assert_eq!(scheme, want.scheme, "pass {pass}");
+            assert_eq!(cost, want.cost_bits, "pass {pass}");
+            assert_eq!(delivered, want.delivered, "pass {pass}");
+            assert_eq!(t, t_ref, "pass {pass}: full matrix must match");
+            let rec_total: u64 = rec.iter().map(|&(_, bits)| bits).sum();
+            assert_eq!(rec_total, cost, "pass {pass}");
         }
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }

@@ -93,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ),
         }
     }
-    println!("owner's present   : {:?}", sys.present_set(block).unwrap());
+    println!(
+        "owner's present   : {:?}",
+        sys.present_set(block).unwrap().iter().collect::<Vec<_>>()
+    );
     println!("mode              : {}", sys.mode_of(block).unwrap());
 
     sys.check_invariants()?;

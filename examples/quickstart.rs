@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "after DW sharing  : owner state = {:?}, present = {:?}",
         sys.state_name(0, block).unwrap(),
-        sys.present_set(block).unwrap()
+        sys.present_set(block).unwrap().iter().collect::<Vec<_>>()
     );
     assert_eq!(sys.read(12, x)?, 2, "update reached the sharer");
 
