@@ -29,7 +29,19 @@ pub struct TwoModeAdapter {
 
 impl TwoModeAdapter {
     /// Wraps an already-configured system under a report `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` has fault injection enabled: the baseline harness
+    /// is the paper's *fault-free* comparison surface, and its
+    /// `expect`-based [`CoherentSystem`] calls could not surface recovery
+    /// behaviour meaningfully. Run fault campaigns on [`System`] directly
+    /// (see the `chaos` binary in `tmc-bench`).
     pub fn new(inner: System, name: &'static str) -> Self {
+        assert!(
+            !inner.faults_enabled(),
+            "the baseline harness is fault-free; drive fault-injected systems directly"
+        );
         TwoModeAdapter { inner, name }
     }
 
@@ -140,5 +152,13 @@ mod tests {
         assert!(gr.name().contains("global-read"));
         let ad = two_mode_adaptive(4, 32);
         assert!(ad.name().contains("adaptive"));
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline harness is fault-free")]
+    fn fault_injected_systems_are_rejected() {
+        let cfg = SystemConfig::new(4).faults(tmc_core::FaultSpec::new(1));
+        let sys = System::new(cfg).unwrap();
+        TwoModeAdapter::new(sys, "faulty");
     }
 }

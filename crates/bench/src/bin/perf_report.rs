@@ -18,6 +18,12 @@
 //! reference runs the identical cell grid on one thread, and the two result
 //! vectors are asserted bit-for-bit equal before any timing is reported.
 //!
+//! The report also carries four robustness counters (`faults_injected`,
+//! `fault_retries`, `fault_recoveries`, `fault_degradations`). They are
+//! zero in the default fault-free baseline; `TMC_PERF_FAULTS=SEED` runs a
+//! small seeded fault campaign (invariant-checked) and reports its
+//! counters, so fault-handling cost is diffable like any other number.
+//!
 //! Every timed run executes with tracing *disabled* — the zero-cost path.
 //! With `TMC_TRACE_OUT=FILE` in the environment, one representative cell
 //! (two-mode adaptive, w = 0.2) is additionally re-run *after* all timing
@@ -157,6 +163,49 @@ fn shard_bench() -> (f64, f64, usize, usize) {
     )
 }
 
+/// Robustness counters folded into the report. All zero in the default
+/// fault-free baseline; `TMC_PERF_FAULTS=SEED` runs a small seeded fault
+/// campaign on the serial engine and reports its counters instead, so a
+/// baseline diff shows exactly what a fault plan costs.
+struct FaultCounters {
+    injected: u64,
+    retries: u64,
+    recoveries: u64,
+    degraded: u64,
+}
+
+const ZERO_FAULTS: FaultCounters = FaultCounters {
+    injected: 0,
+    retries: 0,
+    recoveries: 0,
+    degraded: 0,
+};
+
+fn fault_campaign(seed: u64) -> FaultCounters {
+    use tmc_core::{FaultSpec, System, SystemConfig};
+    use tmc_memsys::WordAddr;
+    let spec = FaultSpec::new(seed).count(24).horizon(600).mean_outage(40);
+    let mut sys = System::new(SystemConfig::new(8).faults(spec)).expect("valid fault spec");
+    let mut rng = SimRng::seed_from(seed ^ 0xfa17);
+    for _ in 0..1200 {
+        let proc = rng.gen_range(0..8usize);
+        let a = WordAddr::new(rng.gen_range(0..48u64));
+        if rng.gen_bool(0.4) {
+            sys.write(proc, a, rng.next_u64()).expect("valid proc");
+        } else {
+            sys.read(proc, a).expect("valid proc");
+        }
+    }
+    sys.check_invariants().expect("invariants after campaign");
+    let c = sys.counters();
+    FaultCounters {
+        injected: c.get("faults_injected"),
+        retries: c.get("fault_retries"),
+        recoveries: c.get("fault_recoveries"),
+        degraded: c.get("fault_degraded_blocks") + c.get("fault_quarantined_caches"),
+    }
+}
+
 /// `--check` mode: validates an existing report file without re-running
 /// anything. Returns an error string naming the first problem found.
 fn check_report(text: &str) -> Result<(), String> {
@@ -200,6 +249,18 @@ fn check_report(text: &str) -> Result<(), String> {
         if v == 0 {
             return Err(format!("field {key:?} must be nonzero"));
         }
+    }
+    // Robustness counters: required by the schema, zero unless the report
+    // was generated with TMC_PERF_FAULTS set.
+    for key in [
+        "faults_injected",
+        "fault_retries",
+        "fault_recoveries",
+        "fault_degradations",
+    ] {
+        let _: u64 = field(key)?
+            .parse()
+            .map_err(|e| format!("field {key:?}: {e}"))?;
     }
     match field("deterministic")?.as_str() {
         "true" => Ok(()),
@@ -301,11 +362,31 @@ fn main() {
          {shard_speedup:.2}x vs {shard_serial_rps:.0} serial)"
     );
 
+    let faults = match std::env::var("TMC_PERF_FAULTS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+    {
+        Some(seed) => {
+            let fc = fault_campaign(seed);
+            println!(
+                "fault campaign   : seed {seed}: {} injected, {} retries, {} recoveries, \
+                 {} degradations",
+                fc.injected, fc.retries, fc.recoveries, fc.degraded
+            );
+            fc
+        }
+        None => ZERO_FAULTS,
+    };
+
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": {n_cells},\n  \"refs_per_cell\": {REFS},\n  \"sweep_threads\": {threads},\n  \"event_queue_events_per_sec\": {events_per_sec:.1},\n  \"protocol_refs_per_sec\": {refs_per_sec:.1},\n  \"sweep_serial_seconds\": {:.6},\n  \"sweep_parallel_seconds\": {:.6},\n  \"sweep_parallel_refs_per_sec\": {:.1},\n  \"sweep_speedup\": {speedup:.4},\n  \"shards\": {shards},\n  \"shard_workers\": {shard_workers},\n  \"shard_refs\": {SHARD_REFS},\n  \"shard_serial_refs_per_sec\": {shard_serial_rps:.1},\n  \"shard_refs_per_sec\": {shard_rps:.1},\n  \"shard_speedup\": {shard_speedup:.4},\n  \"deterministic\": true\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": {n_cells},\n  \"refs_per_cell\": {REFS},\n  \"sweep_threads\": {threads},\n  \"event_queue_events_per_sec\": {events_per_sec:.1},\n  \"protocol_refs_per_sec\": {refs_per_sec:.1},\n  \"sweep_serial_seconds\": {:.6},\n  \"sweep_parallel_seconds\": {:.6},\n  \"sweep_parallel_refs_per_sec\": {:.1},\n  \"sweep_speedup\": {speedup:.4},\n  \"shards\": {shards},\n  \"shard_workers\": {shard_workers},\n  \"shard_refs\": {SHARD_REFS},\n  \"shard_serial_refs_per_sec\": {shard_serial_rps:.1},\n  \"shard_refs_per_sec\": {shard_rps:.1},\n  \"shard_speedup\": {shard_speedup:.4},\n  \"faults_injected\": {},\n  \"fault_retries\": {},\n  \"fault_recoveries\": {},\n  \"fault_degradations\": {},\n  \"deterministic\": true\n}}\n",
         serial_time.as_secs_f64(),
         parallel_time.as_secs_f64(),
         sweep_refs / parallel_time.as_secs_f64(),
+        faults.injected,
+        faults.retries,
+        faults.recoveries,
+        faults.degraded,
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),

@@ -33,10 +33,11 @@
 //! pieces; [`tmc_obs::interleave`] restores the canonical trace order from
 //! each reference's global index.
 //!
-//! Two global mutable knobs fall outside the per-block argument and are
+//! Three global mutable knobs fall outside the per-block argument and are
 //! therefore rejected or unsupported here: the timing model (a global
-//! clock) and `System::inject_offer_naks` (a global fault budget consumed
-//! in trace order). Transaction logs are also unsupported — use the
+//! clock), `System::inject_offer_naks` (a global fault budget consumed
+//! in trace order), and fault injection (the `tmc_faults` plan is keyed to
+//! one global op clock). Transaction logs are also unsupported — use the
 //! structured tracer, which merges canonically.
 //!
 //! Write values are the other global sequence: the serial drivers stamp
@@ -277,9 +278,9 @@ fn resolve_threads(threads: usize, shards: usize) -> usize {
 ///
 /// # Errors
 ///
-/// Fails if `cfg` enables the timing model or transaction logging (both
-/// are global-order features the per-block partition cannot reproduce), or
-/// if [`System::new`] rejects `cfg`.
+/// Fails if `cfg` enables the timing model, transaction logging, or fault
+/// injection (all global-order features the per-block partition cannot
+/// reproduce), or if [`System::new`] rejects `cfg`.
 pub fn run(
     cfg: &SystemConfig,
     script: &[ShardOp],
@@ -291,6 +292,13 @@ pub fn run(
     if cfg.log_transactions {
         return Err(
             "sharded runs do not support transaction logs; use tracing, which merges canonically"
+                .into(),
+        );
+    }
+    if cfg.faults.is_some() {
+        return Err(
+            "sharded runs do not support fault injection (the fault plan is keyed to one \
+             global op clock); run fault campaigns on the serial engine"
                 .into(),
         );
     }
@@ -595,5 +603,9 @@ mod tests {
         assert!(run(&logged, &script, &ShardRunOptions::new(2, 1))
             .unwrap_err()
             .contains("transaction logs"));
+        let faulty = SystemConfig::new(4).faults(tmc_core::FaultSpec::new(1));
+        assert!(run(&faulty, &script, &ShardRunOptions::new(2, 1))
+            .unwrap_err()
+            .contains("fault injection"));
     }
 }

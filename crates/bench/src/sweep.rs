@@ -29,8 +29,36 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use tmc_core::SystemConfig;
+
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "TMC_SWEEP_THREADS";
+
+/// Admission check for a figure-sweep cell configuration.
+///
+/// The figure binaries reproduce the paper's *fault-free steady-state*
+/// cost models, so a cell must not enable features that would perturb the
+/// published numbers or break run-to-run comparability: fault injection
+/// (perturbs traffic), the timing model (adds a global clock the tables
+/// don't report), or transaction logging (unbounded memory across a grid).
+/// Rejecting here, before the sweep fans out, turns a misconfigured grid
+/// into one clear error instead of thousands of skewed cells.
+pub fn check_cell_config(cfg: &SystemConfig) -> Result<(), String> {
+    if cfg.faults.is_some() {
+        return Err(
+            "figure sweeps are fault-free: fault injection would perturb the published \
+             traffic figures; run fault campaigns via the chaos harness instead"
+                .into(),
+        );
+    }
+    if cfg.timing.is_some() {
+        return Err("figure sweeps do not use the timing model (tables report traffic)".into());
+    }
+    if cfg.log_transactions {
+        return Err("figure sweeps do not keep transaction logs (unbounded across a grid)".into());
+    }
+    Ok(())
+}
 
 /// Parses a `TMC_SWEEP_THREADS`-style override; `default` when absent or
 /// unparsable. Zero is treated as "no override".
@@ -188,6 +216,19 @@ mod tests {
         assert_eq!(parse_threads(Some("0"), 6), 6);
         assert_eq!(parse_threads(Some("lots"), 6), 6);
         assert_eq!(parse_threads(Some(""), 6), 6);
+    }
+
+    #[test]
+    fn cell_config_admission() {
+        assert!(check_cell_config(&SystemConfig::new(8)).is_ok());
+        let faulty = SystemConfig::new(8).faults(tmc_core::FaultSpec::new(1));
+        assert!(check_cell_config(&faulty).unwrap_err().contains("fault"));
+        let timed = SystemConfig::new(8).timing(tmc_omeganet::TimingModel::default());
+        assert!(check_cell_config(&timed).unwrap_err().contains("timing"));
+        let logged = SystemConfig::new(8).log_transactions(true);
+        assert!(check_cell_config(&logged)
+            .unwrap_err()
+            .contains("transaction logs"));
     }
 
     #[test]

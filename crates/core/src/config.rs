@@ -1,5 +1,6 @@
 //! System configuration.
 
+use tmc_faults::FaultSpec;
 use tmc_memsys::{BlockSpec, CacheGeometry, MsgSizing};
 use tmc_omeganet::{SchemeKind, TimingModel};
 
@@ -78,6 +79,11 @@ pub struct SystemConfig {
     pub timing: Option<TimingModel>,
     /// Whether to record a [`crate::TransactionLog`].
     pub log_transactions: bool,
+    /// Optional deterministic fault-injection plan (see `tmc-faults` and
+    /// `docs/ROBUSTNESS.md`). `None` — and, bit-for-bit, a spec with
+    /// `count == 0` — leaves every execution path identical to a fault-free
+    /// machine.
+    pub faults: Option<FaultSpec>,
 }
 
 impl SystemConfig {
@@ -103,6 +109,7 @@ impl SystemConfig {
             owner_bypass: true,
             timing: None,
             log_transactions: false,
+            faults: None,
         }
     }
 
@@ -159,6 +166,12 @@ impl SystemConfig {
     /// Enables transaction logging.
     pub fn log_transactions(mut self, on: bool) -> Self {
         self.log_transactions = on;
+        self
+    }
+
+    /// Enables deterministic fault injection driven by `spec`.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
         self
     }
 }

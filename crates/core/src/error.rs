@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use tmc_faults::FaultError;
 use tmc_omeganet::NetError;
 
 /// Errors surfaced by [`crate::System`].
@@ -20,6 +21,9 @@ pub enum CoreError {
     /// An underlying network error (should not escape a correctly
     /// constructed system; surfaced rather than panicking).
     Net(NetError),
+    /// A fault-injection error (bad [`tmc_faults::FaultSpec`], or faults
+    /// requested on an engine that does not support them).
+    Fault(FaultError),
 }
 
 impl fmt::Display for CoreError {
@@ -33,6 +37,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::BadConfig(why) => write!(f, "invalid system configuration: {why}"),
             CoreError::Net(e) => write!(f, "network error: {e}"),
+            CoreError::Fault(e) => write!(f, "fault injection error: {e}"),
         }
     }
 }
@@ -41,6 +46,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Net(e) => Some(e),
+            CoreError::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -49,6 +55,12 @@ impl Error for CoreError {
 impl From<NetError> for CoreError {
     fn from(e: NetError) -> Self {
         CoreError::Net(e)
+    }
+}
+
+impl From<FaultError> for CoreError {
+    fn from(e: FaultError) -> Self {
+        CoreError::Fault(e)
     }
 }
 
@@ -82,6 +94,9 @@ mod tests {
         assert!(e.to_string().contains("processor 9"));
         let n: CoreError = NetError::EmptyDestSet.into();
         assert!(n.source().is_some());
+        let fe: CoreError = FaultError::BadSpec("zero horizon".into()).into();
+        assert!(fe.to_string().contains("zero horizon"));
+        assert!(fe.source().is_some());
         assert!(CoreError::BadConfig("x".into()).to_string().contains('x'));
         let v = InvariantViolation {
             what: "two owners".into(),

@@ -58,4 +58,5 @@ pub use error::{CoreError, InvariantViolation};
 pub use msg::{Destination, MsgKind, TraceEvent, TransactionLog};
 pub use state::{CacheLine, Mode, StateName, Validity};
 pub use system::{AccessStats, System};
+pub use tmc_faults::{FaultError, FaultSpec, RetryPolicy};
 pub use tmc_obs::{ProtocolEvent, TraceMode, Tracer};

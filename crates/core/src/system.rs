@@ -9,8 +9,11 @@
 //! execution model; timing (with link contention) is layered on optionally
 //! and never affects correctness.
 
+use std::collections::BTreeMap;
+
+use tmc_faults::{FaultInjector, FaultKind, FaultPlan, MsgFault, ScheduledFault};
 use tmc_memsys::{BlockAddr, BlockStore, CacheArray, CacheId, MainMemory, ModuleMap, WordAddr};
-use tmc_obs::{LinkCharge, ProtocolEvent, Tracer};
+use tmc_obs::{FaultLabel, LinkCharge, ProtocolEvent, Tracer};
 use tmc_omeganet::{CastCache, DestSet, LinkId, LinkSchedule, Omega, TrafficMatrix};
 use tmc_simcore::{CounterSet, Histogram, SimTime};
 
@@ -30,6 +33,31 @@ pub struct AccessStats {
     pub messages: usize,
     /// Transaction latency in cycles, when the timing model is enabled.
     pub latency_cycles: Option<u64>,
+}
+
+/// How the fault layer routed one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultPath {
+    /// No active fault touches this transaction: run the protocol as is.
+    Normal,
+    /// The block is degraded or the cache quarantined: serve uncached.
+    Uncached,
+}
+
+/// Live fault-injection state. Boxed behind an `Option` so the fault-free
+/// hot path pays exactly one branch; `None` (and, observably, an empty
+/// plan) leaves the machine bit-identical to one built without faults.
+#[derive(Debug, Clone)]
+struct FaultState {
+    injector: FaultInjector,
+    /// Op clock driving the schedule: one tick per public transaction.
+    op: u64,
+    /// Blocks forced memory-direct (uncacheable) after retry exhaustion:
+    /// block → (heal op, op at which it was degraded).
+    degraded: BTreeMap<BlockAddr, (u64, u64)>,
+    /// Caches emptied and bypassed after a stall:
+    /// cache → (heal op, op at which it was quarantined).
+    quarantined: BTreeMap<usize, (u64, u64)>,
 }
 
 /// How a cache found a block.
@@ -83,6 +111,9 @@ pub struct System {
     /// Fault injection: the next `nak_budget` ownership offers are refused
     /// (never the last remaining candidate, so handoff always terminates).
     nak_budget: usize,
+    /// Deterministic fault-injection state ([`tmc_faults`]); `None` unless
+    /// the config carries a [`tmc_faults::FaultSpec`].
+    faults: Option<Box<FaultState>>,
     /// Memoized multicast traversals; repeat casts replay recorded link
     /// charges instead of re-walking the routing tree.
     cast_cache: CastCache,
@@ -115,6 +146,18 @@ impl System {
         }
         let traffic = TrafficMatrix::new(&net);
         let schedule = cfg.timing.map(|_| LinkSchedule::new(&net));
+        let faults = match cfg.faults {
+            None => None,
+            Some(spec) => {
+                let plan = FaultPlan::generate(&spec, cfg.n_caches, net.stages())?;
+                Some(Box::new(FaultState {
+                    injector: FaultInjector::new(plan),
+                    op: 0,
+                    degraded: BTreeMap::new(),
+                    quarantined: BTreeMap::new(),
+                }))
+            }
+        };
         Ok(System {
             caches: (0..cfg.n_caches)
                 .map(|_| CacheArray::new(cfg.geometry))
@@ -130,6 +173,7 @@ impl System {
             txn_bits: 0,
             txn_msgs: 0,
             nak_budget: 0,
+            faults,
             cast_cache: CastCache::new(),
             tracer: Tracer::new(),
             cast_delivered: Vec::new(),
@@ -255,6 +299,46 @@ impl System {
         self.nak_budget = n;
     }
 
+    /// Whether this machine was built with fault injection enabled
+    /// ([`SystemConfig::faults`]).
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Scheduled faults fired so far (0 when faults are disabled).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.injector.injected())
+    }
+
+    /// Scheduled faults that have not fired yet (0 when disabled).
+    pub fn faults_pending(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| {
+            (f.injector.plan_len() as u64).saturating_sub(f.injector.injected())
+        })
+    }
+
+    /// Blocks currently degraded to memory-direct (uncacheable) service.
+    pub fn degraded_blocks(&self) -> usize {
+        self.faults.as_ref().map_or(0, |f| f.degraded.len())
+    }
+
+    /// Caches currently quarantined (emptied and bypassed).
+    pub fn quarantined_caches(&self) -> usize {
+        self.faults.as_ref().map_or(0, |f| f.quarantined.len())
+    }
+
+    /// True when no outage, stall, degradation, quarantine or pending
+    /// message fault is active — every fault injected so far has been fully
+    /// recovered from. Vacuously true for a fault-free machine. The chaos
+    /// harness checks invariants and the memory oracle at exactly these
+    /// quiescent points (plus the end of the run).
+    pub fn faults_quiescent(&self) -> bool {
+        match self.faults.as_ref() {
+            None => true,
+            Some(f) => f.injector.is_idle() && f.degraded.is_empty() && f.quarantined.is_empty(),
+        }
+    }
+
     /// A canonical encoding of the machine's *protocol* state: per-cache
     /// line states (validity, mode, modified bit, present vector, OWNER
     /// hint) plus the block store. Data values, traffic tallies, clocks and
@@ -328,6 +412,10 @@ impl System {
             "merge_shard does not support transaction logging"
         );
         assert!(
+            self.cfg.faults.is_none(),
+            "merge_shard does not support fault injection"
+        );
+        assert!(
             shard.tracer.is_empty(),
             "drain the shard's trace before merging"
         );
@@ -359,6 +447,9 @@ impl System {
         self.counters.incr("msgs_total");
         self.counters.add("bits_total", receipt.cost_bits);
         self.counters.add(kind.bits_counter(), receipt.cost_bits);
+        if self.faults.is_some() {
+            self.apply_msg_fault(kind, from, to, payload_bits, receipt.cost_bits);
+        }
         if let (Some(sched), Some(model)) = (self.schedule.as_mut(), self.cfg.timing) {
             self.now = sched.timed_unicast(&self.net, model, from, to, payload_bits, self.now);
         }
@@ -421,6 +512,16 @@ impl System {
         self.counters.incr("msgs_total");
         self.counters.add("bits_total", cost_bits);
         self.counters.add(kind.bits_counter(), cost_bits);
+        // Fault model: destinations behind a dead link NACK the cast; the
+        // sender retransmits to each point-to-point (state was already
+        // applied — only the retransmission traffic is modeled).
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|fs| fs.injector.any_link_down())
+        {
+            self.fault_mcast_retransmit(kind, from, &delivered, payload_bits);
+        }
         if let (Some(sched), Some(model)) = (self.schedule.as_mut(), self.cfg.timing) {
             let arrivals = sched
                 .timed_multicast(
@@ -557,6 +658,23 @@ impl System {
         let block = self.cfg.spec.block_of(addr);
         let offset = self.cfg.spec.offset_of(addr);
         let start = self.txn_begin();
+        if self.faults.is_some() && self.fault_preflight(proc, block) == FaultPath::Uncached {
+            self.counters.incr("fault_uncached_reads");
+            let value = self.fault_uncached_read(proc, block, offset);
+            let stats = self.txn_end(start, value);
+            if self.tracer.is_enabled() {
+                self.tracer.push(ProtocolEvent::Read {
+                    proc,
+                    addr,
+                    value,
+                    hit: false,
+                    cost_bits: stats.cost_bits,
+                    latency: stats.latency_cycles,
+                    mode: None,
+                });
+            }
+            return Ok(stats);
+        }
         let lookup = self.lookup(proc, block);
         let hit = matches!(lookup, Lookup::OwnedHit | Lookup::UnOwnedHit);
         let value = match lookup {
@@ -630,6 +748,23 @@ impl System {
         let block = self.cfg.spec.block_of(addr);
         let offset = self.cfg.spec.offset_of(addr);
         let start = self.txn_begin();
+        if self.faults.is_some() && self.fault_preflight(proc, block) == FaultPath::Uncached {
+            self.counters.incr("fault_uncached_writes");
+            self.fault_uncached_write(proc, block, offset, value);
+            let stats = self.txn_end(start, value);
+            if self.tracer.is_enabled() {
+                self.tracer.push(ProtocolEvent::Write {
+                    proc,
+                    addr,
+                    value,
+                    hit: false,
+                    cost_bits: stats.cost_bits,
+                    latency: stats.latency_cycles,
+                    mode: None,
+                });
+            }
+            return Ok(stats);
+        }
         let lookup = self.lookup(proc, block);
         let hit = matches!(lookup, Lookup::OwnedHit | Lookup::UnOwnedHit);
         match lookup {
@@ -682,6 +817,13 @@ impl System {
         self.check_proc(proc)?;
         let block = self.cfg.spec.block_of(addr);
         let start = self.txn_begin();
+        if self.faults.is_some() && self.fault_preflight(proc, block) == FaultPath::Uncached {
+            // A degraded block is uncacheable — its mode is meaningless
+            // until it heals, so the directive is dropped (not queued).
+            self.counters.incr("fault_uncached_setmodes");
+            let _ = self.txn_end(start, 0);
+            return Ok(());
+        }
         self.tracer.push(ProtocolEvent::SetMode {
             proc,
             addr,
@@ -1414,6 +1556,555 @@ impl System {
             self.counters.incr("adaptive_switches");
             self.note_with(|| format!("adaptive switch of {block} to {target}"));
             self.switch_mode_at_owner(owner, block, target, /* adaptive */ true);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and recovery (tmc-faults; see docs/ROBUSTNESS.md).
+    //
+    // Faults are applied as *pre-flight admission control* plus
+    // charge-only perturbations: a transaction either runs the unmodified
+    // protocol, or is served uncached without touching protocol state.
+    // Recovery actions (scrub, quarantine) always leave the machine in a
+    // state where `check_invariants` holds by construction.
+    // ------------------------------------------------------------------
+
+    /// Ticks the fault clock, fires due faults, heals expired
+    /// degradations, and decides how this transaction is served.
+    /// Only called when `self.faults` is `Some`.
+    fn fault_preflight(&mut self, proc: usize, block: BlockAddr) -> FaultPath {
+        let (op, fired) = {
+            let fs = self.faults.as_mut().expect("caller checked");
+            fs.op += 1;
+            let op = fs.op;
+            (op, fs.injector.advance(op))
+        };
+        for f in fired {
+            self.apply_fired_fault(op, f);
+        }
+        self.fault_heal(op);
+        let fs = self.faults.as_ref().expect("caller checked");
+        if fs.degraded.contains_key(&block) || fs.quarantined.contains_key(&proc) {
+            return FaultPath::Uncached;
+        }
+        if !fs.injector.any_link_down() {
+            return FaultPath::Normal;
+        }
+        self.fault_route_or_degrade(op, proc, block)
+    }
+
+    /// Activates one scheduled fault: counts it, traces it, and runs any
+    /// immediate recovery action (quarantine, bit-flip repair, NAK budget).
+    fn apply_fired_fault(&mut self, op: u64, f: ScheduledFault) {
+        self.counters.incr("faults_injected");
+        match f.kind {
+            FaultKind::LinkDown { link, heal_at } => {
+                self.tracer.push(ProtocolEvent::FaultInjected {
+                    label: FaultLabel::LinkDown,
+                    op,
+                    layer: Some(link.layer),
+                    line: Some(link.line),
+                    cache: None,
+                    heal_op: Some(heal_at),
+                });
+            }
+            FaultKind::CacheStall { cache, heal_at } => {
+                self.tracer.push(ProtocolEvent::FaultInjected {
+                    label: FaultLabel::CacheStall,
+                    op,
+                    layer: None,
+                    line: None,
+                    cache: Some(cache),
+                    heal_op: Some(heal_at),
+                });
+                let already = self
+                    .faults
+                    .as_ref()
+                    .expect("fault path")
+                    .quarantined
+                    .contains_key(&cache);
+                if heal_at > op && !already {
+                    self.quarantine_cache(op, cache, heal_at);
+                }
+            }
+            FaultKind::MsgDrop | FaultKind::MsgDup | FaultKind::MsgDelay { .. } => {
+                let label = match f.kind {
+                    FaultKind::MsgDrop => FaultLabel::MsgDrop,
+                    FaultKind::MsgDup => FaultLabel::MsgDup,
+                    _ => FaultLabel::MsgDelay,
+                };
+                self.tracer.push(ProtocolEvent::FaultInjected {
+                    label,
+                    op,
+                    layer: None,
+                    line: None,
+                    cache: None,
+                    heal_op: None,
+                });
+            }
+            FaultKind::BitFlip { cache, pick } => {
+                self.tracer.push(ProtocolEvent::FaultInjected {
+                    label: FaultLabel::BitFlip,
+                    op,
+                    layer: None,
+                    line: None,
+                    cache: Some(cache),
+                    heal_op: None,
+                });
+                self.repair_bit_flip(cache, pick);
+            }
+            FaultKind::HandoffNak { count } => {
+                self.tracer.push(ProtocolEvent::FaultInjected {
+                    label: FaultLabel::HandoffNak,
+                    op,
+                    layer: None,
+                    line: None,
+                    cache: None,
+                    heal_op: None,
+                });
+                self.nak_budget += count;
+            }
+        }
+    }
+
+    /// Lifts degradations and quarantines whose heal op has passed.
+    fn fault_heal(&mut self, op: u64) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        if !fs.degraded.is_empty() {
+            let healed: Vec<(BlockAddr, u64)> = fs
+                .degraded
+                .iter()
+                .filter(|&(_, &(heal, _))| heal <= op)
+                .map(|(&b, &(_, since))| (b, op - since))
+                .collect();
+            for (block, after_ops) in healed {
+                fs.degraded.remove(&block);
+                self.counters.incr("fault_recoveries");
+                self.tracer.push(ProtocolEvent::Recovered {
+                    op,
+                    block: Some(block),
+                    cache: None,
+                    after_ops,
+                });
+            }
+        }
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        if !fs.quarantined.is_empty() {
+            let healed: Vec<(usize, u64)> = fs
+                .quarantined
+                .iter()
+                .filter(|&(_, &(heal, _))| heal <= op)
+                .map(|(&c, &(_, since))| (c, op - since))
+                .collect();
+            for (cache, after_ops) in healed {
+                fs.quarantined.remove(&cache);
+                self.counters.incr("fault_recoveries");
+                self.tracer.push(ProtocolEvent::Recovered {
+                    op,
+                    block: None,
+                    cache: Some(cache),
+                    after_ops,
+                });
+            }
+        }
+    }
+
+    /// The network paths transaction (`proc`, `block`) may need: requester
+    /// to home module and, when the block is owned, requester/home to the
+    /// owner — each direction separately (omega routes are asymmetric).
+    fn fault_paths(&self, proc: usize, block: BlockAddr) -> Vec<(usize, usize)> {
+        let home = self.home_port(block);
+        let owner = self.store.owner(block).map(|c| c.port());
+        let mut paths: Vec<(usize, usize)> = Vec::with_capacity(6);
+        let add = |a: usize, b: usize, paths: &mut Vec<(usize, usize)>| {
+            if a != b && !paths.contains(&(a, b)) {
+                paths.push((a, b));
+            }
+        };
+        add(proc, home, &mut paths);
+        add(home, proc, &mut paths);
+        if let Some(o) = owner {
+            add(proc, o, &mut paths);
+            add(o, proc, &mut paths);
+            add(home, o, &mut paths);
+            add(o, home, &mut paths);
+        }
+        paths
+    }
+
+    /// The first path of this transaction blocked by a link that will
+    /// still be down after `slack` further ops, if any.
+    fn fault_first_blocked(
+        &self,
+        proc: usize,
+        block: BlockAddr,
+        slack: u64,
+    ) -> Option<(usize, usize, LinkId)> {
+        let fs = self.faults.as_ref().expect("fault path");
+        let op = fs.op;
+        for (src, dst) in self.fault_paths(proc, block) {
+            let down = self
+                .net
+                .first_down_link(src, dst, |l| {
+                    fs.injector
+                        .link_heal_at(l)
+                        .is_some_and(|heal| heal > op + slack)
+                })
+                .expect("ports are valid by construction");
+            if let Some(link) = down {
+                return Some((src, dst, link));
+            }
+        }
+        None
+    }
+
+    /// The latest heal op over every down link on this transaction's
+    /// paths (0 if none — callers clamp).
+    fn fault_blocked_heal_max(&self, proc: usize, block: BlockAddr) -> u64 {
+        let fs = self.faults.as_ref().expect("fault path");
+        let mut heal = 0;
+        for (src, dst) in self.fault_paths(proc, block) {
+            for l in self.net.route(src, dst) {
+                if let Some(h) = fs.injector.link_heal_at(l) {
+                    heal = heal.max(h);
+                }
+            }
+        }
+        heal
+    }
+
+    /// Timeout/retry with exponential backoff against a blocked routing
+    /// path; on exhaustion the block is degraded to memory-direct service.
+    ///
+    /// Outages heal at op granularity, so the backoff is mapped onto the
+    /// op clock at one op per `backoff_base` cycles: attempt `k` lets
+    /// `2^k` ops worth of healing elapse. A probe that finds every path
+    /// clear within that slack proceeds normally; the probe itself is
+    /// billed up to (not across) the dead link.
+    fn fault_route_or_degrade(&mut self, op: u64, proc: usize, block: BlockAddr) -> FaultPath {
+        let Some((src, dst, link)) = self.fault_first_blocked(proc, block, 0) else {
+            return FaultPath::Normal;
+        };
+        let retry = self.faults.as_ref().expect("fault path").injector.retry();
+        let mut waited_ops = 0u64;
+        for attempt in 0..retry.max_retries {
+            let backoff = retry.backoff_cycles(attempt);
+            waited_ops = waited_ops.saturating_add(1u64 << attempt.min(32));
+            self.counters.incr("fault_retries");
+            self.tracer.push(ProtocolEvent::RetryAttempt {
+                op,
+                proc,
+                dest: dst,
+                attempt,
+                backoff_cycles: backoff,
+            });
+            let bits = self
+                .net
+                .unicast_prefix(
+                    src,
+                    dst,
+                    self.cfg.sizing.request_bits(),
+                    link.layer,
+                    &mut self.traffic,
+                )
+                .expect("ports are valid by construction");
+            self.txn_bits += bits;
+            self.counters.add("bits_total", bits);
+            if self.cfg.timing.is_some() {
+                self.now += backoff;
+            }
+            if self.fault_first_blocked(proc, block, waited_ops).is_none() {
+                return FaultPath::Normal;
+            }
+        }
+        let heal = self.fault_blocked_heal_max(proc, block).max(op + 1);
+        self.degrade_block(op, block, heal);
+        FaultPath::Uncached
+    }
+
+    /// Scrubs `block` from the whole machine: the owner's modified data is
+    /// written back, every entry (copies and invalid hints) is dropped,
+    /// and the block-store entry is cleared. Afterwards the block is
+    /// resident nowhere, so every invariant holds for it trivially.
+    fn scrub_block(&mut self, block: BlockAddr) {
+        let h = self.home_port(block);
+        if let Some(o) = self.store.owner(block) {
+            let o = o.port();
+            let modified_data = self.caches[o]
+                .peek(block)
+                .filter(|l| l.modified)
+                .map(|l| l.data.clone());
+            match modified_data {
+                Some(data) => {
+                    self.send(
+                        MsgKind::WriteBack,
+                        o,
+                        h,
+                        self.cfg.sizing.block_transfer_bits(),
+                    );
+                    self.counters.incr("writebacks");
+                    self.memory.write_block(block, data);
+                }
+                None => {
+                    self.send(MsgKind::ReplaceNotice, o, h, self.cfg.sizing.request_bits());
+                }
+            }
+            self.store.clear(block);
+        }
+        for c in 0..self.cfg.n_caches {
+            let owned = match self.caches[c].peek(block) {
+                Some(line) => line.is_owned(),
+                None => continue,
+            };
+            if !owned {
+                self.send(MsgKind::ReplaceNotice, c, h, self.cfg.sizing.request_bits());
+            }
+            self.caches[c].remove(block);
+        }
+    }
+
+    /// Degrades `block` to memory-direct (uncacheable) service until
+    /// `heal_op`: scrub everywhere, then serve reads and writes straight
+    /// from memory (write-through) while degraded.
+    fn degrade_block(&mut self, op: u64, block: BlockAddr, heal_op: u64) {
+        self.scrub_block(block);
+        self.counters.incr("fault_degraded_blocks");
+        self.tracer.push(ProtocolEvent::Degraded {
+            op,
+            block: Some(block),
+            cache: None,
+            heal_op,
+        });
+        let fs = self.faults.as_mut().expect("fault path");
+        fs.degraded.insert(block, (heal_op, op));
+    }
+
+    /// Quarantines a persistently stalled cache: its owned blocks are
+    /// scrubbed machine-wide (flush + drop), its remaining entries dropped
+    /// with the owners' present flags cleared, and until `heal_op` its
+    /// processor is served uncached. On heal it simply restarts cold.
+    fn quarantine_cache(&mut self, op: u64, cache: usize, heal_op: u64) {
+        self.counters.incr("fault_quarantined_caches");
+        self.tracer.push(ProtocolEvent::Degraded {
+            op,
+            block: None,
+            cache: Some(cache),
+            heal_op,
+        });
+        let owned: Vec<BlockAddr> = self.caches[cache]
+            .iter()
+            .filter(|(_, l)| l.is_owned())
+            .map(|(b, _)| b)
+            .collect();
+        for block in owned {
+            self.scrub_block(block);
+        }
+        let rest: Vec<BlockAddr> = self.caches[cache].iter().map(|(b, _)| b).collect();
+        for block in rest {
+            let h = self.home_port(block);
+            self.send(
+                MsgKind::ReplaceNotice,
+                cache,
+                h,
+                self.cfg.sizing.request_bits(),
+            );
+            if let Some(o) = self.store.owner(block) {
+                self.send(
+                    MsgKind::FwdPresenceClear,
+                    h,
+                    o.port(),
+                    self.cfg.sizing.request_bits(),
+                );
+                if let Some(oline) = self.caches[o.port()].peek_mut(block) {
+                    oline.present.remove(cache);
+                }
+            }
+            self.caches[cache].remove(block);
+        }
+        let fs = self.faults.as_mut().expect("fault path");
+        fs.quarantined.insert(cache, (heal_op, op));
+    }
+
+    /// Models detection + repair of a flipped bit in a resident line:
+    /// owned copies are corrected in place (ECC), unowned copies are
+    /// conservatively refetched from the owner. State-identical afterward.
+    fn repair_bit_flip(&mut self, cache: usize, pick: u64) {
+        let mut blocks: Vec<BlockAddr> = self.caches[cache]
+            .iter()
+            .filter(|(_, l)| l.is_valid())
+            .map(|(b, _)| b)
+            .collect();
+        if blocks.is_empty() {
+            self.counters.incr("fault_bitflip_vacuous");
+            return;
+        }
+        blocks.sort();
+        let block = blocks[(pick % blocks.len() as u64) as usize];
+        let owned = self.caches[cache].peek(block).is_some_and(|l| l.is_owned());
+        if owned {
+            self.counters.incr("fault_ecc_corrected");
+        } else {
+            let o = self
+                .store
+                .owner(block)
+                .expect("a valid non-owned copy implies an owner")
+                .port();
+            self.send(
+                MsgKind::DirectLoadReq,
+                cache,
+                o,
+                self.cfg.sizing.request_bits(),
+            );
+            self.send(
+                MsgKind::BlockReply,
+                o,
+                cache,
+                self.cfg.sizing.block_transfer_bits(),
+            );
+            let data = self.caches[o].peek(block).expect("owner line").data.clone();
+            self.caches[cache]
+                .peek_mut(block)
+                .expect("copy present")
+                .data = data;
+            self.counters.incr("fault_bitflip_refetch");
+        }
+    }
+
+    /// Serves a read without touching protocol state: a single datum from
+    /// the owner if one exists (quarantine case), else from memory.
+    fn fault_uncached_read(&mut self, proc: usize, block: BlockAddr, offset: usize) -> u64 {
+        match self.store.owner(block) {
+            Some(o) => {
+                let o = o.port();
+                self.send(
+                    MsgKind::DirectLoadReq,
+                    proc,
+                    o,
+                    self.cfg.sizing.request_bits(),
+                );
+                self.send(MsgKind::DatumReply, o, proc, self.cfg.sizing.datum_bits());
+                self.caches[o]
+                    .peek(block)
+                    .expect("owner line")
+                    .data
+                    .word(offset)
+            }
+            None => {
+                let h = self.home_port(block);
+                self.send(MsgKind::LoadReq, proc, h, self.cfg.sizing.request_bits());
+                self.send(MsgKind::DatumReply, h, proc, self.cfg.sizing.datum_bits());
+                self.memory.read_block(block).word(offset)
+            }
+        }
+    }
+
+    /// Serves a write without caching: a posted write-through via the
+    /// owner if one exists (the owner performs the write, keeping any
+    /// distributed-write copies coherent), else straight to memory.
+    fn fault_uncached_write(&mut self, proc: usize, block: BlockAddr, offset: usize, value: u64) {
+        match self.store.owner(block) {
+            Some(o) => {
+                let o = o.port();
+                self.send(MsgKind::UpdateWrite, proc, o, self.cfg.sizing.update_bits());
+                self.perform_owned_write(o, block, offset, value);
+            }
+            None => {
+                let h = self.home_port(block);
+                self.send(MsgKind::UpdateWrite, proc, h, self.cfg.sizing.update_bits());
+                let mut data = self.memory.read_block(block).clone();
+                data.set_word(offset, value);
+                self.memory.write_block(block, data);
+            }
+        }
+    }
+
+    /// Applies one pending transient message fault to the unicast just
+    /// sent: drops and duplicates bill the route a second time (the
+    /// retransmission / extra delivery), delays advance simulated time.
+    /// Protocol state is never touched.
+    fn apply_msg_fault(
+        &mut self,
+        kind: MsgKind,
+        from: usize,
+        to: usize,
+        payload_bits: u64,
+        cost_bits: u64,
+    ) {
+        let Some(fault) = self
+            .faults
+            .as_mut()
+            .and_then(|fs| fs.injector.take_msg_fault())
+        else {
+            return;
+        };
+        match fault {
+            MsgFault::Drop | MsgFault::Duplicate => {
+                let receipt = self
+                    .net
+                    .unicast(from, to, payload_bits, &mut self.traffic)
+                    .expect("ports are valid by construction");
+                debug_assert_eq!(receipt.cost_bits, cost_bits);
+                self.txn_bits += receipt.cost_bits;
+                self.counters.add("bits_total", receipt.cost_bits);
+                self.counters.add(kind.bits_counter(), receipt.cost_bits);
+                self.counters.incr(match fault {
+                    MsgFault::Drop => "fault_msg_drops",
+                    _ => "fault_msg_dups",
+                });
+            }
+            MsgFault::Delay(cycles) => {
+                self.counters.incr("fault_msg_delays");
+                if self.cfg.timing.is_some() {
+                    self.now += cycles;
+                }
+            }
+        }
+    }
+
+    /// Bills point-to-point retransmissions for multicast destinations
+    /// whose route crossed a currently-down link (they NACKed the cast).
+    fn fault_mcast_retransmit(
+        &mut self,
+        kind: MsgKind,
+        from: usize,
+        delivered: &[usize],
+        payload_bits: u64,
+    ) {
+        let (op, blocked) = {
+            let fs = self.faults.as_ref().expect("caller checked");
+            let blocked: Vec<usize> = delivered
+                .iter()
+                .copied()
+                .filter(|&d| d != from)
+                .filter(|&d| {
+                    self.net
+                        .first_down_link(from, d, |l| fs.injector.link_is_down(l))
+                        .expect("ports are valid by construction")
+                        .is_some()
+                })
+                .collect();
+            (fs.op, blocked)
+        };
+        for d in blocked {
+            self.counters.incr("fault_mcast_nacks");
+            self.tracer.push(ProtocolEvent::RetryAttempt {
+                op,
+                proc: from,
+                dest: d,
+                attempt: 0,
+                backoff_cycles: 0,
+            });
+            let receipt = self
+                .net
+                .unicast(from, d, payload_bits, &mut self.traffic)
+                .expect("ports are valid by construction");
+            self.txn_bits += receipt.cost_bits;
+            self.counters.add("bits_total", receipt.cost_bits);
+            self.counters.add(kind.bits_counter(), receipt.cost_bits);
         }
     }
 }

@@ -1,0 +1,136 @@
+//! Fault-injection robustness tests for the protocol engine: zero-fault
+//! transparency, recovery under seeded campaigns, and value correctness
+//! against a simple memory oracle throughout. The cross-engine
+//! determinism suite lives in `tmc-bench` (`tests/chaos_determinism.rs`).
+
+use std::collections::BTreeMap;
+
+use tmc_core::{FaultSpec, Mode, ModePolicy, System, SystemConfig};
+use tmc_memsys::WordAddr;
+use tmc_simcore::SimRng;
+
+/// Drives a mixed read/write workload over a small shared address range,
+/// asserting every read against a software oracle. Returns the op count.
+fn drive_checked(sys: &mut System, seed: u64, ops: usize) {
+    let mut rng = SimRng::seed_from(seed);
+    let n = sys.n_procs();
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    for _ in 0..ops {
+        let proc = rng.gen_range(0..n);
+        let a = rng.gen_range(0..48u64);
+        if rng.gen_bool(0.4) {
+            let v = rng.next_u64();
+            sys.write(proc, WordAddr::new(a), v).unwrap();
+            oracle.insert(a, v);
+        } else {
+            let got = sys.read(proc, WordAddr::new(a)).unwrap();
+            let want = oracle.get(&a).copied().unwrap_or(0);
+            assert_eq!(got, want, "read of word {a} diverged from the oracle");
+        }
+    }
+}
+
+#[test]
+fn zero_fault_plan_is_observably_absent() {
+    let base = SystemConfig::new(8).mode_policy(ModePolicy::Adaptive { window: 8 });
+    let mut plain = System::new(base.clone()).unwrap();
+    let mut zeroed = System::new(base.faults(FaultSpec::new(42).count(0))).unwrap();
+    plain.set_tracing(true);
+    zeroed.set_tracing(true);
+    drive_checked(&mut plain, 7, 400);
+    drive_checked(&mut zeroed, 7, 400);
+    assert_eq!(plain.protocol_fingerprint(), zeroed.protocol_fingerprint());
+    assert_eq!(plain.counters(), zeroed.counters());
+    assert_eq!(plain.traffic().total_bits(), zeroed.traffic().total_bits());
+    assert_eq!(plain.drain_trace(), zeroed.drain_trace());
+    assert!(zeroed.faults_enabled());
+    assert_eq!(zeroed.faults_injected(), 0);
+    assert!(zeroed.faults_quiescent());
+}
+
+#[test]
+fn seeded_campaigns_recover_and_hold_invariants() {
+    // Several seeds, both fixed modes; invariants are checked at every
+    // quiescent point plus the end, and every read is oracle-checked.
+    for seed in [1u64, 5, 9, 23] {
+        for mode in [Mode::GlobalRead, Mode::DistributedWrite] {
+            let spec = FaultSpec::new(seed).count(24).horizon(600).mean_outage(40);
+            let cfg = SystemConfig::new(8)
+                .mode_policy(ModePolicy::Fixed(mode))
+                .faults(spec);
+            let mut sys = System::new(cfg).unwrap();
+            let mut rng = SimRng::seed_from(seed ^ 0xdead);
+            let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+            for _ in 0..1200 {
+                let proc = rng.gen_range(0..8usize);
+                let a = rng.gen_range(0..48u64);
+                if rng.gen_bool(0.4) {
+                    let v = rng.next_u64();
+                    sys.write(proc, WordAddr::new(a), v).unwrap();
+                    oracle.insert(a, v);
+                } else {
+                    let got = sys.read(proc, WordAddr::new(a)).unwrap();
+                    assert_eq!(got, oracle.get(&a).copied().unwrap_or(0));
+                }
+                if sys.faults_quiescent() {
+                    sys.check_invariants().expect("invariants at quiescence");
+                }
+            }
+            assert_eq!(sys.faults_injected(), 24, "whole plan fired (seed {seed})");
+            assert_eq!(sys.faults_pending(), 0);
+            sys.check_invariants()
+                .expect("invariants at end of campaign");
+            for (&a, &v) in &oracle {
+                assert_eq!(sys.peek_word(WordAddr::new(a)), v);
+            }
+            assert!(sys.counters().get("faults_injected") == 24);
+        }
+    }
+}
+
+#[test]
+fn campaigns_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let spec = FaultSpec::new(seed).count(16).horizon(300);
+        let mut sys = System::new(SystemConfig::new(8).faults(spec)).unwrap();
+        sys.set_tracing(true);
+        drive_checked(&mut sys, seed.wrapping_mul(3), 800);
+        (
+            sys.protocol_fingerprint(),
+            sys.counters().clone(),
+            sys.traffic().total_bits(),
+            sys.drain_trace(),
+        )
+    };
+    assert_eq!(run(11), run(11));
+    let (fp_a, ..) = run(11);
+    let (fp_b, ..) = run(12);
+    // Different seeds give different fault schedules; the runs almost
+    // surely diverge (the workloads differ too, so just sanity-check that
+    // both completed with distinct protocol states).
+    assert_ne!(fp_a, fp_b);
+}
+
+#[test]
+fn degradation_and_recovery_counters_are_coherent() {
+    // A dense campaign on a tiny machine is all but guaranteed to block
+    // routes and exercise retry + degradation at least once across seeds.
+    let mut total_injected = 0;
+    let mut total_recovered = 0;
+    for seed in 0..6u64 {
+        let spec = FaultSpec::new(seed).count(32).horizon(200).mean_outage(30);
+        let mut sys = System::new(SystemConfig::new(4).faults(spec)).unwrap();
+        drive_checked(&mut sys, seed, 900);
+        total_injected += sys.counters().get("faults_injected");
+        total_recovered += sys.counters().get("fault_recoveries");
+        let degr = sys.counters().get("fault_degraded_blocks")
+            + sys.counters().get("fault_quarantined_caches");
+        assert!(
+            sys.counters().get("fault_recoveries") <= degr,
+            "every recovery corresponds to a prior degradation"
+        );
+        sys.check_invariants().unwrap();
+    }
+    assert_eq!(total_injected, 6 * 32, "all scheduled faults fired");
+    assert!(total_recovered > 0, "at least one degradation healed");
+}

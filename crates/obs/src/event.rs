@@ -50,6 +50,64 @@ impl std::fmt::Display for TraceMode {
     }
 }
 
+/// What kind of fault an injection event reports.
+///
+/// Structural twin of `tmc_faults::FaultKind`'s discriminant (kept here so
+/// the observability crate does not depend on the fault crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultLabel {
+    /// A network link went out of service.
+    LinkDown,
+    /// A cache stopped answering.
+    CacheStall,
+    /// A protocol message was lost and retransmitted.
+    MsgDrop,
+    /// A protocol message was duplicated in flight.
+    MsgDup,
+    /// A protocol message was delayed.
+    MsgDelay,
+    /// A resident cache line took a single-bit flip.
+    BitFlip,
+    /// Ownership offers were negatively acknowledged.
+    HandoffNak,
+}
+
+impl FaultLabel {
+    /// Stable short name used in the JSONL encoding and metrics keys.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultLabel::LinkDown => "link_down",
+            FaultLabel::CacheStall => "cache_stall",
+            FaultLabel::MsgDrop => "msg_drop",
+            FaultLabel::MsgDup => "msg_dup",
+            FaultLabel::MsgDelay => "msg_delay",
+            FaultLabel::BitFlip => "bit_flip",
+            FaultLabel::HandoffNak => "handoff_nak",
+        }
+    }
+
+    /// Parses [`FaultLabel::as_str`] output.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "link_down" => Some(FaultLabel::LinkDown),
+            "cache_stall" => Some(FaultLabel::CacheStall),
+            "msg_drop" => Some(FaultLabel::MsgDrop),
+            "msg_dup" => Some(FaultLabel::MsgDup),
+            "msg_delay" => Some(FaultLabel::MsgDelay),
+            "bit_flip" => Some(FaultLabel::BitFlip),
+            "handoff_nak" => Some(FaultLabel::HandoffNak),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Bits charged to one physical network link by one cast.
 ///
 /// A flattened `tmc_omeganet::LinkId` plus the charge, so trace consumers
@@ -182,6 +240,60 @@ pub enum ProtocolEvent {
         /// Departure cycle assigned by the driver.
         cycle: u64,
     },
+    /// A scheduled fault fired (see `tmc-faults`).
+    FaultInjected {
+        /// What fired.
+        label: FaultLabel,
+        /// Simulated op index (1-based public-transaction count).
+        op: u64,
+        /// Dead link's layer, for link outages.
+        layer: Option<u32>,
+        /// Dead link's line, for link outages.
+        line: Option<usize>,
+        /// Affected cache, for stalls and bit flips.
+        cache: Option<usize>,
+        /// Op at which the outage heals, for link/cache outages.
+        heal_op: Option<u64>,
+    },
+    /// A transaction's message path was blocked; it timed out and retried
+    /// after exponential backoff (or retransmitted a dropped message).
+    RetryAttempt {
+        /// Simulated op index.
+        op: u64,
+        /// Retrying processor.
+        proc: usize,
+        /// The unreachable (or retransmitted-to) port.
+        dest: usize,
+        /// Zero-based retry attempt number.
+        attempt: u32,
+        /// Backoff waited before this attempt, in simulated cycles.
+        backoff_cycles: u64,
+    },
+    /// Service was gracefully degraded: a block was force-demoted to
+    /// memory-direct service (`block` set) or a cache was quarantined via
+    /// flush + present-vector scrub (`cache` set).
+    Degraded {
+        /// Simulated op index.
+        op: u64,
+        /// The demoted block, for block degradations.
+        block: Option<BlockAddr>,
+        /// The quarantined cache, for cache quarantines.
+        cache: Option<usize>,
+        /// Op at which normal service resumes.
+        heal_op: u64,
+    },
+    /// A degradation window closed: the block is cacheable again, or the
+    /// quarantined cache rejoined.
+    Recovered {
+        /// Simulated op index.
+        op: u64,
+        /// The re-promoted block, for block recoveries.
+        block: Option<BlockAddr>,
+        /// The released cache, for cache recoveries.
+        cache: Option<usize>,
+        /// Ops spent degraded (recovery latency in op units).
+        after_ops: u64,
+    },
 }
 
 impl ProtocolEvent {
@@ -197,6 +309,10 @@ impl ProtocolEvent {
             ProtocolEvent::Replacement { .. } => "replacement",
             ProtocolEvent::Cast { .. } => "cast",
             ProtocolEvent::Issue { .. } => "issue",
+            ProtocolEvent::FaultInjected { .. } => "fault",
+            ProtocolEvent::RetryAttempt { .. } => "retry",
+            ProtocolEvent::Degraded { .. } => "degraded",
+            ProtocolEvent::Recovered { .. } => "recovered",
         }
     }
 
@@ -242,6 +358,60 @@ mod tests {
             assert_eq!(TraceMode::parse(m.as_str()), Some(m));
         }
         assert_eq!(TraceMode::parse("x"), None);
+    }
+
+    #[test]
+    fn fault_labels_roundtrip() {
+        for l in [
+            FaultLabel::LinkDown,
+            FaultLabel::CacheStall,
+            FaultLabel::MsgDrop,
+            FaultLabel::MsgDup,
+            FaultLabel::MsgDelay,
+            FaultLabel::BitFlip,
+            FaultLabel::HandoffNak,
+        ] {
+            assert_eq!(FaultLabel::parse(l.as_str()), Some(l));
+            assert_eq!(l.to_string(), l.as_str());
+        }
+        assert_eq!(FaultLabel::parse("meteor_strike"), None);
+    }
+
+    #[test]
+    fn fault_events_are_not_replayable() {
+        let e = ProtocolEvent::FaultInjected {
+            label: FaultLabel::LinkDown,
+            op: 3,
+            layer: Some(1),
+            line: Some(2),
+            cache: None,
+            heal_op: Some(9),
+        };
+        assert!(!e.is_replayable());
+        assert_eq!(e.kind(), "fault");
+        let e = ProtocolEvent::Degraded {
+            op: 4,
+            block: Some(BlockAddr::new(7)),
+            cache: None,
+            heal_op: 12,
+        };
+        assert!(!e.is_replayable());
+        assert_eq!(e.kind(), "degraded");
+        let e = ProtocolEvent::RetryAttempt {
+            op: 4,
+            proc: 0,
+            dest: 3,
+            attempt: 1,
+            backoff_cycles: 16,
+        };
+        assert_eq!(e.kind(), "retry");
+        let e = ProtocolEvent::Recovered {
+            op: 20,
+            block: None,
+            cache: Some(2),
+            after_ops: 16,
+        };
+        assert_eq!(e.kind(), "recovered");
     }
 
     #[test]

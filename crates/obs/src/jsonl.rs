@@ -19,7 +19,9 @@
 
 use std::io::{self, BufRead, Write};
 
-use crate::event::{parse_scheme_choice, scheme_choice_str, LinkCharge, ProtocolEvent, TraceMode};
+use crate::event::{
+    parse_scheme_choice, scheme_choice_str, FaultLabel, LinkCharge, ProtocolEvent, TraceMode,
+};
 use crate::json::{parse_object, JsonValue, ObjectWriter};
 use tmc_memsys::{BlockAddr, WordAddr};
 
@@ -222,6 +224,71 @@ pub fn encode_record(record: &TraceRecord) -> String {
                 ProtocolEvent::Issue { proc, cycle } => {
                     w.int("proc", *proc as u64).int("cycle", *cycle);
                 }
+                ProtocolEvent::FaultInjected {
+                    label,
+                    op,
+                    layer,
+                    line,
+                    cache,
+                    heal_op,
+                } => {
+                    w.str("label", label.as_str()).int("op", *op);
+                    if let Some(l) = layer {
+                        w.int("layer", u64::from(*l));
+                    }
+                    if let Some(l) = line {
+                        w.int("line", *l as u64);
+                    }
+                    if let Some(c) = cache {
+                        w.int("cache", *c as u64);
+                    }
+                    if let Some(h) = heal_op {
+                        w.int("heal_op", *h);
+                    }
+                }
+                ProtocolEvent::RetryAttempt {
+                    op,
+                    proc,
+                    dest,
+                    attempt,
+                    backoff_cycles,
+                } => {
+                    w.int("op", *op)
+                        .int("proc", *proc as u64)
+                        .int("dest", *dest as u64)
+                        .int("attempt", u64::from(*attempt))
+                        .int("backoff_cycles", *backoff_cycles);
+                }
+                ProtocolEvent::Degraded {
+                    op,
+                    block,
+                    cache,
+                    heal_op,
+                } => {
+                    w.int("op", *op);
+                    if let Some(b) = block {
+                        w.int("block", b.index());
+                    }
+                    if let Some(c) = cache {
+                        w.int("cache", *c as u64);
+                    }
+                    w.int("heal_op", *heal_op);
+                }
+                ProtocolEvent::Recovered {
+                    op,
+                    block,
+                    cache,
+                    after_ops,
+                } => {
+                    w.int("op", *op);
+                    if let Some(b) = block {
+                        w.int("block", b.index());
+                    }
+                    if let Some(c) = cache {
+                        w.int("cache", *c as u64);
+                    }
+                    w.int("after_ops", *after_ops);
+                }
             }
         }
     }
@@ -374,6 +441,36 @@ pub fn parse_record(line: &str) -> Result<TraceRecord, String> {
         "issue" => ProtocolEvent::Issue {
             proc: f.int("proc")? as usize,
             cycle: f.int("cycle")?,
+        },
+        "fault" => {
+            let s = f.str("label")?;
+            ProtocolEvent::FaultInjected {
+                label: FaultLabel::parse(s).ok_or_else(|| format!("bad fault label '{s}'"))?,
+                op: f.int("op")?,
+                layer: f.opt_int("layer").map(|v| v as u32),
+                line: f.opt_int("line").map(|v| v as usize),
+                cache: f.opt_int("cache").map(|v| v as usize),
+                heal_op: f.opt_int("heal_op"),
+            }
+        }
+        "retry" => ProtocolEvent::RetryAttempt {
+            op: f.int("op")?,
+            proc: f.int("proc")? as usize,
+            dest: f.int("dest")? as usize,
+            attempt: f.int("attempt")? as u32,
+            backoff_cycles: f.int("backoff_cycles")?,
+        },
+        "degraded" => ProtocolEvent::Degraded {
+            op: f.int("op")?,
+            block: f.opt_int("block").map(BlockAddr::new),
+            cache: f.opt_int("cache").map(|v| v as usize),
+            heal_op: f.int("heal_op")?,
+        },
+        "recovered" => ProtocolEvent::Recovered {
+            op: f.int("op")?,
+            block: f.opt_int("block").map(BlockAddr::new),
+            cache: f.opt_int("cache").map(|v| v as usize),
+            after_ops: f.int("after_ops")?,
         },
         other => return Err(format!("unknown record type '{other}'")),
     };
@@ -591,6 +688,55 @@ mod tests {
                 ],
             },
             ProtocolEvent::Issue { proc: 0, cycle: 17 },
+            ProtocolEvent::FaultInjected {
+                label: FaultLabel::LinkDown,
+                op: 12,
+                layer: Some(1),
+                line: Some(3),
+                cache: None,
+                heal_op: Some(40),
+            },
+            ProtocolEvent::FaultInjected {
+                label: FaultLabel::MsgDrop,
+                op: 13,
+                layer: None,
+                line: None,
+                cache: None,
+                heal_op: None,
+            },
+            ProtocolEvent::FaultInjected {
+                label: FaultLabel::BitFlip,
+                op: 14,
+                layer: None,
+                line: None,
+                cache: Some(2),
+                heal_op: None,
+            },
+            ProtocolEvent::RetryAttempt {
+                op: 15,
+                proc: 1,
+                dest: 6,
+                attempt: 2,
+                backoff_cycles: 32,
+            },
+            ProtocolEvent::Degraded {
+                op: 16,
+                block: Some(BlockAddr::new(9)),
+                cache: None,
+                heal_op: 40,
+            },
+            ProtocolEvent::Degraded {
+                op: 17,
+                block: None,
+                cache: Some(3),
+                heal_op: 44,
+            },
+            ProtocolEvent::Recovered {
+                op: 41,
+                block: Some(BlockAddr::new(9)),
+                cache: None,
+                after_ops: 25,
+            },
         ]
     }
 

@@ -60,7 +60,7 @@ pub mod metrics;
 pub mod stream;
 pub mod tracer;
 
-pub use event::{LinkCharge, ProtocolEvent, TraceMode};
+pub use event::{FaultLabel, LinkCharge, ProtocolEvent, TraceMode};
 pub use jsonl::{fnv1a64, TraceHeader, TraceReader, TraceRecord, TraceTrailer, TraceWriter};
 pub use metrics::MetricsRegistry;
 pub use stream::{interleave, ShardEvents};

@@ -4,7 +4,7 @@ use tmc_omeganet::SchemeChoice;
 use tmc_simcore::{Accumulator, CounterSet, Histogram};
 
 use crate::event::ProtocolEvent;
-use crate::event::TraceMode;
+use crate::event::{FaultLabel, TraceMode};
 
 /// Counters, histograms and accumulators summarizing an event stream.
 ///
@@ -20,7 +20,11 @@ use crate::event::TraceMode;
 ///   accesses that completed with the block in each mode);
 /// * **latency histogram** — per-transaction cycles (timed runs only);
 /// * **cast-cost histogram** — bits per consistency multicast;
-/// * **access-cost accumulator** — bits per access, with mean/stddev.
+/// * **access-cost accumulator** — bits per access, with mean/stddev;
+/// * **fault/recovery tallies** — injected faults by kind, retries with a
+///   backoff histogram, degradations (block demotions vs. cache
+///   quarantines) and recoveries with a recovery-latency histogram (all
+///   zero/empty for fault-free runs).
 ///
 /// # Example
 ///
@@ -49,6 +53,8 @@ pub struct MetricsRegistry {
     latency: Histogram,
     cast_cost: Histogram,
     access_cost: Accumulator,
+    retry_backoff: Histogram,
+    recovery_ops: Histogram,
 }
 
 impl Default for MetricsRegistry {
@@ -65,6 +71,8 @@ impl MetricsRegistry {
             latency: Histogram::new(),
             cast_cost: Histogram::new(),
             access_cost: Accumulator::default(),
+            retry_backoff: Histogram::new(),
+            recovery_ops: Histogram::new(),
         }
     }
 
@@ -138,6 +146,34 @@ impl MetricsRegistry {
                 self.cast_cost.record(*cost_bits);
             }
             ProtocolEvent::Issue { .. } => self.counters.incr("driver_issues"),
+            ProtocolEvent::FaultInjected { label, .. } => {
+                self.counters.incr("faults_injected");
+                self.counters.incr(match label {
+                    FaultLabel::LinkDown => "faults_link_down",
+                    FaultLabel::CacheStall => "faults_cache_stall",
+                    FaultLabel::MsgDrop => "faults_msg_drop",
+                    FaultLabel::MsgDup => "faults_msg_dup",
+                    FaultLabel::MsgDelay => "faults_msg_delay",
+                    FaultLabel::BitFlip => "faults_bit_flip",
+                    FaultLabel::HandoffNak => "faults_handoff_nak",
+                });
+            }
+            ProtocolEvent::RetryAttempt { backoff_cycles, .. } => {
+                self.counters.incr("fault_retries");
+                self.retry_backoff.record(*backoff_cycles);
+            }
+            ProtocolEvent::Degraded { block, .. } => {
+                self.counters.incr("degradations");
+                self.counters.incr(if block.is_some() {
+                    "degraded_blocks"
+                } else {
+                    "quarantined_caches"
+                });
+            }
+            ProtocolEvent::Recovered { after_ops, .. } => {
+                self.counters.incr("fault_recoveries");
+                self.recovery_ops.record(*after_ops);
+            }
         }
     }
 
@@ -180,6 +216,18 @@ impl MetricsRegistry {
         &self.access_cost
     }
 
+    /// Retry-backoff histogram (simulated cycles waited per retry; empty
+    /// for fault-free runs).
+    pub fn retry_backoff(&self) -> &Histogram {
+        &self.retry_backoff
+    }
+
+    /// Recovery-latency histogram (ops spent degraded per recovery; empty
+    /// for fault-free runs).
+    pub fn recovery_ops(&self) -> &Histogram {
+        &self.recovery_ops
+    }
+
     /// Fraction of mode-attributed accesses that ran in distributed-write
     /// mode, or `None` when no access carried a mode.
     pub fn dw_residency(&self) -> Option<f64> {
@@ -195,6 +243,8 @@ impl MetricsRegistry {
         self.latency.merge(&other.latency);
         self.cast_cost.merge(&other.cast_cost);
         self.access_cost.merge(&other.access_cost);
+        self.retry_backoff.merge(&other.retry_backoff);
+        self.recovery_ops.merge(&other.recovery_ops);
     }
 
     /// A compact multi-line report.
@@ -227,6 +277,16 @@ impl MetricsRegistry {
             out.push_str(&format!(", DW residency {:.1}%", 100.0 * r));
         }
         out.push('\n');
+        if self.counters.get("faults_injected") > 0 {
+            out.push_str(&format!(
+                "faults: {} injected, {} retries, {} degradations, {} recoveries (mean {:.1} ops)\n",
+                self.counters.get("faults_injected"),
+                self.counters.get("fault_retries"),
+                self.counters.get("degradations"),
+                self.counters.get("fault_recoveries"),
+                self.recovery_ops.mean(),
+            ));
+        }
         out
     }
 }
@@ -286,6 +346,33 @@ mod tests {
                 to: 1,
                 handoff: true,
             },
+            ProtocolEvent::FaultInjected {
+                label: FaultLabel::LinkDown,
+                op: 5,
+                layer: Some(0),
+                line: Some(1),
+                cache: None,
+                heal_op: Some(20),
+            },
+            ProtocolEvent::RetryAttempt {
+                op: 6,
+                proc: 0,
+                dest: 1,
+                attempt: 0,
+                backoff_cycles: 8,
+            },
+            ProtocolEvent::Degraded {
+                op: 6,
+                block: Some(BlockAddr::new(0)),
+                cache: None,
+                heal_op: 20,
+            },
+            ProtocolEvent::Recovered {
+                op: 21,
+                block: Some(BlockAddr::new(0)),
+                cache: None,
+                after_ops: 15,
+            },
         ]
     }
 
@@ -304,6 +391,15 @@ mod tests {
         assert_eq!(c.get("casts_bitvector"), 1);
         assert_eq!(c.get("writebacks"), 1);
         assert_eq!(c.get("ownership_handoffs"), 1);
+        assert_eq!(c.get("faults_injected"), 1);
+        assert_eq!(c.get("faults_link_down"), 1);
+        assert_eq!(c.get("fault_retries"), 1);
+        assert_eq!(c.get("degradations"), 1);
+        assert_eq!(c.get("degraded_blocks"), 1);
+        assert_eq!(c.get("quarantined_caches"), 0);
+        assert_eq!(c.get("fault_recoveries"), 1);
+        assert_eq!(m.retry_backoff().count(), 1);
+        assert_eq!(m.recovery_ops().count(), 1);
         assert_eq!(m.latency().count(), 2);
         assert_eq!(m.cast_cost().count(), 1);
         assert_eq!(m.access_cost().count(), 2);
@@ -311,6 +407,7 @@ mod tests {
         let s = m.summary();
         assert!(s.contains("1 reads"));
         assert!(s.contains("DW residency 50.0%"));
+        assert!(s.contains("faults: 1 injected"));
     }
 
     #[test]

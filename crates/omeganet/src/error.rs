@@ -30,6 +30,20 @@ pub enum NetError {
     /// Scheme 3 (broadcast-tag) requires the destinations to form an aligned
     /// subcube; this set does not.
     NotASubcube,
+    /// The unique route between two ports crosses a link that is currently
+    /// out of service, so the destination cannot be reached. Returned by
+    /// [`crate::Omega::unicast_checked`] *instead of* charging the route —
+    /// callers decide whether to retry, queue, or degrade.
+    Unreachable {
+        /// Source port.
+        src: usize,
+        /// Unreachable destination port.
+        dst: usize,
+        /// Layer of the first dead link on the route.
+        layer: u32,
+        /// Line of the first dead link on the route.
+        line: usize,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -55,6 +69,15 @@ impl fmt::Display for NetError {
                     "scheme 3 requires destinations to form an aligned subcube"
                 )
             }
+            NetError::Unreachable {
+                src,
+                dst,
+                layer,
+                line,
+            } => write!(
+                f,
+                "port {dst} unreachable from port {src}: link (layer {layer}, line {line}) is down"
+            ),
         }
     }
 }
@@ -80,5 +103,13 @@ mod tests {
             net_ports: 16,
         };
         assert!(e.to_string().contains("N=8"));
+        let e = NetError::Unreachable {
+            src: 3,
+            dst: 5,
+            layer: 1,
+            line: 2,
+        };
+        assert!(e.to_string().contains("unreachable"));
+        assert!(e.to_string().contains("layer 1"));
     }
 }

@@ -107,6 +107,84 @@ impl Omega {
         })
     }
 
+    /// The first out-of-service link (per `is_down`) on the unique route
+    /// from `src` to `dst`, or `None` when the whole path is up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PortOutOfRange`] for invalid ports.
+    pub fn first_down_link(
+        &self,
+        src: PortId,
+        dst: PortId,
+        is_down: impl Fn(LinkId) -> bool,
+    ) -> Result<Option<LinkId>, NetError> {
+        self.check_port(src)?;
+        self.check_port(dst)?;
+        Ok(self.route(src, dst).into_iter().find(|&l| is_down(l)))
+    }
+
+    /// [`Omega::unicast`] that respects link outages: when the route crosses
+    /// a link for which `is_down` returns `true`, **nothing is charged** and
+    /// [`NetError::Unreachable`] names the dead link — the network reports
+    /// unreachable destinations instead of silently billing a path no
+    /// message could cross.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::PortOutOfRange`] for invalid ports,
+    /// * [`NetError::Unreachable`] when the route crosses a dead link.
+    pub fn unicast_checked(
+        &self,
+        src: PortId,
+        dst: PortId,
+        payload_bits: u64,
+        traffic: &mut TrafficMatrix,
+        is_down: impl Fn(LinkId) -> bool,
+    ) -> Result<CastReceipt, NetError> {
+        if let Some(dead) = self.first_down_link(src, dst, is_down)? {
+            return Err(NetError::Unreachable {
+                src,
+                dst,
+                layer: dead.layer,
+                line: dead.line,
+            });
+        }
+        self.unicast(src, dst, payload_bits, traffic)
+    }
+
+    /// Charges the prefix of the `src`→`dst` route strictly below
+    /// `stop_layer` — the links a probe message crosses before running into
+    /// a dead link at `stop_layer` — and returns the bits billed. Used by
+    /// retry/timeout modeling: each failed attempt still occupies the live
+    /// upstream links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PortOutOfRange`] for invalid ports.
+    pub fn unicast_prefix(
+        &self,
+        src: PortId,
+        dst: PortId,
+        payload_bits: u64,
+        stop_layer: u32,
+        traffic: &mut TrafficMatrix,
+    ) -> Result<u64, NetError> {
+        self.check_port(src)?;
+        self.check_port(dst)?;
+        let m = self.stages() as u64;
+        let mut cost = 0;
+        for link in self.route(src, dst) {
+            if link.layer >= stop_layer {
+                break;
+            }
+            let bits = payload_bits + (m - link.layer as u64);
+            traffic.add(link, bits);
+            cost += bits;
+        }
+        Ok(cost)
+    }
+
     /// Multicasts `payload_bits` from `src` to `dests` using `kind`,
     /// charging every crossed link in `traffic`.
     ///
@@ -442,6 +520,57 @@ mod tests {
         assert_eq!(r.links_crossed, 4);
         assert_eq!(t.total_bits(), r.cost_bits);
         assert_eq!(r.delivered, vec![2]);
+    }
+
+    #[test]
+    fn checked_unicast_reports_dead_links_without_charging() {
+        let (net, mut t) = setup(3);
+        let dead = net.route(5, 2)[2];
+        let err = net
+            .unicast_checked(5, 2, 20, &mut t, |l| l == dead)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::Unreachable {
+                src: 5,
+                dst: 2,
+                layer: dead.layer,
+                line: dead.line,
+            }
+        );
+        // Nothing was billed: unreachable is reported, not silently charged.
+        assert_eq!(t.total_bits(), 0);
+        // With the link back up the checked call matches the plain unicast.
+        let r = net.unicast_checked(5, 2, 20, &mut t, |_| false).unwrap();
+        assert_eq!(r.cost_bits, 20 * 4 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn first_down_link_finds_the_earliest_outage() {
+        let (net, _) = setup(3);
+        let route = net.route(1, 6);
+        let down = [route[1], route[3]];
+        let hit = net
+            .first_down_link(1, 6, |l| down.contains(&l))
+            .unwrap()
+            .unwrap();
+        assert_eq!(hit, route[1]);
+        assert_eq!(net.first_down_link(1, 6, |_| false).unwrap(), None);
+        assert!(net.first_down_link(1, 99, |_| false).is_err());
+    }
+
+    #[test]
+    fn unicast_prefix_charges_only_links_below_the_stop_layer() {
+        let (net, mut t) = setup(3);
+        // Probe halted at layer 2: layers 0 and 1 carry M+3 and M+2 bits.
+        let cost = net.unicast_prefix(5, 2, 20, 2, &mut t).unwrap();
+        assert_eq!(cost, (20 + 3) + (20 + 2));
+        assert_eq!(t.total_bits(), cost);
+        // Stop layer 0 charges nothing; stop layer m+1 matches a full unicast.
+        t.clear();
+        assert_eq!(net.unicast_prefix(5, 2, 20, 0, &mut t).unwrap(), 0);
+        let full = net.unicast_prefix(5, 2, 20, 4, &mut t).unwrap();
+        assert_eq!(full, 20 * 4 + 3 + 2 + 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`baselines`] | `tmc-baselines` | no-cache, directory-invalidate, update-only comparators |
 //! | [`sim`] | `tmc-simcore` | event queue, RNG, statistics |
 //! | [`obs`] | `tmc-obs` | protocol events, metrics registry, replayable JSONL traces |
+//! | [`faults`] | `tmc-faults` | deterministic fault plans: link outages, message faults, stalls, bit flips |
 //!
 //! # Quick start
 //!
@@ -78,4 +79,11 @@ pub mod sim {
 /// of `tmc-obs`).
 pub mod obs {
     pub use tmc_obs::*;
+}
+
+/// Deterministic fault injection: seed-driven plans of link outages,
+/// message drops/duplicates/delays, cache stalls and bit flips (re-export
+/// of `tmc-faults`). See `docs/ROBUSTNESS.md`.
+pub mod faults {
+    pub use tmc_faults::*;
 }
