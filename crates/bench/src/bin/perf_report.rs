@@ -11,7 +11,11 @@
 //! `--check` does not re-run any benchmark: it verifies that `PATH` holds a
 //! well-formed report — every required field present, every rate positive,
 //! and `deterministic` true — so CI can gate on the *committed* baseline
-//! without paying benchmark wall-clock or inheriting runner noise.
+//! without paying benchmark wall-clock or inheriting runner noise. The
+//! report records `physical_cores` (where it was generated); a
+//! `shard_speedup` below 1 is only a *warning* when that host had a single
+//! core (sharding overhead with no parallelism to win back), and a hard
+//! failure on any multi-core host.
 //!
 //! The parallel sweep uses [`tmc_bench::sweep`] with
 //! `TMC_SWEEP_THREADS`-many workers (default: all cores); the serial
@@ -207,8 +211,9 @@ fn fault_campaign(seed: u64) -> FaultCounters {
 }
 
 /// `--check` mode: validates an existing report file without re-running
-/// anything. Returns an error string naming the first problem found.
-fn check_report(text: &str) -> Result<(), String> {
+/// anything. Returns the warnings to print on success, or an error string
+/// naming the first problem found.
+fn check_report(text: &str) -> Result<Vec<String>, String> {
     // The report is hand-formatted `"key": value` lines; a full JSON parser
     // is overkill for a schema smoke check.
     let field = |key: &str| -> Result<String, String> {
@@ -239,6 +244,7 @@ fn check_report(text: &str) -> Result<(), String> {
     for key in [
         "grid_cells",
         "sweep_threads",
+        "physical_cores",
         "shards",
         "shard_workers",
         "shard_refs",
@@ -248,6 +254,29 @@ fn check_report(text: &str) -> Result<(), String> {
             .map_err(|e| format!("field {key:?}: {e}"))?;
         if v == 0 {
             return Err(format!("field {key:?} must be nonzero"));
+        }
+    }
+    // A shard speedup below 1 means the parallel engine *lost* to serial.
+    // That is expected overhead on a single-core host (the report records
+    // where it was generated) but a regression anywhere else.
+    let mut warnings = Vec::new();
+    let cores: u64 = field("physical_cores")?
+        .parse()
+        .map_err(|e| format!("field \"physical_cores\": {e}"))?;
+    let shard_speedup: f64 = field("shard_speedup")?
+        .parse()
+        .map_err(|e| format!("field \"shard_speedup\": {e}"))?;
+    if shard_speedup < 1.0 {
+        if cores == 1 {
+            warnings.push(format!(
+                "shard_speedup {shard_speedup} < 1 on a 1-core host (sharding \
+                 overhead without parallelism; expected)"
+            ));
+        } else {
+            return Err(format!(
+                "shard_speedup {shard_speedup} < 1 on a {cores}-core host: the \
+                 sharded engine regressed"
+            ));
         }
     }
     // Robustness counters: required by the schema, zero unless the report
@@ -263,7 +292,7 @@ fn check_report(text: &str) -> Result<(), String> {
             .map_err(|e| format!("field {key:?}: {e}"))?;
     }
     match field("deterministic")?.as_str() {
-        "true" => Ok(()),
+        "true" => Ok(warnings),
         other => Err(format!("deterministic must be true, got {other:?}")),
     }
 }
@@ -314,7 +343,12 @@ fn main() {
             }
         };
         match check_report(&text) {
-            Ok(()) => println!("perf_report --check: {path} ok"),
+            Ok(warnings) => {
+                for w in &warnings {
+                    println!("perf_report --check: warning: {w}");
+                }
+                println!("perf_report --check: {path} ok");
+            }
             Err(e) => {
                 eprintln!("perf_report --check: {path}: {e}");
                 std::process::exit(1);
@@ -327,10 +361,16 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
     let threads = sweep::num_threads();
+    let physical_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let cells = grid_cells();
     let n_cells = cells.len();
 
-    println!("perf_report: {n_cells}-cell sweep grid, {threads} sweep thread(s)");
+    println!(
+        "perf_report: {n_cells}-cell sweep grid, {threads} sweep thread(s), \
+         {physical_cores} physical core(s)"
+    );
 
     let events_per_sec = event_queue_events_per_sec();
     println!("event queue      : {events_per_sec:.0} events/s (push+pop)");
@@ -379,7 +419,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": {n_cells},\n  \"refs_per_cell\": {REFS},\n  \"sweep_threads\": {threads},\n  \"event_queue_events_per_sec\": {events_per_sec:.1},\n  \"protocol_refs_per_sec\": {refs_per_sec:.1},\n  \"sweep_serial_seconds\": {:.6},\n  \"sweep_parallel_seconds\": {:.6},\n  \"sweep_parallel_refs_per_sec\": {:.1},\n  \"sweep_speedup\": {speedup:.4},\n  \"shards\": {shards},\n  \"shard_workers\": {shard_workers},\n  \"shard_refs\": {SHARD_REFS},\n  \"shard_serial_refs_per_sec\": {shard_serial_rps:.1},\n  \"shard_refs_per_sec\": {shard_rps:.1},\n  \"shard_speedup\": {shard_speedup:.4},\n  \"faults_injected\": {},\n  \"fault_retries\": {},\n  \"fault_recoveries\": {},\n  \"fault_degradations\": {},\n  \"deterministic\": true\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": {n_cells},\n  \"refs_per_cell\": {REFS},\n  \"sweep_threads\": {threads},\n  \"physical_cores\": {physical_cores},\n  \"event_queue_events_per_sec\": {events_per_sec:.1},\n  \"protocol_refs_per_sec\": {refs_per_sec:.1},\n  \"sweep_serial_seconds\": {:.6},\n  \"sweep_parallel_seconds\": {:.6},\n  \"sweep_parallel_refs_per_sec\": {:.1},\n  \"sweep_speedup\": {speedup:.4},\n  \"shards\": {shards},\n  \"shard_workers\": {shard_workers},\n  \"shard_refs\": {SHARD_REFS},\n  \"shard_serial_refs_per_sec\": {shard_serial_rps:.1},\n  \"shard_refs_per_sec\": {shard_rps:.1},\n  \"shard_speedup\": {shard_speedup:.4},\n  \"faults_injected\": {},\n  \"fault_retries\": {},\n  \"fault_recoveries\": {},\n  \"fault_degradations\": {},\n  \"deterministic\": true\n}}\n",
         serial_time.as_secs_f64(),
         parallel_time.as_secs_f64(),
         sweep_refs / parallel_time.as_secs_f64(),
@@ -397,4 +437,52 @@ fn main() {
     }
     print!("{json}");
     save_representative_trace();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_report;
+
+    fn report(physical_cores: u64, shard_speedup: f64) -> String {
+        format!(
+            "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": 48,\n  \"refs_per_cell\": 24000,\n  \
+             \"sweep_threads\": 1,\n  \"physical_cores\": {physical_cores},\n  \
+             \"event_queue_events_per_sec\": 1e6,\n  \"protocol_refs_per_sec\": 1e6,\n  \
+             \"sweep_serial_seconds\": 1.0,\n  \"sweep_parallel_seconds\": 1.0,\n  \
+             \"sweep_parallel_refs_per_sec\": 1e6,\n  \"sweep_speedup\": 1.0,\n  \
+             \"shards\": 8,\n  \"shard_workers\": 8,\n  \"shard_refs\": 200000,\n  \
+             \"shard_serial_refs_per_sec\": 1e6,\n  \"shard_refs_per_sec\": 1e6,\n  \
+             \"shard_speedup\": {shard_speedup},\n  \"faults_injected\": 0,\n  \
+             \"fault_retries\": 0,\n  \"fault_recoveries\": 0,\n  \
+             \"fault_degradations\": 0,\n  \"deterministic\": true\n}}\n"
+        )
+    }
+
+    #[test]
+    fn speedup_below_one_warns_on_single_core() {
+        let warnings = check_report(&report(1, 0.85)).expect("1-core slowdown passes");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("1-core"), "{warnings:?}");
+    }
+
+    #[test]
+    fn speedup_below_one_fails_on_multi_core() {
+        let err = check_report(&report(8, 0.85)).expect_err("8-core slowdown is a regression");
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn speedup_above_one_is_clean_anywhere() {
+        for cores in [1, 8] {
+            let warnings = check_report(&report(cores, 1.3)).expect("speedup passes");
+            assert!(warnings.is_empty(), "{warnings:?}");
+        }
+    }
+
+    #[test]
+    fn missing_physical_cores_is_rejected() {
+        let text = report(1, 1.3).replace("  \"physical_cores\": 1,\n", "");
+        let err = check_report(&text).expect_err("schema requires physical_cores");
+        assert!(err.contains("physical_cores"), "{err}");
+    }
 }

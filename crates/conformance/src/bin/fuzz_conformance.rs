@@ -1,0 +1,184 @@
+//! Differential conformance fuzzer CLI.
+//!
+//! ```text
+//! fuzz_conformance --smoke                  # fixed seeds, CI-sized budget
+//! fuzz_conformance --budget 5000 --seed 7   # a longer hunt
+//! fuzz_conformance --corpus conformance/corpus   # replay reproducers
+//! fuzz_conformance --smoke --corpus-out /tmp/corpus  # also save findings
+//! ```
+//!
+//! Exit status is nonzero when any divergence (or corpus failure) is
+//! found. On divergence the case is shrunk to a minimal reproducer,
+//! printed as both `.case` text and a self-contained `#[test]` snippet,
+//! and saved when `--corpus-out` is given.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tmc_conformance::pairs::Pair;
+use tmc_conformance::{check_pair, corpus, gen::generate_case, shrink::shrink};
+
+/// Default seed for reproducible smoke runs.
+const SMOKE_SEED: u64 = 1;
+/// Smoke budget: comfortably above the CI floor of 200 cases.
+const SMOKE_BUDGET: usize = 240;
+
+struct Args {
+    smoke: bool,
+    budget: Option<usize>,
+    seed: u64,
+    corpus: Option<PathBuf>,
+    corpus_out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        budget: None,
+        seed: SMOKE_SEED,
+        corpus: None,
+        corpus_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--budget" => {
+                args.budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|_| "--budget wants a number".to_string())?,
+                )
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed wants a number".to_string())?
+            }
+            "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus")?)),
+            "--corpus-out" => args.corpus_out = Some(PathBuf::from(value("--corpus-out")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: fuzz_conformance [--smoke] [--budget N] [--seed S] \
+                     [--corpus DIR] [--corpus-out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !args.smoke && args.budget.is_none() && args.corpus.is_none() {
+        return Err("pick a mode: --smoke, --budget N, or --corpus DIR".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzz_conformance: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+
+    if let Some(dir) = &args.corpus {
+        match corpus::run_dir(dir) {
+            Ok(report) => {
+                println!(
+                    "corpus: {} reproducer(s) replayed from {}",
+                    report.entries,
+                    dir.display()
+                );
+                for (path, d) in &report.failures {
+                    failed = true;
+                    println!("  REGRESSION {}: {d}", path.display());
+                }
+                if report.failures.is_empty() && report.entries > 0 {
+                    println!("  all reproducers hold");
+                }
+            }
+            Err(e) => {
+                eprintln!("corpus: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if args.smoke || args.budget.is_some() {
+        let budget = args.budget.unwrap_or(SMOKE_BUDGET);
+        failed |= fuzz(args.seed, budget, args.corpus_out.as_deref());
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Runs `budget` generated cases; returns whether any diverged.
+fn fuzz(seed0: u64, budget: usize, corpus_out: Option<&std::path::Path>) -> bool {
+    let started = Instant::now();
+    let mut applied: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut divergences = 0usize;
+
+    for i in 0..budget {
+        let seed = seed0.wrapping_add(i as u64);
+        let case = generate_case(seed);
+        for pair in Pair::all() {
+            if !pair.applies(&case) {
+                continue;
+            }
+            *applied.entry(pair.name()).or_default() += 1;
+            if let Err(d) = check_pair(&case, pair) {
+                divergences += 1;
+                println!("== DIVERGENCE (seed {seed}) ==");
+                println!("{d}");
+                let minimized = shrink(&case, pair);
+                println!(
+                    "-- minimized: {} op(s) (from {}) --",
+                    minimized.ops.len(),
+                    case.ops.len()
+                );
+                print!("{}", corpus::entry_text(&minimized, pair, ""));
+                println!("-- #[test] snippet --");
+                print!("{}", minimized.rust_snippet(pair.name()));
+                if let Some(dir) = corpus_out {
+                    match corpus::save(dir, &minimized, pair, "auto-minimized by fuzz run") {
+                        Ok(p) => println!("-- saved {}", p.display()),
+                        Err(e) => eprintln!("-- could not save reproducer: {e}"),
+                    }
+                }
+            }
+        }
+        if (i + 1) % 50 == 0 {
+            println!(
+                "... {} / {budget} cases, {divergences} divergence(s), {:.1}s",
+                i + 1,
+                started.elapsed().as_secs_f64()
+            );
+        }
+    }
+
+    println!(
+        "fuzzed {budget} case(s) from seed {seed0} in {:.1}s — {} divergence(s)",
+        started.elapsed().as_secs_f64(),
+        divergences
+    );
+    println!("pair coverage:");
+    for (name, n) in &applied {
+        println!("  {name:>20}: {n} case(s)");
+    }
+    let pairs_exercised = applied.len();
+    if pairs_exercised < 5 {
+        println!("WARNING: only {pairs_exercised} engine pairs exercised (want >= 5)");
+        return true;
+    }
+    divergences > 0
+}

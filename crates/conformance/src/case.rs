@@ -1,0 +1,307 @@
+//! The fully explicit, replayable conformance case.
+//!
+//! A case is *self-contained*: after shrinking, the op list is no longer
+//! derivable from the seed, so the textual encoding carries every field —
+//! config, shard request, fault seed, analytic probe and the op script —
+//! and [`CaseSpec::decode`] reproduces the exact case from the text alone.
+
+use std::fmt::Write as _;
+
+use tmc_bench::shardsim::ShardOp;
+use tmc_bench::tracecheck::{parse_policy, parse_scheme_kind, policy_str, scheme_kind_str};
+use tmc_core::{Mode, ModePolicy, SystemConfig};
+use tmc_memsys::{BlockSpec, CacheGeometry, WordAddr};
+use tmc_omeganet::SchemeKind;
+
+/// Steady-state parameters for the simulator-vs-analytic pair.
+///
+/// The closed forms (eqs. 11–12) assume the §4 sharing model — `n_tasks`
+/// sharers per block, write fraction `w`, steady state — so the analytic
+/// pair re-derives a `SharedBlockWorkload` from these fields rather than
+/// using the case's op script.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticProbe {
+    /// Sharer tasks per block (the paper's `n`).
+    pub n_tasks: usize,
+    /// Write fraction (the paper's `w`).
+    pub w: f64,
+    /// Measured references after warmup.
+    pub refs: usize,
+    /// Warmup references excluded from the measurement.
+    pub warmup: usize,
+}
+
+/// One conformance case: config × op script × shard request × fault seed
+/// × optional analytic probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseSpec {
+    /// Seed the case was generated from (zero for hand-written cases).
+    pub seed: u64,
+    /// Number of caches/processors (power of two).
+    pub n_caches: usize,
+    /// Cache sets per processor (power of two).
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+    /// log2 words per block.
+    pub words_log2: u32,
+    /// Multicast scheme.
+    pub scheme: SchemeKind,
+    /// Mode policy.
+    pub policy: ModePolicy,
+    /// Whether the owner-bypass optimization is on.
+    pub owner_bypass: bool,
+    /// Requested shard count for the sharded pair (clamped by
+    /// `shard_count`; the pair is skipped when it clamps below 2).
+    pub shards: usize,
+    /// Seed for the zero-count fault plan of the faults pair.
+    pub fault_seed: u64,
+    /// Steady-state probe for the analytic pair, when applicable.
+    pub analytic: Option<AnalyticProbe>,
+    /// The op script every value-level engine executes.
+    pub ops: Vec<ShardOp>,
+}
+
+impl CaseSpec {
+    /// The fault-free `SystemConfig` the case describes.
+    pub fn config(&self) -> SystemConfig {
+        SystemConfig::new(self.n_caches)
+            .geometry(CacheGeometry::new(self.sets, self.ways))
+            .block_spec(BlockSpec::new(self.words_log2))
+            .multicast(self.scheme)
+            .mode_policy(self.policy)
+            .owner_bypass(self.owner_bypass)
+    }
+
+    /// Same config under a different mode policy (for the adaptive pair).
+    pub fn config_with_policy(&self, policy: ModePolicy) -> SystemConfig {
+        SystemConfig::new(self.n_caches)
+            .geometry(CacheGeometry::new(self.sets, self.ways))
+            .block_spec(BlockSpec::new(self.words_log2))
+            .multicast(self.scheme)
+            .mode_policy(policy)
+            .owner_bypass(self.owner_bypass)
+    }
+
+    /// Serializes the case to the `.case` corpus text format.
+    pub fn encode(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# tmc-conformance case");
+        let _ = writeln!(s, "seed = {}", self.seed);
+        let _ = writeln!(s, "n_caches = {}", self.n_caches);
+        let _ = writeln!(s, "sets = {}", self.sets);
+        let _ = writeln!(s, "ways = {}", self.ways);
+        let _ = writeln!(s, "words_log2 = {}", self.words_log2);
+        let _ = writeln!(s, "scheme = {}", scheme_kind_str(self.scheme));
+        let _ = writeln!(s, "policy = {}", policy_str(self.policy));
+        let _ = writeln!(s, "owner_bypass = {}", self.owner_bypass);
+        let _ = writeln!(s, "shards = {}", self.shards);
+        let _ = writeln!(s, "fault_seed = {}", self.fault_seed);
+        if let Some(p) = self.analytic {
+            let _ = writeln!(
+                s,
+                "analytic = {} {} {} {}",
+                p.n_tasks, p.w, p.refs, p.warmup
+            );
+        }
+        for op in &self.ops {
+            match *op {
+                ShardOp::Read { proc, addr } => {
+                    let _ = writeln!(s, "op = R {proc} {}", addr.value());
+                }
+                ShardOp::Write { proc, addr, value } => {
+                    let _ = writeln!(s, "op = W {proc} {} {value}", addr.value());
+                }
+                ShardOp::SetMode { proc, addr, mode } => {
+                    let m = match mode {
+                        Mode::DistributedWrite => "dw",
+                        Mode::GlobalRead => "gr",
+                    };
+                    let _ = writeln!(s, "op = M {proc} {} {m}", addr.value());
+                }
+            }
+        }
+        s
+    }
+
+    /// Parses the `.case` corpus text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn decode(text: &str) -> Result<CaseSpec, String> {
+        let mut case = CaseSpec {
+            seed: 0,
+            n_caches: 4,
+            sets: 4,
+            ways: 1,
+            words_log2: 2,
+            scheme: SchemeKind::Combined,
+            policy: ModePolicy::Fixed(Mode::GlobalRead),
+            owner_bypass: true,
+            shards: 1,
+            fault_seed: 0,
+            analytic: None,
+            ops: Vec::new(),
+        };
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, val) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", i + 1))?;
+            let (key, val) = (key.trim(), val.trim());
+            let bad = |what: &str| format!("line {}: bad {what}: {val:?}", i + 1);
+            match key {
+                "seed" => case.seed = val.parse().map_err(|_| bad("seed"))?,
+                "n_caches" => case.n_caches = val.parse().map_err(|_| bad("n_caches"))?,
+                "sets" => case.sets = val.parse().map_err(|_| bad("sets"))?,
+                "ways" => case.ways = val.parse().map_err(|_| bad("ways"))?,
+                "words_log2" => case.words_log2 = val.parse().map_err(|_| bad("words_log2"))?,
+                "scheme" => case.scheme = parse_scheme_kind(val).ok_or_else(|| bad("scheme"))?,
+                "policy" => case.policy = parse_policy(val).ok_or_else(|| bad("policy"))?,
+                "owner_bypass" => {
+                    case.owner_bypass = val.parse().map_err(|_| bad("owner_bypass"))?
+                }
+                "shards" => case.shards = val.parse().map_err(|_| bad("shards"))?,
+                "fault_seed" => case.fault_seed = val.parse().map_err(|_| bad("fault_seed"))?,
+                "analytic" => {
+                    let f: Vec<&str> = val.split_whitespace().collect();
+                    if f.len() != 4 {
+                        return Err(bad("analytic (want `n_tasks w refs warmup`)"));
+                    }
+                    case.analytic = Some(AnalyticProbe {
+                        n_tasks: f[0].parse().map_err(|_| bad("analytic n_tasks"))?,
+                        w: f[1].parse().map_err(|_| bad("analytic w"))?,
+                        refs: f[2].parse().map_err(|_| bad("analytic refs"))?,
+                        warmup: f[3].parse().map_err(|_| bad("analytic warmup"))?,
+                    });
+                }
+                "op" => case.ops.push(parse_op(val).ok_or_else(|| bad("op"))?),
+                "pair" | "note" => {} // corpus metadata, not part of the case
+                _ => return Err(format!("line {}: unknown key {key:?}", i + 1)),
+            }
+        }
+        Ok(case)
+    }
+
+    /// Renders the case as a self-contained `#[test]` snippet that rebuilds
+    /// the exact case and asserts the named pair holds.
+    pub fn rust_snippet(&self, pair: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "/// Minimized reproducer (seed {}).", self.seed);
+        let _ = writeln!(s, "#[test]");
+        let _ = writeln!(s, "fn conformance_repro_seed_{}() {{", self.seed);
+        let _ = writeln!(
+            s,
+            "    use tmc_conformance::{{CaseSpec, check_pair, Pair}};"
+        );
+        let _ = writeln!(s, "    let text = concat!(");
+        for line in self.encode().lines() {
+            let _ = writeln!(s, "        {:?}, \"\\n\",", line);
+        }
+        let _ = writeln!(s, "    );");
+        let _ = writeln!(s, "    let case = CaseSpec::decode(text).unwrap();");
+        let _ = writeln!(
+            s,
+            "    if let Err(d) = check_pair(&case, Pair::parse({pair:?}).unwrap()) {{"
+        );
+        let _ = writeln!(s, "        panic!(\"{{}}\", d);");
+        let _ = writeln!(s, "    }}");
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+fn parse_op(s: &str) -> Option<ShardOp> {
+    let f: Vec<&str> = s.split_whitespace().collect();
+    match *f.first()? {
+        "R" if f.len() == 3 => Some(ShardOp::Read {
+            proc: f[1].parse().ok()?,
+            addr: WordAddr::new(f[2].parse().ok()?),
+        }),
+        "W" if f.len() == 4 => Some(ShardOp::Write {
+            proc: f[1].parse().ok()?,
+            addr: WordAddr::new(f[2].parse().ok()?),
+            value: f[3].parse().ok()?,
+        }),
+        "M" if f.len() == 4 => Some(ShardOp::SetMode {
+            proc: f[1].parse().ok()?,
+            addr: WordAddr::new(f[2].parse().ok()?),
+            mode: match f[3] {
+                "dw" => Mode::DistributedWrite,
+                "gr" => Mode::GlobalRead,
+                _ => return None,
+            },
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CaseSpec {
+        CaseSpec {
+            seed: 7,
+            n_caches: 8,
+            sets: 2,
+            ways: 1,
+            words_log2: 1,
+            scheme: SchemeKind::BitVector,
+            policy: ModePolicy::Adaptive { window: 8 },
+            owner_bypass: false,
+            shards: 2,
+            fault_seed: 99,
+            analytic: Some(AnalyticProbe {
+                n_tasks: 4,
+                w: 0.25,
+                refs: 400,
+                warmup: 100,
+            }),
+            ops: vec![
+                ShardOp::Write {
+                    proc: 0,
+                    addr: WordAddr::new(12),
+                    value: 1,
+                },
+                ShardOp::Read {
+                    proc: 3,
+                    addr: WordAddr::new(12),
+                },
+                ShardOp::SetMode {
+                    proc: 0,
+                    addr: WordAddr::new(12),
+                    mode: Mode::DistributedWrite,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let case = sample();
+        let text = case.encode();
+        let back = CaseSpec::decode(&text).expect("decodes");
+        assert_eq!(case, back);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(CaseSpec::decode("n_caches = frog").is_err());
+        assert!(CaseSpec::decode("op = X 1 2").is_err());
+        assert!(CaseSpec::decode("mystery = 3").is_err());
+    }
+
+    #[test]
+    fn config_reflects_fields() {
+        let cfg = sample().config();
+        assert_eq!(cfg.n_caches, 8);
+        assert_eq!(cfg.geometry.sets(), 2);
+        assert!(!cfg.owner_bypass);
+        assert!(cfg.faults.is_none());
+    }
+}

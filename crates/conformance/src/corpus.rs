@@ -1,0 +1,164 @@
+//! Corpus persistence and regression replay.
+//!
+//! Every real bug the fuzzer has found lives on under
+//! `conformance/corpus/` as a minimized `.case` file: the case text (see
+//! [`CaseSpec::encode`]) plus a `pair = <name>` line recording which
+//! engine pair it tripped and a free-form `note = ...` rationale. The
+//! regression runner replays every file and requires every pair to hold —
+//! a fixed bug that regresses fails CI with its original minimal
+//! reproducer.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::case::CaseSpec;
+use crate::outcome::Divergence;
+use crate::pairs::{check_case, check_pair, Pair};
+
+/// A corpus entry: the case plus its recorded metadata.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Path the entry was loaded from.
+    pub path: PathBuf,
+    /// The case itself.
+    pub case: CaseSpec,
+    /// The pair the original divergence tripped, when recorded.
+    pub pair: Option<Pair>,
+}
+
+/// Summary of one corpus replay.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusReport {
+    /// Entries replayed.
+    pub entries: usize,
+    /// Failures, as `(path, divergence)`.
+    pub failures: Vec<(PathBuf, Divergence)>,
+}
+
+/// Serializes a minimized reproducer for persistence.
+pub fn entry_text(case: &CaseSpec, pair: Pair, note: &str) -> String {
+    let mut s = String::new();
+    s.push_str("# tmc-conformance minimized reproducer\n");
+    s.push_str(&format!("pair = {}\n", pair.name()));
+    if !note.is_empty() {
+        s.push_str(&format!("note = {note}\n"));
+    }
+    s.push_str(&case.encode());
+    s
+}
+
+/// Writes a minimized reproducer under `dir` as
+/// `<pair>-seed<seed>.case`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors as messages.
+pub fn save(dir: &Path, case: &CaseSpec, pair: Pair, note: &str) -> Result<PathBuf, String> {
+    fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let path = dir.join(format!("{}-seed{}.case", pair.name(), case.seed));
+    fs::write(&path, entry_text(case, pair, note)).map_err(|e| e.to_string())?;
+    Ok(path)
+}
+
+/// Loads one `.case` file.
+///
+/// # Errors
+///
+/// Fails on unreadable files or malformed case text.
+pub fn load(path: &Path) -> Result<CorpusEntry, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let case = CaseSpec::decode(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let pair = text.lines().find_map(|l| {
+        let (k, v) = l.split_once('=')?;
+        if k.trim() == "pair" {
+            Pair::parse(v.trim())
+        } else {
+            None
+        }
+    });
+    Ok(CorpusEntry {
+        path: path.to_path_buf(),
+        case,
+        pair,
+    })
+}
+
+/// Loads every `.case` file under `dir`, sorted by file name.
+///
+/// An absent directory is an empty corpus, not an error.
+///
+/// # Errors
+///
+/// Fails on unreadable or malformed entries.
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut entries = Vec::new();
+    let rd = match fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(_) => return Ok(entries),
+    };
+    let mut paths: Vec<PathBuf> = rd
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    paths.sort();
+    for p in paths {
+        entries.push(load(&p)?);
+    }
+    Ok(entries)
+}
+
+/// Replays every corpus entry: the recorded pair when present, otherwise
+/// every applicable pair.
+///
+/// # Errors
+///
+/// Fails on unreadable or malformed entries (divergences are *reported*,
+/// not errors — see [`CorpusReport::failures`]).
+pub fn run_dir(dir: &Path) -> Result<CorpusReport, String> {
+    let mut report = CorpusReport::default();
+    for entry in load_dir(dir)? {
+        report.entries += 1;
+        let result = match entry.pair {
+            Some(pair) => check_pair(&entry.case, pair),
+            None => check_case(&entry.case).map(|_| ()),
+        };
+        if let Err(d) = result {
+            report.failures.push((entry.path.clone(), d));
+        }
+    }
+    Ok(report)
+}
+
+/// The workspace-relative corpus directory, resolved from this crate.
+pub fn default_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("conformance/corpus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_case;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("tmc-conformance-corpus-test");
+        let _ = fs::remove_dir_all(&dir);
+        let case = generate_case(9);
+        let path = save(&dir, &case, Pair::SerialVsShard, "unit test").unwrap();
+        let entry = load(&path).unwrap();
+        assert_eq!(entry.case, case);
+        assert_eq!(entry.pair, Some(Pair::SerialVsShard));
+        let all = load_dir(&dir).unwrap();
+        assert_eq!(all.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_an_empty_corpus() {
+        let report = run_dir(Path::new("/nonexistent/tmc-corpus")).unwrap();
+        assert_eq!(report.entries, 0);
+        assert!(report.failures.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Differential conformance fuzzing across every engine in the workspace.
+//!
+//! The repo can execute the same Stenström workload six ways — the serial
+//! [`tmc_core::System`], the block-sharded `tmc_bench::shardsim`, JSONL
+//! trace replay (`tmc_bench::tracecheck`), the baseline adapters, the
+//! fault-injected admission path, and the closed-form analytic model
+//! (`tmc-analytic`). Each prior layer of the test pyramid proves agreement
+//! on the configurations it happens to enumerate; this crate *hunts* for
+//! disagreement in the corners enumeration misses.
+//!
+//! A [`CaseSpec`] is a fully explicit, replayable conformance case: a
+//! `SystemConfig` (geometry × block size × multicast scheme × mode policy
+//! × bypass), an op script (`read`/`write`/`set_mode`), a requested shard
+//! count, a fault-plan seed and an optional analytic steady-state probe.
+//! [`gen::generate_case`] derives one deterministically from a single
+//! `u64` seed; [`pairs::check_case`] runs it through every applicable
+//! engine pair and diffs fingerprints, counters, per-link charges, memory
+//! images and JSONL event streams; on divergence [`shrink::shrink`]
+//! reduces the case to a minimal reproducer and [`corpus`] persists it as
+//! a replayable `.case` file plus a self-contained `#[test]` snippet.
+//!
+//! The `fuzz_conformance` binary drives the loop:
+//!
+//! ```text
+//! cargo run --release -p tmc-conformance --bin fuzz_conformance -- --smoke
+//! cargo run --release -p tmc-conformance --bin fuzz_conformance -- --budget 5000 --seed 1
+//! cargo run --release -p tmc-conformance --bin fuzz_conformance -- --corpus conformance/corpus
+//! ```
+//!
+//! Every divergence the fuzzer has found and we fixed lives on as a
+//! minimized reproducer under `conformance/corpus/`, replayed by the
+//! corpus regression test and CI on every push.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod corpus;
+pub mod gen;
+pub mod outcome;
+pub mod pairs;
+pub mod shrink;
+
+pub use case::{AnalyticProbe, CaseSpec};
+pub use outcome::{Divergence, RunOutcome};
+pub use pairs::{check_case, check_pair, Pair};

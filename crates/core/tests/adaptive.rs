@@ -1,0 +1,103 @@
+//! Boundary behavior of the §5 adaptive mode policy: the per-line window
+//! counters decide exactly on the `window`-th reference and start every
+//! window from zero.
+
+use tmc_core::{ModePolicy, System, SystemConfig};
+use tmc_memsys::WordAddr;
+
+fn adaptive_system(window: u32) -> System {
+    System::new(SystemConfig::new(4).mode_policy(ModePolicy::Adaptive { window }))
+        .expect("valid config")
+}
+
+fn switches(sys: &System) -> u64 {
+    sys.counters().get("adaptive_switches")
+}
+
+/// The switch decision fires on the window-th reference to the block —
+/// never earlier — and each window's counters start from zero rather
+/// than inheriting the previous window's mix.
+#[test]
+fn window_edge_decides_and_resets() {
+    let mut sys = adaptive_system(4);
+    let a = WordAddr::new(0);
+
+    // Window 1: one write (establishes the owner; adaptive starts in GR)
+    // then reads. No decision before the 4th reference.
+    sys.write(0, a, 1).unwrap();
+    sys.read(1, a).unwrap();
+    sys.read(2, a).unwrap();
+    assert_eq!(switches(&sys), 0, "no decision before the window edge");
+    sys.read(3, a).unwrap();
+    // 4th reference: w_est = 1/4 is below any w1 = 2/(sharers+2), so the
+    // block switches out of its initial global-read mode.
+    assert_eq!(switches(&sys), 1, "decision exactly at the window edge");
+    assert_eq!(sys.counters().get("mode_switch_to_dw"), 1);
+
+    // Window 2: three writes then a read. Still no decision until the
+    // edge; there w_est = 3/4 exceeds w1 and the block flips back.
+    sys.write(0, a, 2).unwrap();
+    sys.write(0, a, 3).unwrap();
+    sys.write(0, a, 4).unwrap();
+    assert_eq!(switches(&sys), 1, "mid-window writes trigger nothing");
+    sys.read(1, a).unwrap();
+    assert_eq!(switches(&sys), 2);
+    assert_eq!(sys.counters().get("mode_switch_to_gr"), 1);
+
+    // Window 3: four reads. If window 2's three writes leaked into this
+    // window the estimate would be 3/8 > w1 = 1/3 (four sharers) and the
+    // block would stay in GR; a properly reset window sees w_est = 0 and
+    // switches to DW.
+    for p in [1usize, 2, 3, 1] {
+        sys.read(p, a).unwrap();
+    }
+    assert_eq!(switches(&sys), 3, "window counters must reset at the edge");
+    assert_eq!(sys.counters().get("mode_switch_to_dw"), 2);
+
+    sys.check_invariants().expect("invariants");
+}
+
+/// A stable mix keeps the mode stable: once the block has settled into
+/// the mode the mix calls for, further identical windows never switch.
+#[test]
+fn stable_mix_stops_switching() {
+    let mut sys = adaptive_system(4);
+    let a = WordAddr::new(0);
+    sys.write(0, a, 1).unwrap();
+    for round in 0..8u64 {
+        for p in [1usize, 2, 3, 1] {
+            sys.read(p, a).unwrap();
+        }
+        assert!(
+            switches(&sys) <= 1,
+            "round {round}: read-only windows switch at most once (GR -> DW)"
+        );
+    }
+    assert_eq!(switches(&sys), 1);
+    sys.check_invariants().expect("invariants");
+}
+
+/// Values survive adaptive switching: interleaved writes and reads under
+/// a tiny window (maximum switch churn) never observe a stale value.
+#[test]
+fn tiny_window_churn_keeps_values_coherent() {
+    let mut sys = adaptive_system(2);
+    let a = WordAddr::new(0);
+    let b = WordAddr::new(1028);
+    let mut expected_a = 0;
+    let mut expected_b = 0;
+    for i in 1..=40u64 {
+        let p = (i % 4) as usize;
+        if i % 3 == 0 {
+            expected_a = i;
+            sys.write(p, a, i).unwrap();
+        } else if i % 7 == 0 {
+            expected_b = i;
+            sys.write(p, b, i).unwrap();
+        }
+        assert_eq!(sys.read(p, a).unwrap(), expected_a, "step {i}");
+        assert_eq!(sys.read(p, b).unwrap(), expected_b, "step {i}");
+    }
+    assert!(switches(&sys) > 0, "window 2 must actually churn");
+    sys.check_invariants().expect("invariants");
+}

@@ -318,6 +318,28 @@ mod tests {
     }
 
     #[test]
+    fn shrunken_dest_set_is_a_distinct_key() {
+        // The protocol shrinks a block's sharer set when copies are
+        // invalidated (e.g. a DW -> GR mode switch); the memo key hashes
+        // the full DestSet, so the smaller cast must miss and recost
+        // rather than replay the old full-set charges.
+        let net = Omega::new(3).unwrap();
+        let full = DestSet::from_ports(8, [1usize, 2, 3]).unwrap();
+        let one = DestSet::from_ports(8, [1usize]).unwrap();
+        let mut cache = CastCache::new();
+        let mut t = TrafficMatrix::new(&net);
+        let a = cache
+            .multicast(&net, SchemeKind::Replicated, 0, &full, 64, &mut t)
+            .unwrap();
+        let b = cache
+            .multicast(&net, SchemeKind::Replicated, 0, &one, 64, &mut t)
+            .unwrap();
+        assert!(b.cost_bits < a.cost_bits, "smaller set must cost less");
+        assert_eq!(b.delivered, vec![1]);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+    }
+
+    #[test]
     fn errors_pass_through_uncached() {
         let net = Omega::new(3).unwrap();
         let empty = DestSet::empty(8);

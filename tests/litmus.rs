@@ -213,6 +213,64 @@ fn write_after_mode_switch_is_never_lost() {
     }
 }
 
+/// Multicast memoization across mode switches: after a DW -> GR -> DW
+/// round trip shrinks a block's sharer set, the owner's update cast must
+/// be routed (and charged) for the *new* present set — the memoized
+/// traversal for the old full set keys on the destination set and cannot
+/// be replayed for the smaller one.
+#[test]
+fn cast_cache_tracks_sharer_set_across_mode_switches() {
+    let mut sys = two_mode_fixed(4, Mode::DistributedWrite);
+    // Every processor loads the block: present set {0, 1, 2, 3}.
+    sys.write(0, a(), 1);
+    for p in 0..4 {
+        assert_eq!(sys.read(p, a()), 1);
+    }
+    // Steady-state cost of one DW update to the full set (second write is
+    // a memo replay; the charges are identical either way).
+    sys.write(0, a(), 2);
+    let before = sys.total_traffic_bits();
+    sys.write(0, a(), 3);
+    let full_set_bits = sys.total_traffic_bits() - before;
+
+    // DW -> GR invalidates the copies; back to DW with only proc 1
+    // re-reading leaves the present set at {0, 1}.
+    sys.inner_mut()
+        .set_mode(0, a(), Mode::GlobalRead)
+        .expect("switch to GR");
+    sys.write(0, a(), 4);
+    sys.inner_mut()
+        .set_mode(0, a(), Mode::DistributedWrite)
+        .expect("switch back");
+    sys.write(0, a(), 5);
+    assert_eq!(sys.read(1, a()), 5);
+
+    sys.write(0, a(), 6);
+    let before = sys.total_traffic_bits();
+    sys.write(0, a(), 7);
+    let small_set_bits = sys.total_traffic_bits() - before;
+    assert!(
+        small_set_bits < full_set_bits,
+        "update to shrunken sharer set must cost less than the old full-set \
+         cast ({small_set_bits} vs {full_set_bits} bits) — stale memoized route?"
+    );
+
+    // Values stayed coherent throughout, and restoring the full set
+    // restores the original steady-state cast cost bit-for-bit.
+    for p in 0..4 {
+        assert_eq!(sys.read(p, a()), 7, "proc {p}");
+    }
+    sys.write(0, a(), 8);
+    let before = sys.total_traffic_bits();
+    sys.write(0, a(), 9);
+    assert_eq!(
+        sys.total_traffic_bits() - before,
+        full_set_bits,
+        "full present set must replay the original cast cost"
+    );
+    sys.inner().check_invariants().expect("invariants");
+}
+
 /// A storm of alternating mode directives interleaved with writes and
 /// reads from every processor: values always track program order and the
 /// protocol invariants hold throughout.
