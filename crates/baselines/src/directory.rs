@@ -184,7 +184,7 @@ impl DirectoryInvalidateSystem {
             .data
             .clone();
         self.send(holder, home, self.sizing.block_transfer_bits());
-        self.memory.write_block(block, data);
+        self.memory.write_block(block, &data);
         let entry = self.directory.get_mut(&block).expect("present");
         entry.dirty = false;
         if drop_holder {
@@ -215,7 +215,7 @@ impl DirectoryInvalidateSystem {
             LineState::Exclusive => {
                 self.send(proc, home, self.sizing.block_transfer_bits());
                 self.counters.incr("writebacks");
-                self.memory.write_block(victim, line.data);
+                self.memory.write_block(victim, &line.data);
                 let entry = self.directory.entry(victim).or_default();
                 entry.dirty = false;
                 entry.sharers.clear();
@@ -257,7 +257,7 @@ impl CoherentSystem for DirectoryInvalidateSystem {
             let home = self.home(block);
             self.send(proc, home, self.sizing.request_bits());
             self.recall_if_dirty(block, false);
-            let data = self.memory.read_block(block).clone();
+            let data = self.memory.block_data(block);
             self.send(home, proc, self.sizing.block_transfer_bits());
             let value = data.word(offset);
             self.install(
@@ -321,7 +321,7 @@ impl CoherentSystem for DirectoryInvalidateSystem {
                 self.send(proc, home, self.sizing.request_bits());
                 self.recall_if_dirty(block, true);
                 self.invalidate_others(block, usize::MAX);
-                let data = self.memory.read_block(block).clone();
+                let data = self.memory.block_data(block);
                 self.send(home, proc, self.sizing.block_transfer_bits());
                 self.install(
                     proc,
@@ -373,7 +373,7 @@ impl CoherentSystem for DirectoryInvalidateSystem {
                 let data = self.caches[proc].peek(block).expect("listed").data.clone();
                 self.send(proc, home, self.sizing.block_transfer_bits());
                 self.counters.incr("writebacks");
-                self.memory.write_block(block, data);
+                self.memory.write_block(block, &data);
                 self.caches[proc].peek_mut(block).expect("listed").state = LineState::Shared;
                 self.directory.entry(block).or_default().dirty = false;
             }
@@ -391,7 +391,7 @@ impl CoherentSystem for DirectoryInvalidateSystem {
                 }
             }
         }
-        self.memory.read_block(block).word(offset)
+        self.memory.read_block(block)[offset]
     }
 
     fn set_tracing(&mut self, on: bool) {

@@ -89,7 +89,7 @@ impl CoherentSystem for NoCacheSystem {
         self.send(proc, home, self.sizing.request_bits());
         self.send(home, proc, self.sizing.datum_bits());
         self.counters.incr("reads");
-        let value = self.memory.read_block(block).word(offset);
+        let value = self.memory.read_block(block)[offset];
         if self.tracer.is_enabled() {
             let cost_bits = self.traffic.total_bits() - before;
             self.tracer.push(ProtocolEvent::Read {
@@ -115,9 +115,9 @@ impl CoherentSystem for NoCacheSystem {
         let (block, offset, home) = self.locate(addr);
         self.send(proc, home, self.sizing.update_bits());
         self.counters.incr("writes");
-        let mut data = self.memory.read_block(block).clone();
+        let mut data = self.memory.block_data(block);
         data.set_word(offset, value);
-        self.memory.write_block(block, data);
+        self.memory.write_block(block, &data);
         if self.tracer.is_enabled() {
             let cost_bits = self.traffic.total_bits() - before;
             self.tracer.push(ProtocolEvent::Write {
@@ -146,7 +146,7 @@ impl CoherentSystem for NoCacheSystem {
 
     fn peek_word(&self, addr: WordAddr) -> u64 {
         let (block, offset, _) = self.locate(addr);
-        self.memory.read_block(block).word(offset)
+        self.memory.read_block(block)[offset]
     }
 
     fn set_tracing(&mut self, on: bool) {

@@ -116,7 +116,7 @@ impl SoftwareMarkedSystem {
         let home = self.home(block);
         self.send(proc, home, self.sizing.request_bits());
         self.send(home, proc, self.sizing.block_transfer_bits());
-        let data = self.memory.read_block(block).clone();
+        let data = self.memory.block_data(block);
         if let Some((victim, _)) = self.caches[proc].would_evict(block) {
             self.evict(proc, victim);
         }
@@ -129,7 +129,7 @@ impl SoftwareMarkedSystem {
             let home = self.home(victim);
             self.send(proc, home, self.sizing.block_transfer_bits());
             self.counters.incr("writebacks");
-            self.memory.write_block(victim, line.data);
+            self.memory.write_block(victim, &line.data);
         }
     }
 }
@@ -153,7 +153,7 @@ impl CoherentSystem for SoftwareMarkedSystem {
             self.send(proc, home, self.sizing.request_bits());
             self.send(home, proc, self.sizing.datum_bits());
             self.counters.incr("uncached_reads");
-            (self.memory.read_block(block).word(offset), false)
+            (self.memory.read_block(block)[offset], false)
         } else {
             let hit = self.caches[proc].get(block).is_some();
             if hit {
@@ -199,9 +199,9 @@ impl CoherentSystem for SoftwareMarkedSystem {
             let home = self.home(block);
             self.send(proc, home, self.sizing.update_bits());
             self.counters.incr("uncached_writes");
-            let mut data = self.memory.read_block(block).clone();
+            let mut data = self.memory.block_data(block);
             data.set_word(offset, value);
-            self.memory.write_block(block, data);
+            self.memory.write_block(block, &data);
         } else {
             hit = self.caches[proc].get(block).is_some();
             if !hit {
@@ -246,7 +246,7 @@ impl CoherentSystem for SoftwareMarkedSystem {
                 let home = self.home(block);
                 self.send(proc, home, self.sizing.block_transfer_bits());
                 self.counters.incr("writebacks");
-                self.memory.write_block(block, data);
+                self.memory.write_block(block, &data);
                 self.caches[proc].peek_mut(block).expect("listed").dirty = false;
             }
         }
@@ -265,7 +265,7 @@ impl CoherentSystem for SoftwareMarkedSystem {
                 }
             }
         }
-        self.memory.read_block(block).word(offset)
+        self.memory.read_block(block)[offset]
     }
 
     fn set_tracing(&mut self, on: bool) {

@@ -123,7 +123,7 @@ impl UpdateOnlySystem {
                 }
             }
         }
-        self.memory.read_block(block).clone()
+        self.memory.block_data(block)
     }
 
     fn install(&mut self, proc: usize, block: BlockAddr, line: Line) {
@@ -150,7 +150,7 @@ impl UpdateOnlySystem {
                 .clone();
             self.send(proc, home, self.sizing.block_transfer_bits());
             self.counters.incr("writebacks");
-            self.memory.write_block(victim, data);
+            self.memory.write_block(victim, &data);
         } else {
             self.send(proc, home, self.sizing.request_bits());
         }
@@ -185,7 +185,7 @@ impl UpdateOnlySystem {
             data
         } else {
             self.send(home, proc, self.sizing.block_transfer_bits());
-            self.memory.read_block(block).clone()
+            self.memory.block_data(block)
         };
         self.install(proc, block, Line { data });
         let entry = self.directory.entry(block).or_default();
@@ -328,7 +328,7 @@ impl CoherentSystem for UpdateOnlySystem {
                 let home = self.home(block);
                 self.send(w, home, self.sizing.block_transfer_bits());
                 self.counters.incr("writebacks");
-                self.memory.write_block(block, data);
+                self.memory.write_block(block, &data);
             }
             self.directory.get_mut(&block).expect("listed").last_writer = None;
         }

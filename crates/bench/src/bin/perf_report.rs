@@ -38,7 +38,7 @@ use std::hint::black_box;
 use tmc_baselines::{two_mode_adaptive, CoherentSystem};
 use tmc_bench::{drive, drive_steady_state, shardsim, sweep, timer};
 use tmc_simcore::{EventQueue, SimRng, SimTime};
-use tmc_workload::{Placement, SharedBlockWorkload};
+use tmc_workload::{MultiTenantZipfWorkload, Placement, SharedBlockWorkload};
 
 const N_PROCS: usize = 16;
 const N_TASKS: usize = 8;
@@ -52,6 +52,29 @@ const N_SYSTEMS: usize = 6;
 const SHARD_REFS: usize = 200_000;
 /// Worker threads the shard benchmark asks for (the acceptance point).
 const SHARD_WORKERS: usize = 8;
+
+/// References per big-machine scaling cell.
+const BIG_REFS: usize = 120_000;
+/// Footprint of the big-N cells: 128 tenants × 1024 blocks = 2^17 blocks.
+const BIG_N_BLOCKS: u64 = 1 << 17;
+/// Footprint of the big-M cell: 2048 tenants × 1024 blocks = 2^21 blocks.
+const BIG_M_BLOCKS: u64 = 1 << 21;
+
+/// One big-machine scaling cell: the serial two-mode adaptive engine over
+/// the multi-tenant Zipfian workload at `n_procs` caches and
+/// `tenants × 1024` blocks. Returns refs/s.
+fn big_cell(n_procs: usize, tenants: u64, users: u64) -> f64 {
+    let trace = MultiTenantZipfWorkload::new(n_procs, users, 0.2)
+        .tenants(tenants)
+        .blocks_per_tenant(1024)
+        .references(BIG_REFS)
+        .generate(n_procs, &mut SimRng::seed_from(0xB16 ^ n_procs as u64));
+    let mut sys = two_mode_adaptive(n_procs, 64);
+    let (_, t) = timer::time_once(|| {
+        black_box(drive(&mut sys, &trace));
+    });
+    BIG_REFS as f64 / t.as_secs_f64()
+}
 
 /// The sim_fig8 grid: 8 write fractions × 6 systems.
 fn grid_cells() -> Vec<(f64, u64, usize)> {
@@ -233,6 +256,10 @@ fn check_report(text: &str) -> Result<Vec<String>, String> {
         "shard_serial_refs_per_sec",
         "shard_refs_per_sec",
         "shard_speedup",
+        "bigN_64_refs_per_sec",
+        "bigN_256_refs_per_sec",
+        "bigN_1024_refs_per_sec",
+        "bigM_1024_refs_per_sec",
     ] {
         let v: f64 = field(key)?
             .parse()
@@ -248,6 +275,9 @@ fn check_report(text: &str) -> Result<Vec<String>, String> {
         "shards",
         "shard_workers",
         "shard_refs",
+        "big_refs",
+        "bigN_blocks",
+        "bigM_blocks",
     ] {
         let v: u64 = field(key)?
             .parse()
@@ -402,6 +432,17 @@ fn main() {
          {shard_speedup:.2}x vs {shard_serial_rps:.0} serial)"
     );
 
+    // Big-machine scaling curve: N caches over 2^17 Zipf-touched blocks,
+    // plus the 2^21-block footprint at N=1024.
+    let bign_64 = big_cell(64, BIG_N_BLOCKS / 1024, 1_000_000);
+    println!("bigN 64          : {bign_64:.0} refs/s (2^17 blocks)");
+    let bign_256 = big_cell(256, BIG_N_BLOCKS / 1024, 1_000_000);
+    println!("bigN 256         : {bign_256:.0} refs/s (2^17 blocks)");
+    let bign_1024 = big_cell(1024, BIG_N_BLOCKS / 1024, 1_000_000);
+    println!("bigN 1024        : {bign_1024:.0} refs/s (2^17 blocks)");
+    let bigm_1024 = big_cell(1024, BIG_M_BLOCKS / 1024, 4_000_000);
+    println!("bigM 1024        : {bigm_1024:.0} refs/s (2^21 blocks)");
+
     let faults = match std::env::var("TMC_PERF_FAULTS")
         .ok()
         .and_then(|s| s.trim().parse::<u64>().ok())
@@ -419,7 +460,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": {n_cells},\n  \"refs_per_cell\": {REFS},\n  \"sweep_threads\": {threads},\n  \"physical_cores\": {physical_cores},\n  \"event_queue_events_per_sec\": {events_per_sec:.1},\n  \"protocol_refs_per_sec\": {refs_per_sec:.1},\n  \"sweep_serial_seconds\": {:.6},\n  \"sweep_parallel_seconds\": {:.6},\n  \"sweep_parallel_refs_per_sec\": {:.1},\n  \"sweep_speedup\": {speedup:.4},\n  \"shards\": {shards},\n  \"shard_workers\": {shard_workers},\n  \"shard_refs\": {SHARD_REFS},\n  \"shard_serial_refs_per_sec\": {shard_serial_rps:.1},\n  \"shard_refs_per_sec\": {shard_rps:.1},\n  \"shard_speedup\": {shard_speedup:.4},\n  \"faults_injected\": {},\n  \"fault_retries\": {},\n  \"fault_recoveries\": {},\n  \"fault_degradations\": {},\n  \"deterministic\": true\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": {n_cells},\n  \"refs_per_cell\": {REFS},\n  \"sweep_threads\": {threads},\n  \"physical_cores\": {physical_cores},\n  \"event_queue_events_per_sec\": {events_per_sec:.1},\n  \"protocol_refs_per_sec\": {refs_per_sec:.1},\n  \"sweep_serial_seconds\": {:.6},\n  \"sweep_parallel_seconds\": {:.6},\n  \"sweep_parallel_refs_per_sec\": {:.1},\n  \"sweep_speedup\": {speedup:.4},\n  \"shards\": {shards},\n  \"shard_workers\": {shard_workers},\n  \"shard_refs\": {SHARD_REFS},\n  \"shard_serial_refs_per_sec\": {shard_serial_rps:.1},\n  \"shard_refs_per_sec\": {shard_rps:.1},\n  \"shard_speedup\": {shard_speedup:.4},\n  \"big_refs\": {BIG_REFS},\n  \"bigN_blocks\": {BIG_N_BLOCKS},\n  \"bigM_blocks\": {BIG_M_BLOCKS},\n  \"bigN_64_refs_per_sec\": {bign_64:.1},\n  \"bigN_256_refs_per_sec\": {bign_256:.1},\n  \"bigN_1024_refs_per_sec\": {bign_1024:.1},\n  \"bigM_1024_refs_per_sec\": {bigm_1024:.1},\n  \"faults_injected\": {},\n  \"fault_retries\": {},\n  \"fault_recoveries\": {},\n  \"fault_degradations\": {},\n  \"deterministic\": true\n}}\n",
         serial_time.as_secs_f64(),
         parallel_time.as_secs_f64(),
         sweep_refs / parallel_time.as_secs_f64(),
@@ -452,7 +493,11 @@ mod tests {
              \"sweep_parallel_refs_per_sec\": 1e6,\n  \"sweep_speedup\": 1.0,\n  \
              \"shards\": 8,\n  \"shard_workers\": 8,\n  \"shard_refs\": 200000,\n  \
              \"shard_serial_refs_per_sec\": 1e6,\n  \"shard_refs_per_sec\": 1e6,\n  \
-             \"shard_speedup\": {shard_speedup},\n  \"faults_injected\": 0,\n  \
+             \"shard_speedup\": {shard_speedup},\n  \"big_refs\": 120000,\n  \
+             \"bigN_blocks\": 131072,\n  \"bigM_blocks\": 2097152,\n  \
+             \"bigN_64_refs_per_sec\": 1e6,\n  \"bigN_256_refs_per_sec\": 1e6,\n  \
+             \"bigN_1024_refs_per_sec\": 1e6,\n  \"bigM_1024_refs_per_sec\": 1e6,\n  \
+             \"faults_injected\": 0,\n  \
              \"fault_retries\": 0,\n  \"fault_recoveries\": 0,\n  \
              \"fault_degradations\": 0,\n  \"deterministic\": true\n}}\n"
         )

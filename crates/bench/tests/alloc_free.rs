@@ -1,0 +1,225 @@
+//! Pins the allocation-free hot paths at full machine scale: N = 1024
+//! ports and an M = 2^21-block multi-tenant Zipfian footprint. A counting
+//! global allocator proves — not just claims — that after one warmup pass
+//! the steady-state paths touch the heap exactly zero times:
+//!
+//! * `MultiTenantZipfWorkload::generate_into` on reused buffers,
+//! * `DestSet` algebra in both its small-list and bitmap layouts,
+//! * re-writes and reads against already-materialized `MainMemory` /
+//!   `BlockStore` pages,
+//! * the `CastCache` memo-hit path through a 1024-port omega network.
+//!
+//! Everything lives in one `#[test]` and the counter is thread-local, so
+//! concurrently running tests in this binary cannot pollute the counts.
+
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::cell::Cell;
+use std::hint::black_box;
+
+use tmc_memsys::{BlockAddr, BlockData, BlockSpec, BlockStore, CacheId, MainMemory};
+use tmc_omeganet::{CastCache, DestSet, Omega, SchemeKind, TrafficMatrix};
+use tmc_simcore::SimRng;
+use tmc_workload::{MultiTenantZipfWorkload, Trace};
+
+/// Counts heap acquisitions on the current thread. Deallocation is free
+/// to happen (dropping a demoted bitmap is fine); what the hot paths must
+/// never do after warmup is *acquire* memory.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap acquisitions it performed.
+fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(Cell::get);
+    f();
+    ALLOCS.with(Cell::get) - before
+}
+
+const N_PORTS: usize = 1024;
+/// 2048 tenants × 1024 blocks each = 2^21 distinct blocks.
+const TENANTS: u64 = 2048;
+const BLOCKS_PER_TENANT: u64 = 1024;
+const REFS: usize = 20_000;
+
+#[test]
+fn hot_paths_allocate_nothing_after_warmup() {
+    workload_regeneration_is_allocation_free();
+    destset_small_and_bitmap_ops_are_allocation_free();
+    materialized_pages_are_allocation_free();
+    castcache_hits_are_allocation_free();
+}
+
+/// The big-M cell's trace generation: after the first pass sizes the
+/// trace and assignment buffers, regenerating 20k references over a
+/// 2^21-block footprint is pure arithmetic.
+fn workload_regeneration_is_allocation_free() {
+    let wl = MultiTenantZipfWorkload::new(N_PORTS, 1 << 20, 0.3)
+        .tenants(TENANTS)
+        .blocks_per_tenant(BLOCKS_PER_TENANT)
+        .references(REFS);
+    assert_eq!(wl.total_blocks(), 1 << 21);
+
+    let mut rng = SimRng::seed_from(0xA110C);
+    let mut trace = Trace::with_capacity(N_PORTS, REFS);
+    let mut assignment = Vec::new();
+    wl.generate_into(&mut rng, &mut trace, &mut assignment);
+    assert_eq!(trace.len(), REFS);
+
+    let n = allocations(|| {
+        wl.generate_into(&mut rng, &mut trace, &mut assignment);
+    });
+    assert_eq!(n, 0, "generate_into allocated {n} times on reused buffers");
+    assert_eq!(trace.len(), REFS);
+}
+
+/// Sharer-set algebra at N = 1024 in both post-inline layouts. The
+/// small-list arm stays strictly under the promotion threshold; the
+/// bitmap arm stays strictly above the demotion threshold, so neither
+/// crosses a representation boundary mid-measurement.
+fn destset_small_and_bitmap_ops_are_allocation_free() {
+    let small_ports = [3usize, 64, 65, 127, 512, 700, 1023];
+    let n = allocations(|| {
+        let mut s = DestSet::empty(N_PORTS);
+        for p in small_ports {
+            s.insert(p);
+        }
+        let t = s.clone();
+        assert!(t.contains_all(&s) && s.contains_all(&t));
+        assert!(s.intersects(&t));
+        assert!(s.any_in_range(512, 513));
+        assert!(!s.any_in_range(128, 512));
+        let mut sum = 0usize;
+        for p in s.iter() {
+            sum += p;
+        }
+        let mut u = t.clone();
+        u.union_with(&s);
+        u.difference_with(&s);
+        assert!(u.is_empty());
+        s.remove(700);
+        assert_eq!(s.len(), small_ports.len() - 1);
+        black_box(sum);
+    });
+    assert_eq!(n, 0, "small-list DestSet ops allocated {n} times");
+
+    // Bitmap layout: 40 members is far above the 12-entry small list.
+    let mut a = DestSet::from_ports(N_PORTS, (0..40).map(|i| i * 25)).expect("ports");
+    let b = DestSet::from_ports(N_PORTS, (0..40).map(|i| i * 25 + 1)).expect("ports");
+    let n = allocations(|| {
+        assert!(a.contains(975) && !a.contains(976));
+        assert!(!a.intersects(&b));
+        assert!(a.any_in_range(970, N_PORTS));
+        let mut sum = 0usize;
+        for p in a.iter() {
+            sum += p;
+        }
+        a.remove(0);
+        a.insert(0);
+        assert_eq!(a.len(), 40);
+        black_box(sum);
+    });
+    assert_eq!(n, 0, "bitmap DestSet ops allocated {n} times");
+    // In-place union over already-sized words grows len without new words.
+    let n = allocations(|| {
+        a.union_with(&b);
+        assert_eq!(a.len(), 80);
+    });
+    assert_eq!(n, 0, "bitmap union_with allocated {n} times");
+}
+
+/// Once a page is materialized by first touch, re-writing and reading its
+/// blocks is plain indexed access — across a footprint wide enough to
+/// span many pages of the sparse directory.
+fn materialized_pages_are_allocation_free() {
+    let spec = BlockSpec::new(2);
+    let mut mem = MainMemory::new(spec);
+    let mut store = BlockStore::new();
+    let data = BlockData::from_words(vec![0xD15E_A5E5; spec.words_per_block()]);
+
+    // Warmup: touch 64 blocks strided across 16 pages.
+    let blocks: Vec<BlockAddr> = (0..64u64).map(|i| BlockAddr::new(i * 251)).collect();
+    for &b in &blocks {
+        mem.write_block(b, &data);
+        store.set_owner(b, CacheId(3));
+    }
+    assert!(mem.resident_pages() >= 16);
+
+    let n = allocations(|| {
+        for &b in &blocks {
+            mem.write_block(b, &data);
+            assert_eq!(mem.read_block(b)[0], 0xD15E_A5E5);
+            assert_eq!(store.owner(b), Some(CacheId(3)));
+            store.clear(b);
+            store.set_owner(b, CacheId(7));
+        }
+        assert_eq!(mem.iter().count(), blocks.len());
+        assert_eq!(store.iter().count(), blocks.len());
+    });
+    assert_eq!(n, 0, "materialized-page access allocated {n} times");
+}
+
+/// The multicast memo table at full network width: after one recorded
+/// miss, repeat casts of the same sharer set replay link charges and
+/// refill the caller's delivery buffer without touching the heap.
+fn castcache_hits_are_allocation_free() {
+    let net = Omega::new(10).expect("1024-port omega");
+    let mut cache = CastCache::new();
+    let mut traffic = TrafficMatrix::new(&net);
+    let mut delivered = Vec::new();
+    let dests = DestSet::from_ports(N_PORTS, (0..48).map(|i| i * 21)).expect("ports");
+
+    cache
+        .multicast_into(
+            &net,
+            SchemeKind::Combined,
+            5,
+            &dests,
+            128,
+            &mut traffic,
+            &mut delivered,
+            None,
+        )
+        .expect("warmup cast");
+    assert_eq!(cache.misses(), 1);
+
+    let n = allocations(|| {
+        for _ in 0..64 {
+            cache
+                .multicast_into(
+                    &net,
+                    SchemeKind::Combined,
+                    5,
+                    &dests,
+                    128,
+                    &mut traffic,
+                    &mut delivered,
+                    None,
+                )
+                .expect("hit cast");
+        }
+        assert_eq!(delivered.len(), 48);
+    });
+    assert_eq!(n, 0, "CastCache hit path allocated {n} times");
+    assert_eq!(cache.hits(), 64);
+}

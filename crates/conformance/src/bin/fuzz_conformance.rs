@@ -17,8 +17,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use tmc_conformance::gen::{generate_case_with, GenProfile};
 use tmc_conformance::pairs::Pair;
-use tmc_conformance::{check_pair, corpus, gen::generate_case, shrink::shrink};
+use tmc_conformance::{check_pair, corpus, shrink::shrink};
 
 /// Default seed for reproducible smoke runs.
 const SMOKE_SEED: u64 = 1;
@@ -29,6 +30,7 @@ struct Args {
     smoke: bool,
     budget: Option<usize>,
     seed: u64,
+    profile: GenProfile,
     corpus: Option<PathBuf>,
     corpus_out: Option<PathBuf>,
 }
@@ -38,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         budget: None,
         seed: SMOKE_SEED,
+        profile: GenProfile::Classic,
         corpus: None,
         corpus_out: None,
     };
@@ -58,11 +61,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--seed wants a number".to_string())?
             }
+            "--bign" => args.profile = GenProfile::BigN,
             "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus")?)),
             "--corpus-out" => args.corpus_out = Some(PathBuf::from(value("--corpus-out")?)),
             "--help" | "-h" => {
                 println!(
-                    "usage: fuzz_conformance [--smoke] [--budget N] [--seed S] \
+                    "usage: fuzz_conformance [--smoke] [--budget N] [--seed S] [--bign] \
                      [--corpus DIR] [--corpus-out DIR]"
                 );
                 std::process::exit(0);
@@ -112,7 +116,7 @@ fn main() -> ExitCode {
 
     if args.smoke || args.budget.is_some() {
         let budget = args.budget.unwrap_or(SMOKE_BUDGET);
-        failed |= fuzz(args.seed, budget, args.corpus_out.as_deref());
+        failed |= fuzz(args.seed, budget, args.profile, args.corpus_out.as_deref());
     }
 
     if failed {
@@ -123,14 +127,19 @@ fn main() -> ExitCode {
 }
 
 /// Runs `budget` generated cases; returns whether any diverged.
-fn fuzz(seed0: u64, budget: usize, corpus_out: Option<&std::path::Path>) -> bool {
+fn fuzz(
+    seed0: u64,
+    budget: usize,
+    profile: GenProfile,
+    corpus_out: Option<&std::path::Path>,
+) -> bool {
     let started = Instant::now();
     let mut applied: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut divergences = 0usize;
 
     for i in 0..budget {
         let seed = seed0.wrapping_add(i as u64);
-        let case = generate_case(seed);
+        let case = generate_case_with(seed, profile);
         for pair in Pair::all() {
             if !pair.applies(&case) {
                 continue;

@@ -13,8 +13,8 @@ use tmc_core::{Mode, ModePolicy};
 use tmc_omeganet::SchemeKind;
 use tmc_simcore::SimRng;
 use tmc_workload::{
-    HotSpotWorkload, MigratingWorkload, Placement, PrivateWorkload, SharedBlockWorkload,
-    StencilWorkload, Trace,
+    HotSpotWorkload, MigratingWorkload, MultiTenantZipfWorkload, Placement, PrivateWorkload,
+    SharedBlockWorkload, StencilWorkload, Trace,
 };
 
 use crate::case::{AnalyticProbe, CaseSpec};
@@ -22,11 +22,34 @@ use crate::case::{AnalyticProbe, CaseSpec};
 /// Distinguishes the generator's rng stream from other users of the seed.
 const GEN_STREAM: u64 = 0xC0FF_EE00;
 
-/// Generates the conformance case for `seed`.
+/// Which corner of the configuration space to sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GenProfile {
+    /// The historical distribution: 2–16 caches, small block counts.
+    /// `generate_case` keeps producing exactly these cases, so existing
+    /// corpus seeds stay meaningful.
+    #[default]
+    Classic,
+    /// Big machines: 64–1024 caches and footprints up to ~2^17 blocks,
+    /// putting `DestSet` in its small-list/bitmap layouts and scattering
+    /// state across many store pages. Enabled with `fuzz_conformance
+    /// --bign`.
+    BigN,
+}
+
+/// Generates the conformance case for `seed` under the classic profile.
 pub fn generate_case(seed: u64) -> CaseSpec {
+    generate_case_with(seed, GenProfile::Classic)
+}
+
+/// Generates the conformance case for `seed` under `profile`.
+pub fn generate_case_with(seed: u64, profile: GenProfile) -> CaseSpec {
     let mut rng = SimRng::seed_from(seed).fork(GEN_STREAM);
 
-    let n_caches = *rng.choose(&[2usize, 4, 8, 16]).unwrap();
+    let n_caches = match profile {
+        GenProfile::Classic => *rng.choose(&[2usize, 4, 8, 16]).unwrap(),
+        GenProfile::BigN => *rng.choose(&[64usize, 128, 256, 1024]).unwrap(),
+    };
     let sets = *rng.choose(&[1usize, 2, 4, 8]).unwrap();
     let ways = *rng.choose(&[1usize, 2, 4]).unwrap();
     let words_log2 = rng.gen_range(0u32..4);
@@ -50,7 +73,7 @@ pub fn generate_case(seed: u64) -> CaseSpec {
     let owner_bypass = rng.gen_bool(0.8);
     let shards = *rng.choose(&[2usize, 4, 8]).unwrap();
 
-    let trace = random_trace(&mut rng, n_caches);
+    let trace = random_trace(&mut rng, n_caches, profile);
     let mut ops = script_from_trace(&trace);
     sprinkle_mode_directives(&mut rng, &mut ops, n_caches);
 
@@ -80,14 +103,36 @@ pub fn generate_case(seed: u64) -> CaseSpec {
     }
 }
 
-/// Draws one of the five workload families and generates a trace.
-fn random_trace(rng: &mut SimRng, n_procs: usize) -> Trace {
+/// Draws one of the workload families and generates a trace. The big-N
+/// profile widens block counts (large-M footprints) and adds the
+/// multi-tenant Zipfian family to the rotation.
+fn random_trace(rng: &mut SimRng, n_procs: usize, profile: GenProfile) -> Trace {
     let refs = rng.gen_range(40usize..400);
     let n_tasks = rng.gen_range(2usize..=n_procs.max(2)).min(n_procs);
     let placement = Placement::Adjacent { base: 0 };
     let mut wl_rng = rng.fork(1);
+    if profile == GenProfile::BigN && rng.gen_bool(0.4) {
+        let tenants = rng.gen_range(8u64..65);
+        let blocks_per_tenant = rng.gen_range(64u64..2049);
+        return MultiTenantZipfWorkload::new(
+            n_tasks,
+            1 << rng.gen_range(16u32..21),
+            rng.gen_unit(),
+        )
+        .tenants(tenants)
+        .blocks_per_tenant(blocks_per_tenant)
+        .references(refs)
+        .placement(placement)
+        .generate(n_procs, &mut wl_rng);
+    }
+    let m_scale = match profile {
+        GenProfile::Classic => 1,
+        // Spread the same families over thousands of blocks so page
+        // boundaries and sparse directories get crossed constantly.
+        GenProfile::BigN => rng.gen_range(64u64..1025),
+    };
     match rng.gen_range(0u32..5) {
-        0 => SharedBlockWorkload::new(n_tasks, rng.gen_range(1u64..9), rng.gen_unit())
+        0 => SharedBlockWorkload::new(n_tasks, m_scale * rng.gen_range(1u64..9), rng.gen_unit())
             .references(refs)
             .placement(placement)
             .generate(n_procs, &mut wl_rng),
@@ -97,14 +142,14 @@ fn random_trace(rng: &mut SimRng, n_procs: usize) -> Trace {
             .generate(n_procs, &mut wl_rng),
         2 => MigratingWorkload::new(
             n_tasks,
-            rng.gen_range(1u64..5),
+            m_scale * rng.gen_range(1u64..5),
             rng.gen_unit(),
             rng.gen_range(3usize..17),
         )
         .references(refs)
         .placement(placement)
         .generate(n_procs, &mut wl_rng),
-        3 => PrivateWorkload::new(n_tasks, rng.gen_range(1u64..4), rng.gen_unit())
+        3 => PrivateWorkload::new(n_tasks, m_scale * rng.gen_range(1u64..4), rng.gen_unit())
             .references(refs)
             .placement(placement)
             .generate(n_procs, &mut wl_rng),
@@ -155,6 +200,35 @@ mod tests {
             .iter()
             .any(|c| matches!(c.policy, ModePolicy::Adaptive { .. })));
         assert!(cases.iter().any(|c| c.analytic.is_some()));
+    }
+
+    #[test]
+    fn big_n_profile_is_deterministic_and_big() {
+        let a = generate_case_with(7, GenProfile::BigN);
+        let b = generate_case_with(7, GenProfile::BigN);
+        assert_eq!(a, b);
+        let cases: Vec<CaseSpec> = (0..24)
+            .map(|s| generate_case_with(s, GenProfile::BigN))
+            .collect();
+        assert!(cases.iter().all(|c| c.n_caches >= 64));
+        assert!(cases.iter().any(|c| c.n_caches >= 256));
+        // Classic cases are untouched by the new profile plumbing.
+        assert!((0..24).map(generate_case).all(|c| c.n_caches <= 16));
+    }
+
+    #[test]
+    fn big_n_procs_stay_in_range() {
+        for seed in 0..12 {
+            let c = generate_case_with(seed, GenProfile::BigN);
+            for op in &c.ops {
+                let proc = match *op {
+                    ShardOp::Read { proc, .. }
+                    | ShardOp::Write { proc, .. }
+                    | ShardOp::SetMode { proc, .. } => proc,
+                };
+                assert!(proc < c.n_caches, "seed {seed}: proc {proc} out of range");
+            }
+        }
     }
 
     #[test]

@@ -289,7 +289,7 @@ impl System {
                 return line.data.word(offset);
             }
         }
-        self.memory.read_block(block).word(offset)
+        self.memory.read_block(block)[offset]
     }
 
     /// Injects `n` negative acknowledgements into upcoming ownership
@@ -862,7 +862,7 @@ impl System {
                     self.cfg.sizing.block_transfer_bits(),
                 );
                 self.counters.incr("writebacks");
-                self.memory.write_block(block, data);
+                self.memory.write_block(block, &data);
                 self.caches[proc].peek_mut(block).expect("listed").modified = false;
             }
         }
@@ -945,7 +945,7 @@ impl System {
     /// Memory serves the block; requester becomes the exclusive owner in
     /// the policy's initial mode.
     fn load_from_memory(&mut self, proc: usize, block: BlockAddr, offset: usize, h: usize) -> u64 {
-        let data = self.memory.read_block(block).clone();
+        let data = self.memory.block_data(block);
         self.send(
             MsgKind::BlockReply,
             h,
@@ -1275,7 +1275,7 @@ impl System {
                             self.cfg.sizing.block_transfer_bits(),
                         );
                         self.counters.incr("writebacks");
-                        self.memory.write_block(victim, line.data.clone());
+                        self.memory.write_block(victim, &line.data);
                     } else {
                         self.send(
                             MsgKind::ReplaceNotice,
@@ -1847,7 +1847,7 @@ impl System {
                         self.cfg.sizing.block_transfer_bits(),
                     );
                     self.counters.incr("writebacks");
-                    self.memory.write_block(block, data);
+                    self.memory.write_block(block, &data);
                 }
                 None => {
                     self.send(MsgKind::ReplaceNotice, o, h, self.cfg.sizing.request_bits());
@@ -1997,7 +1997,7 @@ impl System {
                 let h = self.home_port(block);
                 self.send(MsgKind::LoadReq, proc, h, self.cfg.sizing.request_bits());
                 self.send(MsgKind::DatumReply, h, proc, self.cfg.sizing.datum_bits());
-                self.memory.read_block(block).word(offset)
+                self.memory.read_block(block)[offset]
             }
         }
     }
@@ -2015,9 +2015,9 @@ impl System {
             None => {
                 let h = self.home_port(block);
                 self.send(MsgKind::UpdateWrite, proc, h, self.cfg.sizing.update_bits());
-                let mut data = self.memory.read_block(block).clone();
+                let mut data = self.memory.block_data(block);
                 data.set_word(offset, value);
-                self.memory.write_block(block, data);
+                self.memory.write_block(block, &data);
             }
         }
     }

@@ -63,6 +63,10 @@ pub struct CastCache {
     map: HashMap<CastKey, CachedCast>,
     /// Reused zero-filled matrix for recording a miss's charges.
     scratch: Option<TrafficMatrix>,
+    /// Reused lookup key: probing with `clone_from` recycles the key's
+    /// destination-set storage, so even heap-bitmap sets hit the memo table
+    /// without allocating.
+    probe: Option<CastKey>,
     hits: u64,
     misses: u64,
 }
@@ -113,23 +117,7 @@ impl CastCache {
         traffic: &mut TrafficMatrix,
         record: Option<&mut Vec<(LinkId, u64)>>,
     ) -> Result<CastReceipt, NetError> {
-        let key = CastKey {
-            kind,
-            src,
-            payload_bits,
-            dests: dests.clone(),
-        };
-        if let Some(cached) = self.map.get(&key) {
-            self.hits += 1;
-            for &(link, bits) in &cached.charges {
-                traffic.add(link, bits);
-            }
-            if let Some(out) = record {
-                out.extend_from_slice(&cached.charges);
-            }
-            return Ok(cached.receipt.clone());
-        }
-        let cached = self.record_miss(net, key, traffic, record)?;
+        let cached = self.cast_cached(net, kind, src, dests, payload_bits, traffic, record)?;
         Ok(cached.receipt.clone())
     }
 
@@ -156,26 +144,54 @@ impl CastCache {
         record: Option<&mut Vec<(LinkId, u64)>>,
     ) -> Result<(SchemeChoice, u64), NetError> {
         delivered.clear();
-        let key = CastKey {
-            kind,
-            src,
-            payload_bits,
-            dests: dests.clone(),
+        let cached = self.cast_cached(net, kind, src, dests, payload_bits, traffic, record)?;
+        delivered.extend_from_slice(&cached.receipt.delivered);
+        Ok((cached.receipt.scheme, cached.receipt.cost_bits))
+    }
+
+    /// Shared lookup: replay a memoized cast's charges, or traverse and
+    /// memoize on a miss. The lookup key is a reusable scratch whose
+    /// destination set is refreshed with `clone_from`, so the hit path
+    /// allocates nothing even when the set is a heap bitmap.
+    #[allow(clippy::too_many_arguments)]
+    fn cast_cached(
+        &mut self,
+        net: &Omega,
+        kind: SchemeKind,
+        src: PortId,
+        dests: &DestSet,
+        payload_bits: u64,
+        traffic: &mut TrafficMatrix,
+        record: Option<&mut Vec<(LinkId, u64)>>,
+    ) -> Result<&CachedCast, NetError> {
+        let probe = match &mut self.probe {
+            Some(p) => {
+                p.kind = kind;
+                p.src = src;
+                p.payload_bits = payload_bits;
+                p.dests.clone_from(dests);
+                p
+            }
+            slot => slot.insert(CastKey {
+                kind,
+                src,
+                payload_bits,
+                dests: dests.clone(),
+            }),
         };
-        if let Some(cached) = self.map.get(&key) {
+        if self.map.contains_key(probe) {
             self.hits += 1;
+            let cached = self.map.get(probe).expect("checked present");
             for &(link, bits) in &cached.charges {
                 traffic.add(link, bits);
             }
             if let Some(out) = record {
                 out.extend_from_slice(&cached.charges);
             }
-            delivered.extend_from_slice(&cached.receipt.delivered);
-            return Ok((cached.receipt.scheme, cached.receipt.cost_bits));
+            return Ok(cached);
         }
-        let cached = self.record_miss(net, key, traffic, record)?;
-        delivered.extend_from_slice(&cached.receipt.delivered);
-        Ok((cached.receipt.scheme, cached.receipt.cost_bits))
+        let key = probe.clone();
+        self.record_miss(net, key, traffic, record)
     }
 
     /// Miss path shared by the lookup entry points: run the real traversal

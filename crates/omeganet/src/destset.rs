@@ -6,42 +6,61 @@ use std::fmt;
 use crate::error::NetError;
 use crate::topology::{Omega, PortId};
 
-/// Bit storage for a [`DestSet`]: a single inline word for networks of up
-/// to 64 ports (the common case — the paper's machines top out at N = 1024
-/// but the simulated protocol grids run at N = 16), a heap vector beyond.
-/// The variant is a function of `n_ports` alone, so sets built for the same
-/// network always compare and hash consistently.
+/// Members a sparse set holds inline before promoting to a heap bitmap.
+const SMALL_CAP: usize = 12;
+
+/// Largest network whose ports fit the inline `u16` member list. One short
+/// of `1 << 16`: the list pads unused slots with `u16::MAX`, so that value
+/// must never be a legal port.
+const SMALL_MAX_PORTS: usize = (1 << 16) - 1;
+
+/// Storage for a [`DestSet`]. The variant is a *canonical* function of
+/// `(n_ports, len)`:
+///
+/// * `Inline` — networks of up to 64 ports: a single word, as before.
+/// * `Small` — networks of 65..=65535 ports holding at most [`SMALL_CAP`]
+///   members: a sorted inline `u16` list padded with `u16::MAX`. Sparse
+///   sharer sets (the overwhelmingly common case at N = 128..1024) never
+///   touch the heap.
+/// * `Bitmap` — everything denser: a multi-word heap bitmap.
+///
+/// Because the variant depends only on the network size and the member
+/// count, equal sets always share a representation, so the derived
+/// `PartialEq`/`Hash` (used by the multicast memo cache) stay consistent
+/// across promotion and demotion.
 #[derive(Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-enum WordStore {
+enum Repr {
     Inline(u64),
-    Heap(Vec<u64>),
+    Small([u16; SMALL_CAP]),
+    Bitmap(Vec<u64>),
 }
 
-impl WordStore {
-    #[inline]
-    fn as_slice(&self) -> &[u64] {
-        match self {
-            WordStore::Inline(w) => std::slice::from_ref(w),
-            WordStore::Heap(v) => v,
-        }
-    }
+/// Whether a set of `len` members in an `n_ports` network uses `Small`.
+#[inline]
+fn small_fits(n_ports: usize, len: usize) -> bool {
+    n_ports > 64 && n_ports <= SMALL_MAX_PORTS && len <= SMALL_CAP
+}
 
-    #[inline]
-    fn as_mut_slice(&mut self) -> &mut [u64] {
-        match self {
-            WordStore::Inline(w) => std::slice::from_mut(w),
-            WordStore::Heap(v) => v,
-        }
+/// Bits `lo..hi` of a word (`hi − lo ≤ 64`, `hi ≤ 64`).
+#[inline]
+fn range_mask(lo: usize, hi: usize) -> u64 {
+    debug_assert!(lo < hi && hi <= 64);
+    let width = hi - lo;
+    if width == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << width) - 1) << lo
     }
 }
 
 /// A set of destination ports for a multicast, sized for a specific network.
 ///
-/// Internally a bitset; iteration is always in ascending port order. Sets
-/// for networks of at most 64 ports live in a single inline `u64` — no heap
-/// allocation on the multicast fast path. The constructors mirror the
-/// destination placements the paper analyzes:
+/// Iteration is always in ascending port order. Sets for networks of at most
+/// 64 ports live in a single inline `u64`; larger networks keep sparse sets
+/// (up to 12 members) in an inline sorted list and only dense sets on the
+/// heap — no allocation on the multicast fast path at any supported N. The
+/// constructors mirror the destination placements the paper analyzes:
 ///
 /// * [`DestSet::adjacent`] — `n` consecutive ports (tasks allocated to
 ///   adjacent processors, §3.3–3.4),
@@ -60,12 +79,36 @@ impl WordStore {
 /// assert!(d.is_subcube());
 /// # Ok::<(), tmc_omeganet::NetError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DestSet {
-    words: WordStore,
+    repr: Repr,
     n_ports: usize,
     len: usize,
+}
+
+impl Clone for DestSet {
+    fn clone(&self) -> Self {
+        DestSet {
+            repr: self.repr.clone(),
+            n_ports: self.n_ports,
+            len: self.len,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Reuse an existing heap bitmap's capacity: callers that key a memo
+        // table by DestSet re-clone the same shapes over and over.
+        self.n_ports = source.n_ports;
+        self.len = source.len;
+        match (&mut self.repr, &source.repr) {
+            (Repr::Bitmap(dst), Repr::Bitmap(src)) => {
+                dst.clear();
+                dst.extend_from_slice(src);
+            }
+            (dst, src) => *dst = src.clone(),
+        }
+    }
 }
 
 impl DestSet {
@@ -76,13 +119,15 @@ impl DestSet {
     /// Panics if `n_ports` is zero.
     pub fn empty(n_ports: usize) -> Self {
         assert!(n_ports > 0, "network must have at least one port");
-        let words = if n_ports <= 64 {
-            WordStore::Inline(0)
+        let repr = if n_ports <= 64 {
+            Repr::Inline(0)
+        } else if small_fits(n_ports, 0) {
+            Repr::Small([u16::MAX; SMALL_CAP])
         } else {
-            WordStore::Heap(vec![0; n_ports.div_ceil(64)])
+            Repr::Bitmap(vec![0; n_ports.div_ceil(64)])
         };
         DestSet {
-            words,
+            repr,
             n_ports,
             len: 0,
         }
@@ -91,18 +136,29 @@ impl DestSet {
     /// Creates the full set `{0, …, n_ports−1}` in `O(n_ports / 64)`: whole
     /// words are filled directly, plus a masked tail word.
     pub fn all(n_ports: usize) -> Self {
-        let mut set = DestSet::empty(n_ports);
+        assert!(n_ports > 0, "network must have at least one port");
+        if n_ports <= 64 {
+            return DestSet {
+                repr: Repr::Inline(range_mask(0, n_ports)),
+                n_ports,
+                len: n_ports,
+            };
+        }
+        // n_ports > 64 > SMALL_CAP members: always a bitmap.
+        let mut words = vec![0u64; n_ports.div_ceil(64)];
         let full_words = n_ports / 64;
         let tail_bits = n_ports % 64;
-        let words = set.words.as_mut_slice();
         for w in &mut words[..full_words] {
             *w = u64::MAX;
         }
         if tail_bits > 0 {
             words[full_words] = (1u64 << tail_bits) - 1;
         }
-        set.len = n_ports;
-        set
+        DestSet {
+            repr: Repr::Bitmap(words),
+            n_ports,
+            len: n_ports,
+        }
     }
 
     /// Creates a set from an iterator of ports.
@@ -211,6 +267,40 @@ impl DestSet {
         self.len == 0
     }
 
+    /// Rebuilds `self.repr` as a heap bitmap regardless of density. Only
+    /// meaningful for `Small` (Inline never coexists with Bitmap at one
+    /// `n_ports`).
+    fn promote(&mut self) {
+        if let Repr::Small(list) = &self.repr {
+            let mut words = vec![0u64; self.n_ports.div_ceil(64)];
+            for &p in &list[..self.len] {
+                words[p as usize / 64] |= 1u64 << (p as usize % 64);
+            }
+            self.repr = Repr::Bitmap(words);
+        }
+    }
+
+    /// Rebuilds a bitmap that has shrunk back to `SMALL_CAP` members as an
+    /// inline list, keeping the representation canonical in `(n_ports, len)`.
+    fn demote(&mut self) {
+        if let Repr::Bitmap(words) = &self.repr {
+            debug_assert!(small_fits(self.n_ports, self.len));
+            let mut list = [u16::MAX; SMALL_CAP];
+            let mut i = 0;
+            for (wi, &word) in words.iter().enumerate() {
+                let mut rest = word;
+                while rest != 0 {
+                    let bit = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    list[i] = (wi * 64 + bit) as u16;
+                    i += 1;
+                }
+            }
+            debug_assert_eq!(i, self.len);
+            self.repr = Repr::Small(list);
+        }
+    }
+
     /// Adds `port` to the set. Returns `true` if it was newly inserted.
     ///
     /// # Panics
@@ -219,17 +309,50 @@ impl DestSet {
     #[inline]
     pub fn insert(&mut self, port: PortId) -> bool {
         assert!(port < self.n_ports, "port {port} out of range");
-        let word = match &mut self.words {
-            WordStore::Inline(w) => w,
-            WordStore::Heap(v) => &mut v[port / 64],
-        };
-        let bit = 1u64 << (port % 64);
-        let fresh = *word & bit == 0;
-        if fresh {
-            *word |= bit;
-            self.len += 1;
+        match &mut self.repr {
+            Repr::Inline(w) => {
+                let bit = 1u64 << port;
+                let fresh = *w & bit == 0;
+                if fresh {
+                    *w |= bit;
+                    self.len += 1;
+                }
+                fresh
+            }
+            Repr::Small(list) => {
+                let mut i = 0;
+                while i < self.len && (list[i] as usize) < port {
+                    i += 1;
+                }
+                if i < self.len && list[i] as usize == port {
+                    return false;
+                }
+                if self.len < SMALL_CAP {
+                    for j in (i..self.len).rev() {
+                        list[j + 1] = list[j];
+                    }
+                    list[i] = port as u16;
+                } else {
+                    self.promote();
+                    let Repr::Bitmap(words) = &mut self.repr else {
+                        unreachable!("promote yields a bitmap")
+                    };
+                    words[port / 64] |= 1u64 << (port % 64);
+                }
+                self.len += 1;
+                true
+            }
+            Repr::Bitmap(words) => {
+                let word = &mut words[port / 64];
+                let bit = 1u64 << (port % 64);
+                let fresh = *word & bit == 0;
+                if fresh {
+                    *word |= bit;
+                    self.len += 1;
+                }
+                fresh
+            }
         }
-        fresh
     }
 
     /// Removes `port` from the set. Returns `true` if it was present.
@@ -238,17 +361,41 @@ impl DestSet {
         if port >= self.n_ports {
             return false;
         }
-        let word = match &mut self.words {
-            WordStore::Inline(w) => w,
-            WordStore::Heap(v) => &mut v[port / 64],
-        };
-        let bit = 1u64 << (port % 64);
-        let present = *word & bit != 0;
-        if present {
-            *word &= !bit;
-            self.len -= 1;
+        match &mut self.repr {
+            Repr::Inline(w) => {
+                let bit = 1u64 << port;
+                let present = *w & bit != 0;
+                if present {
+                    *w &= !bit;
+                    self.len -= 1;
+                }
+                present
+            }
+            Repr::Small(list) => {
+                let Some(i) = list[..self.len].iter().position(|&p| p as usize == port) else {
+                    return false;
+                };
+                for j in i..self.len - 1 {
+                    list[j] = list[j + 1];
+                }
+                list[self.len - 1] = u16::MAX;
+                self.len -= 1;
+                true
+            }
+            Repr::Bitmap(words) => {
+                let word = &mut words[port / 64];
+                let bit = 1u64 << (port % 64);
+                let present = *word & bit != 0;
+                if present {
+                    *word &= !bit;
+                    self.len -= 1;
+                    if small_fits(self.n_ports, self.len) {
+                        self.demote();
+                    }
+                }
+                present
+            }
         }
-        present
     }
 
     /// Whether `port` is in the set.
@@ -257,31 +404,209 @@ impl DestSet {
         if port >= self.n_ports {
             return false;
         }
-        let word = match &self.words {
-            WordStore::Inline(w) => *w,
-            WordStore::Heap(v) => v[port / 64],
-        };
-        word & (1 << (port % 64)) != 0
+        match &self.repr {
+            Repr::Inline(w) => w & (1 << port) != 0,
+            Repr::Small(list) => {
+                for &p in &list[..self.len] {
+                    let p = p as usize;
+                    if p >= port {
+                        return p == port;
+                    }
+                }
+                false
+            }
+            Repr::Bitmap(words) => words[port / 64] & (1 << (port % 64)) != 0,
+        }
+    }
+
+    /// Whether any member lies in `lo..hi` — a word-level range probe, used
+    /// by the bit-vector multicast traversal to test whether a switch's
+    /// subtree covers a destination without enumerating ports.
+    pub fn any_in_range(&self, lo: PortId, hi: PortId) -> bool {
+        let hi = hi.min(self.n_ports);
+        if lo >= hi {
+            return false;
+        }
+        match &self.repr {
+            Repr::Inline(w) => w & range_mask(lo, hi) != 0,
+            Repr::Small(list) => list[..self.len]
+                .iter()
+                .any(|&p| (lo..hi).contains(&(p as usize))),
+            Repr::Bitmap(words) => {
+                let (w0, w1) = (lo / 64, (hi - 1) / 64);
+                if w0 == w1 {
+                    return words[w0] & range_mask(lo % 64, (hi - 1) % 64 + 1) != 0;
+                }
+                if words[w0] & range_mask(lo % 64, 64) != 0 {
+                    return true;
+                }
+                if words[w1] & range_mask(0, (hi - 1) % 64 + 1) != 0 {
+                    return true;
+                }
+                words[w0 + 1..w1].iter().any(|&w| w != 0)
+            }
+        }
+    }
+
+    /// Adds every member of `other` to `self` — word-parallel when both
+    /// sides are bitmaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets were built for different network sizes.
+    pub fn union_with(&mut self, other: &DestSet) {
+        assert_eq!(self.n_ports, other.n_ports, "DestSet size mismatch");
+        match &other.repr {
+            Repr::Inline(ow) => {
+                let Repr::Inline(w) = &mut self.repr else {
+                    unreachable!("same n_ports implies same word layout")
+                };
+                *w |= ow;
+                self.len = w.count_ones() as usize;
+            }
+            Repr::Small(list) => {
+                for &p in &list[..other.len] {
+                    self.insert(p as usize);
+                }
+            }
+            Repr::Bitmap(ow) => {
+                // other has > SMALL_CAP members, so the union does too.
+                self.promote();
+                let Repr::Bitmap(words) = &mut self.repr else {
+                    unreachable!("promote yields a bitmap")
+                };
+                let mut len = 0;
+                for (w, o) in words.iter_mut().zip(ow) {
+                    *w |= o;
+                    len += w.count_ones() as usize;
+                }
+                self.len = len;
+            }
+        }
+    }
+
+    /// Removes every member of `other` from `self` — word-parallel when both
+    /// sides are bitmaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets were built for different network sizes.
+    pub fn difference_with(&mut self, other: &DestSet) {
+        assert_eq!(self.n_ports, other.n_ports, "DestSet size mismatch");
+        match &other.repr {
+            Repr::Inline(ow) => {
+                let Repr::Inline(w) = &mut self.repr else {
+                    unreachable!("same n_ports implies same word layout")
+                };
+                *w &= !ow;
+                self.len = w.count_ones() as usize;
+            }
+            Repr::Small(olist) => {
+                let olist = *olist;
+                let olen = other.len;
+                for &p in &olist[..olen] {
+                    self.remove(p as usize);
+                }
+            }
+            Repr::Bitmap(ow) => match &mut self.repr {
+                Repr::Small(list) => {
+                    let mut out = 0;
+                    for i in 0..self.len {
+                        let p = list[i];
+                        if ow[p as usize / 64] & (1u64 << (p as usize % 64)) == 0 {
+                            list[out] = p;
+                            out += 1;
+                        }
+                    }
+                    for slot in &mut list[out..self.len] {
+                        *slot = u16::MAX;
+                    }
+                    self.len = out;
+                }
+                Repr::Bitmap(words) => {
+                    let mut len = 0;
+                    for (w, o) in words.iter_mut().zip(ow) {
+                        *w &= !o;
+                        len += w.count_ones() as usize;
+                    }
+                    self.len = len;
+                    if small_fits(self.n_ports, self.len) {
+                        self.demote();
+                    }
+                }
+                Repr::Inline(_) => unreachable!("same n_ports implies same word layout"),
+            },
+        }
+    }
+
+    /// Whether the sets share at least one member — word-parallel when both
+    /// sides are bitmaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets were built for different network sizes.
+    pub fn intersects(&self, other: &DestSet) -> bool {
+        assert_eq!(self.n_ports, other.n_ports, "DestSet size mismatch");
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => a & b != 0,
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => a.iter().zip(b).any(|(x, y)| x & y != 0),
+            (Repr::Inline(_), Repr::Bitmap(_)) | (Repr::Bitmap(_), Repr::Inline(_)) => {
+                unreachable!("same n_ports implies same word layout")
+            }
+            (Repr::Small(list), other_set) | (other_set, Repr::Small(list)) => {
+                let len = if matches!(self.repr, Repr::Small(_)) {
+                    self.len
+                } else {
+                    other.len
+                };
+                let probe = |p: usize| match other_set {
+                    Repr::Inline(w) => w & (1 << p) != 0,
+                    Repr::Small(l) => l.contains(&(p as u16)),
+                    Repr::Bitmap(ws) => ws[p / 64] & (1 << (p % 64)) != 0,
+                };
+                list[..len].iter().any(|&p| probe(p as usize))
+            }
+        }
+    }
+
+    /// Whether every member of `other` is in `self` — word-parallel when
+    /// both sides are bitmaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets were built for different network sizes.
+    pub fn contains_all(&self, other: &DestSet) -> bool {
+        assert_eq!(self.n_ports, other.n_ports, "DestSet size mismatch");
+        if other.len > self.len {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => b & !a == 0,
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => a.iter().zip(b).all(|(x, y)| y & !x == 0),
+            _ => other.iter().all(|p| self.contains(p)),
+        }
     }
 
     /// Iterates over member ports in ascending order.
-    pub fn iter(&self) -> impl Iterator<Item = PortId> + '_ {
-        self.words
-            .as_slice()
-            .iter()
-            .enumerate()
-            .flat_map(|(wi, &word)| {
-                let mut rest = word;
-                std::iter::from_fn(move || {
-                    if rest == 0 {
-                        None
-                    } else {
-                        let bit = rest.trailing_zeros() as usize;
-                        rest &= rest - 1;
-                        Some(wi * 64 + bit)
-                    }
-                })
-            })
+    pub fn iter(&self) -> DestIter<'_> {
+        DestIter {
+            state: match &self.repr {
+                Repr::Inline(w) => IterState::Words {
+                    words: std::slice::from_ref(w),
+                    wi: 0,
+                    rest: *w,
+                },
+                Repr::Small(list) => IterState::List {
+                    list: &list[..self.len],
+                    i: 0,
+                },
+                Repr::Bitmap(words) => IterState::Words {
+                    words,
+                    wi: 0,
+                    rest: words[0],
+                },
+            },
+        }
     }
 
     /// Validates that this set matches the network's size.
@@ -357,6 +682,52 @@ impl DestSet {
     }
 }
 
+enum IterState<'a> {
+    Words {
+        words: &'a [u64],
+        wi: usize,
+        rest: u64,
+    },
+    List {
+        list: &'a [u16],
+        i: usize,
+    },
+}
+
+/// Ascending iterator over a [`DestSet`]'s members: word-wise
+/// `trailing_zeros` extraction over bitmap storage, a plain scan over the
+/// inline sorted list. No allocation either way.
+pub struct DestIter<'a> {
+    state: IterState<'a>,
+}
+
+impl Iterator for DestIter<'_> {
+    type Item = PortId;
+
+    #[inline]
+    fn next(&mut self) -> Option<PortId> {
+        match &mut self.state {
+            IterState::Words { words, wi, rest } => loop {
+                if *rest != 0 {
+                    let bit = rest.trailing_zeros() as usize;
+                    *rest &= *rest - 1;
+                    return Some(*wi * 64 + bit);
+                }
+                *wi += 1;
+                if *wi >= words.len() {
+                    return None;
+                }
+                *rest = words[*wi];
+            },
+            IterState::List { list, i } => {
+                let p = list.get(*i)?;
+                *i += 1;
+                Some(*p as usize)
+            }
+        }
+    }
+}
+
 impl fmt::Debug for DestSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "DestSet(N={}, {{", self.n_ports)?;
@@ -372,10 +743,10 @@ impl fmt::Debug for DestSet {
 
 impl<'a> IntoIterator for &'a DestSet {
     type Item = PortId;
-    type IntoIter = Box<dyn Iterator<Item = PortId> + 'a>;
+    type IntoIter = DestIter<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        Box::new(self.iter())
+        self.iter()
     }
 }
 
@@ -400,12 +771,47 @@ mod tests {
     #[test]
     fn small_sets_use_inline_storage() {
         let mut s = DestSet::empty(64);
-        assert!(matches!(s.words, WordStore::Inline(_)));
+        assert!(matches!(s.repr, Repr::Inline(_)));
         assert!(s.insert(63));
         assert!(s.contains(63));
         assert!(!s.contains(62));
-        let big = DestSet::empty(65);
-        assert!(matches!(big.words, WordStore::Heap(_)));
+        // Sparse sets beyond 64 ports stay inline too — as a sorted list.
+        let mut big = DestSet::empty(65);
+        assert!(matches!(big.repr, Repr::Small(_)));
+        for p in 0..SMALL_CAP {
+            big.insert(p * 5);
+        }
+        assert!(matches!(big.repr, Repr::Small(_)));
+        // Only past SMALL_CAP members does the heap bitmap appear.
+        big.insert(64);
+        assert!(matches!(big.repr, Repr::Bitmap(_)));
+    }
+
+    #[test]
+    fn promotion_and_demotion_round_trip() {
+        let mut s = DestSet::empty(1024);
+        let members: Vec<usize> = (0..SMALL_CAP + 3).map(|i| i * 71).collect();
+        for &p in &members {
+            assert!(s.insert(p));
+        }
+        assert!(matches!(s.repr, Repr::Bitmap(_)));
+        assert_eq!(s.iter().collect::<Vec<_>>(), members);
+        // Shrink back: representation demotes and stays equal to a set
+        // built small from scratch (canonical repr ⇒ consistent Eq/Hash).
+        for &p in &members[SMALL_CAP..] {
+            assert!(s.remove(p));
+        }
+        assert!(matches!(s.repr, Repr::Small(_)));
+        let rebuilt = DestSet::from_ports(1024, members[..SMALL_CAP].iter().copied()).unwrap();
+        assert_eq!(s, rebuilt);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |d: &DestSet| {
+            let mut h = DefaultHasher::new();
+            d.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&s), hash(&rebuilt));
     }
 
     #[test]
@@ -454,6 +860,70 @@ mod tests {
     }
 
     #[test]
+    fn any_in_range_matches_iteration() {
+        for n in [16usize, 64, 65, 256, 1024] {
+            let s = DestSet::from_ports(n, [0usize, 5, n / 2, n - 1]).unwrap();
+            for lo in 0..n.min(80) {
+                for hi in lo..=n.min(80) {
+                    let want = s.iter().any(|p| p >= lo && p < hi);
+                    assert_eq!(s.any_in_range(lo, hi), want, "N={n} [{lo},{hi})");
+                }
+            }
+            // Ranges straddling and past the end clamp.
+            assert!(s.any_in_range(n - 1, n + 100));
+            assert!(!s.any_in_range(n, n + 100));
+        }
+        // Dense bitmap with interior whole-word gaps.
+        let s = DestSet::from_ports(512, [10usize, 400]).unwrap();
+        let dense = DestSet::all(512);
+        assert!(!s.any_in_range(11, 400));
+        assert!(s.any_in_range(11, 401));
+        assert!(dense.any_in_range(64, 128));
+    }
+
+    #[test]
+    fn union_and_difference_match_reference() {
+        for n in [16usize, 64, 65, 128, 1024] {
+            let a: Vec<usize> = (0..n).step_by(3).collect();
+            let b: Vec<usize> = (0..n).step_by(5).collect();
+            let sa = DestSet::from_ports(n, a.iter().copied()).unwrap();
+            let sb = DestSet::from_ports(n, b.iter().copied()).unwrap();
+
+            let mut u = sa.clone();
+            u.union_with(&sb);
+            let mut want: Vec<usize> = a.iter().chain(&b).copied().collect();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(u.iter().collect::<Vec<_>>(), want, "N={n} union");
+            assert_eq!(u.len(), want.len());
+
+            let mut d = sa.clone();
+            d.difference_with(&sb);
+            let want: Vec<usize> = a.iter().copied().filter(|p| !b.contains(p)).collect();
+            assert_eq!(d.iter().collect::<Vec<_>>(), want, "N={n} difference");
+            assert_eq!(d.len(), want.len());
+
+            assert!(sa.intersects(&sb)); // both contain 0
+            assert!(u.contains_all(&sa) && u.contains_all(&sb));
+            assert!(!d.intersects(&sb));
+        }
+    }
+
+    #[test]
+    fn clone_from_reuses_and_matches() {
+        let big = DestSet::all(1024);
+        let small = DestSet::from_ports(1024, [1usize, 900]).unwrap();
+        let mut target = DestSet::empty(1024);
+        target.clone_from(&big);
+        assert_eq!(target, big);
+        target.clone_from(&small);
+        assert_eq!(target, small);
+        let mut inline = DestSet::empty(16);
+        inline.clone_from(&DestSet::all(16));
+        assert_eq!(inline, DestSet::all(16));
+    }
+
+    #[test]
     fn worst_case_spread_has_maximal_prefixes() {
         let s = DestSet::worst_case_spread(16, 4).unwrap();
         assert_eq!(s.iter().collect::<Vec<_>>(), [0, 4, 8, 12]);
@@ -487,6 +957,12 @@ mod tests {
         assert!(DestSet::from_ports(8, [5usize]).unwrap().is_subcube());
         assert!(DestSet::all(8).is_subcube());
         assert!(!DestSet::empty(8).is_subcube());
+
+        // Subcube detection crosses the small/bitmap boundary at big N.
+        let wide = DestSet::subcube(1024, 512, 4).unwrap();
+        assert_eq!(wide.subcube_spec(), Some((512, 0b1111)));
+        let sparse = DestSet::from_ports(1024, [5usize, 517]).unwrap();
+        assert_eq!(sparse.subcube_spec(), Some((5, 512)));
     }
 
     #[test]

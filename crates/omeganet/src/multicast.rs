@@ -289,15 +289,24 @@ impl Omega {
         // Layer 0: one message with the full N-bit vector.
         let mut cost = payload + n_ports;
         // Layer j ≥ 1: one message per distinct j-bit destination prefix,
-        // carrying an N/2^j-bit subvector.
-        // `dests.iter()` is ascending, so equal prefixes are adjacent and a
-        // dedup per layer counts distinct prefixes. Walk fine → coarse:
-        // deduping at a coarse prefix first would undercount finer layers.
-        let mut prefixes: Vec<usize> = dests.iter().collect();
-        for j in (1..=m).rev() {
-            let shift = m - j;
-            prefixes.dedup_by_key(|d| *d >> shift);
-            cost += prefixes.len() as u64 * (payload + (n_ports >> j));
+        // carrying an N/2^j-bit subvector. One ascending word-wise pass
+        // histograms, for each adjacent member pair, the highest bit where
+        // they differ; the number of distinct j-bit prefixes is then
+        // 1 + (pairs differing at bit m−j or above) — no per-layer dedup
+        // pass and no allocation.
+        let mut splits = [0u64; 16];
+        let mut prev: Option<usize> = None;
+        for d in dests.iter() {
+            if let Some(p) = prev {
+                let top = usize::BITS - 1 - (p ^ d).leading_zeros();
+                splits[top as usize] += 1;
+            }
+            prev = Some(d);
+        }
+        let mut distinct = 1u64;
+        for j in 1..=m {
+            distinct += splits[(m - j) as usize];
+            cost += distinct * (payload + (n_ports >> j));
         }
         cost
     }
@@ -381,18 +390,23 @@ impl Omega {
         cost += bits0;
         links += 1;
 
-        // Worklist of (stage about to be traversed, line entering it,
-        // destinations still covered by this copy of the message).
-        let all: Vec<PortId> = dests.iter().collect();
-        let mut work: Vec<(u32, usize, Vec<PortId>)> = vec![(0, src, all)];
-        while let Some((stage, line, subset)) = work.pop() {
+        // Depth-first walk of the routing tree. A switch reached at stage
+        // `s` with accumulated destination bits `prefix` covers exactly the
+        // ports in `[prefix << (m−s), (prefix+1) << (m−s))`, so "does any
+        // destination continue through this output?" is a word-level range
+        // probe on the destination bitmap instead of a per-port partition
+        // (which allocated two fresh vectors at every switch). The stack
+        // holds at most one pending sibling per stage.
+        let mut work: Vec<(u32, usize, usize)> = Vec::with_capacity(m as usize + 1);
+        work.push((0, src, 0));
+        while let Some((stage, line, prefix)) = work.pop() {
             let shuffled = self.shuffle(line);
             let sw = shuffled >> 1;
-            let (zeros, ones): (Vec<PortId>, Vec<PortId>) = subset
-                .into_iter()
-                .partition(|&d| self.routing_bit(d, stage) == 0);
-            for (bit, group) in [(0usize, zeros), (1usize, ones)] {
-                if group.is_empty() {
+            let span = m - stage - 1;
+            for bit in [0usize, 1] {
+                let child = (prefix << 1) | bit;
+                let lo = child << span;
+                if !dests.any_in_range(lo, lo + (1usize << span)) {
                     continue;
                 }
                 let out_line = (sw << 1) | bit;
@@ -408,10 +422,10 @@ impl Omega {
                 cost += bits;
                 links += 1;
                 if layer == m {
-                    debug_assert_eq!(group, vec![out_line]);
+                    debug_assert_eq!(out_line, child);
                     delivered.push(out_line);
                 } else {
-                    work.push((stage + 1, out_line, group));
+                    work.push((stage + 1, out_line, child));
                 }
             }
         }

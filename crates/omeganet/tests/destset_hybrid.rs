@@ -1,0 +1,205 @@
+//! Differential tests for the hybrid `DestSet` representation.
+//!
+//! Every operation is diffed against a naive `HashSet<usize>` reference
+//! model across network sizes straddling each representation boundary:
+//! inline u64 (N ≤ 64), sorted small list (N = 65, 128, 1024 while sparse),
+//! and multi-word bitmap (dense sets at the same sizes). Driven by the
+//! in-tree [`SimRng`] — no external crates.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use tmc_omeganet::DestSet;
+use tmc_simcore::SimRng;
+
+/// Sizes spanning inline, small-list and bitmap layouts, including the
+/// promotion boundary at 64→65 and the big-machine point N = 1024.
+const SIZES: [usize; 5] = [16, 64, 65, 128, 1024];
+
+const CASES: usize = 24;
+const OPS_PER_CASE: usize = 400;
+
+fn hash_of(set: &DestSet) -> u64 {
+    let mut h = DefaultHasher::new();
+    set.hash(&mut h);
+    h.finish()
+}
+
+/// Checks every observation the hybrid set offers against the reference.
+fn assert_matches(set: &DestSet, model: &HashSet<usize>, n: usize) {
+    assert_eq!(set.len(), model.len());
+    assert_eq!(set.is_empty(), model.is_empty());
+    let mut sorted: Vec<usize> = model.iter().copied().collect();
+    sorted.sort_unstable();
+    let iterated: Vec<usize> = set.iter().collect();
+    assert_eq!(iterated, sorted, "iteration must be ascending and exact");
+    for &p in &sorted {
+        assert!(set.contains(p));
+    }
+    // Membership probes on non-members (cheap spot checks).
+    for probe in [0, n / 2, n - 1] {
+        assert_eq!(set.contains(probe), model.contains(&probe));
+    }
+    // The canonical rebuild must be indistinguishable: same Eq and Hash
+    // regardless of the insert/remove history that produced `set`.
+    let rebuilt = DestSet::from_ports(n, sorted).unwrap();
+    assert_eq!(*set, rebuilt, "history must not leak into the repr");
+    assert_eq!(hash_of(set), hash_of(&rebuilt));
+}
+
+#[test]
+fn insert_remove_matches_reference_model() {
+    for &n in &SIZES {
+        let mut rng = SimRng::seed_from(0xD5E7 ^ n as u64);
+        for _ in 0..CASES {
+            let mut set = DestSet::empty(n);
+            let mut model: HashSet<usize> = HashSet::new();
+            for _ in 0..OPS_PER_CASE {
+                let p = rng.gen_range(0..n);
+                if rng.gen_range(0..3) == 0 {
+                    assert_eq!(set.remove(p), model.remove(&p), "remove({p}) at N={n}");
+                } else {
+                    assert_eq!(set.insert(p), model.insert(p), "insert({p}) at N={n}");
+                }
+            }
+            assert_matches(&set, &model, n);
+        }
+    }
+}
+
+#[test]
+fn range_probe_matches_reference_model() {
+    for &n in &SIZES {
+        let mut rng = SimRng::seed_from(0xA3 ^ n as u64);
+        for _ in 0..CASES {
+            let mut set = DestSet::empty(n);
+            let mut model: HashSet<usize> = HashSet::new();
+            let members = rng.gen_range(0..=n.min(200));
+            for _ in 0..members {
+                let p = rng.gen_range(0..n);
+                set.insert(p);
+                model.insert(p);
+            }
+            for _ in 0..40 {
+                let a = rng.gen_range(0..=n);
+                let b = rng.gen_range(0..=n);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let want = model.iter().any(|&p| lo <= p && p < hi);
+                assert_eq!(
+                    set.any_in_range(lo, hi),
+                    want,
+                    "any_in_range({lo}, {hi}) at N={n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn set_algebra_matches_reference_model() {
+    for &n in &SIZES {
+        let mut rng = SimRng::seed_from(0x5E7A ^ n as u64);
+        for _ in 0..CASES {
+            // Mixed densities so Small×Small, Small×Bitmap, Bitmap×Small
+            // and Bitmap×Bitmap pairings all occur.
+            fn draw(rng: &mut SimRng, n: usize, dense: bool) -> (DestSet, HashSet<usize>) {
+                let count = if dense {
+                    rng.gen_range(0..=n)
+                } else {
+                    rng.gen_range(0..=n.min(10))
+                };
+                let mut s = DestSet::empty(n);
+                let mut m = HashSet::new();
+                for _ in 0..count {
+                    let p = rng.gen_range(0..n);
+                    s.insert(p);
+                    m.insert(p);
+                }
+                (s, m)
+            }
+            let a_dense = rng.gen_range(0..2) == 0;
+            let (a, am) = draw(&mut rng, n, a_dense);
+            let b_dense = rng.gen_range(0..2) == 0;
+            let (b, bm) = draw(&mut rng, n, b_dense);
+
+            let mut union = a.clone();
+            union.union_with(&b);
+            let union_model: HashSet<usize> = am.union(&bm).copied().collect();
+            assert_matches(&union, &union_model, n);
+
+            let mut diff = a.clone();
+            diff.difference_with(&b);
+            let diff_model: HashSet<usize> = am.difference(&bm).copied().collect();
+            assert_matches(&diff, &diff_model, n);
+
+            assert_eq!(
+                a.intersects(&b),
+                !am.is_disjoint(&bm),
+                "intersects at N={n}"
+            );
+            assert_eq!(
+                a.contains_all(&b),
+                bm.is_subset(&am),
+                "contains_all at N={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn subcube_detection_matches_definition_across_layouts() {
+    for &n in &[64usize, 128, 1024] {
+        let mut rng = SimRng::seed_from(0x5CB ^ n as u64);
+        let max_l = n.trailing_zeros();
+        for _ in 0..CASES {
+            // A genuine subcube is recognized whatever repr holds it.
+            let l = rng.gen_range(0..=max_l.min(6));
+            let span = 1usize << l;
+            let base = (rng.gen_range(0..n / span)) * span;
+            let cube = DestSet::subcube(n, base, l).unwrap();
+            // spec is (anchor, free-bit mask); a low-aligned cube of span
+            // 2^l frees exactly the low l bits.
+            assert_eq!(cube.subcube_spec(), Some((base, span - 1)));
+
+            // Perturbing one member off the cube must break recognition.
+            if l > 0 && span < n {
+                let mut bent = cube.clone();
+                bent.remove(base);
+                let outside = (base + span) % n;
+                bent.insert(outside);
+                assert_eq!(bent.len(), span);
+                assert!(bent.subcube_spec().is_none(), "bent cube at N={n} l={l}");
+            }
+        }
+    }
+}
+
+#[test]
+fn promotion_boundary_round_trips_exactly() {
+    // Walk a set up through the small→bitmap promotion and back down,
+    // diffing against the model at every step.
+    for &n in &[65usize, 128, 1024] {
+        let mut set = DestSet::empty(n);
+        let mut model = HashSet::new();
+        let members: Vec<usize> = (0..40).map(|i| (i * 97 + 13) % n).collect();
+        for (i, &p) in members.iter().enumerate() {
+            set.insert(p);
+            model.insert(p);
+            if i % 7 == 0 {
+                assert_matches(&set, &model, n);
+            }
+        }
+        assert_matches(&set, &model, n);
+        for (i, &p) in members.iter().rev().enumerate() {
+            set.remove(p);
+            model.remove(&p);
+            if i % 7 == 0 {
+                assert_matches(&set, &model, n);
+            }
+        }
+        assert!(set.is_empty());
+        assert_eq!(set, DestSet::empty(n));
+        assert_eq!(hash_of(&set), hash_of(&DestSet::empty(n)));
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`PrivateWorkload`] — disjoint per-task working sets (no sharing), the
 //!   sanity baseline where a coherent cache should generate almost no
 //!   consistency traffic,
+//! * [`MultiTenantZipfWorkload`] — the big-machine stressor: millions of
+//!   Zipf-popular logical users hashed onto per-tenant block working sets,
+//!   preserving the §4 single-writer discipline,
 //! * [`Placement`] — task→processor allocation policies (adjacent, strided,
 //!   random); adjacency is what makes scheme 3 applicable (§3.4).
 //!
@@ -43,6 +46,7 @@ pub mod private;
 pub mod shared_block;
 pub mod stencil;
 pub mod trace;
+pub mod zipfian;
 
 pub use hotspot::HotSpotWorkload;
 pub use io::{format_trace, parse_trace, ParseTraceError};
@@ -52,3 +56,4 @@ pub use private::PrivateWorkload;
 pub use shared_block::SharedBlockWorkload;
 pub use stencil::StencilWorkload;
 pub use trace::{Op, Reference, Trace};
+pub use zipfian::{MultiTenantZipfWorkload, ZipfSampler};

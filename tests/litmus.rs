@@ -13,15 +13,25 @@ use two_mode_coherence::baselines::{
 use two_mode_coherence::memsys::WordAddr;
 use two_mode_coherence::protocol::Mode;
 
-fn engines() -> Vec<Box<dyn CoherentSystem>> {
+/// Machine sizes the suite runs at: the classic 4-processor machine plus
+/// big-N points that put `DestSet` in its small-list and bitmap layouts
+/// and the paged stores over wide port spaces. The patterns themselves
+/// only involve procs 0..4 — coherence must not depend on machine size.
+const SIZES: [usize; 3] = [4, 128, 256];
+
+fn engines_at(n: usize) -> Vec<Box<dyn CoherentSystem>> {
     vec![
-        Box::new(NoCacheSystem::new(4)),
-        Box::new(DirectoryInvalidateSystem::new(4)),
-        Box::new(UpdateOnlySystem::new(4)),
-        Box::new(two_mode_fixed(4, Mode::DistributedWrite)),
-        Box::new(two_mode_fixed(4, Mode::GlobalRead)),
-        Box::new(two_mode_adaptive(4, 8)),
+        Box::new(NoCacheSystem::new(n)),
+        Box::new(DirectoryInvalidateSystem::new(n)),
+        Box::new(UpdateOnlySystem::new(n)),
+        Box::new(two_mode_fixed(n, Mode::DistributedWrite)),
+        Box::new(two_mode_fixed(n, Mode::GlobalRead)),
+        Box::new(two_mode_adaptive(n, 8)),
     ]
+}
+
+fn engines() -> Vec<Box<dyn CoherentSystem>> {
+    SIZES.iter().flat_map(|&n| engines_at(n)).collect()
 }
 
 fn a() -> WordAddr {
