@@ -9,7 +9,8 @@
 //!
 //! Exit status is nonzero when any divergence (or corpus failure) is
 //! found. On divergence the case is shrunk to a minimal reproducer,
-//! printed as both `.case` text and a self-contained `#[test]` snippet,
+//! printed as both `.tmcs` scenario text and a self-contained `#[test]`
+//! snippet,
 //! and saved when `--corpus-out` is given.
 
 use std::collections::BTreeMap;

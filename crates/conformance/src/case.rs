@@ -1,17 +1,21 @@
 //! The fully explicit, replayable conformance case.
 //!
 //! A case is *self-contained*: after shrinking, the op list is no longer
-//! derivable from the seed, so the textual encoding carries every field —
-//! config, shard request, fault seed, analytic probe and the op script —
-//! and [`CaseSpec::decode`] reproduces the exact case from the text alone.
+//! derivable from the seed, so the persisted form carries every field —
+//! config, shard request, fault seed, analytic probe and the op script.
+//! Cases serialize as ordinary `.tmcs` scenario files ([`CaseSpec::encode`]
+//! delegates to [`tmc_scenario::Scenario::encode`]) so one format is the
+//! repo's single reproducer currency: a shrunken divergence drops
+//! straight into `tmc scenario run`, and the corpus regression replays
+//! scenario files through the same parser CI sweeps with.
 
 use std::fmt::Write as _;
 
 use tmc_bench::shardsim::ShardOp;
-use tmc_bench::tracecheck::{parse_policy, parse_scheme_kind, policy_str, scheme_kind_str};
-use tmc_core::{Mode, ModePolicy, SystemConfig};
-use tmc_memsys::{BlockSpec, CacheGeometry, WordAddr};
+use tmc_core::{ModePolicy, SystemConfig};
+use tmc_memsys::{BlockSpec, CacheGeometry};
 use tmc_omeganet::SchemeKind;
+use tmc_scenario::spec::{Analytic, Faults, Scenario};
 
 /// Steady-state parameters for the simulator-vs-analytic pair.
 ///
@@ -83,108 +87,72 @@ impl CaseSpec {
             .owner_bypass(self.owner_bypass)
     }
 
-    /// Serializes the case to the `.case` corpus text format.
-    pub fn encode(&self) -> String {
-        let mut s = String::new();
-        let _ = writeln!(s, "# tmc-conformance case");
-        let _ = writeln!(s, "seed = {}", self.seed);
-        let _ = writeln!(s, "n_caches = {}", self.n_caches);
-        let _ = writeln!(s, "sets = {}", self.sets);
-        let _ = writeln!(s, "ways = {}", self.ways);
-        let _ = writeln!(s, "words_log2 = {}", self.words_log2);
-        let _ = writeln!(s, "scheme = {}", scheme_kind_str(self.scheme));
-        let _ = writeln!(s, "policy = {}", policy_str(self.policy));
-        let _ = writeln!(s, "owner_bypass = {}", self.owner_bypass);
-        let _ = writeln!(s, "shards = {}", self.shards);
-        let _ = writeln!(s, "fault_seed = {}", self.fault_seed);
-        if let Some(p) = self.analytic {
-            let _ = writeln!(
-                s,
-                "analytic = {} {} {} {}",
-                p.n_tasks, p.w, p.refs, p.warmup
-            );
-        }
-        for op in &self.ops {
-            match *op {
-                ShardOp::Read { proc, addr } => {
-                    let _ = writeln!(s, "op = R {proc} {}", addr.value());
-                }
-                ShardOp::Write { proc, addr, value } => {
-                    let _ = writeln!(s, "op = W {proc} {} {value}", addr.value());
-                }
-                ShardOp::SetMode { proc, addr, mode } => {
-                    let m = match mode {
-                        Mode::DistributedWrite => "dw",
-                        Mode::GlobalRead => "gr",
-                    };
-                    let _ = writeln!(s, "op = M {proc} {} {m}", addr.value());
-                }
-            }
-        }
-        s
+    /// The case as a scenario: same machine, the fault seed as a
+    /// zero-count `[faults]` plan, the op script under `[ops]`.
+    pub fn to_scenario(&self) -> Scenario {
+        let mut sc = Scenario::new(&format!("case-seed{}", self.seed));
+        sc.seed = self.seed;
+        sc.machine.n_caches = self.n_caches;
+        sc.machine.sets = self.sets;
+        sc.machine.ways = self.ways;
+        sc.machine.words_log2 = self.words_log2;
+        sc.machine.scheme = self.scheme;
+        sc.machine.policy = self.policy;
+        sc.machine.owner_bypass = self.owner_bypass;
+        sc.machine.shards = self.shards;
+        sc.faults = Some(Faults {
+            seed: self.fault_seed,
+            count: 0,
+            ..Faults::default()
+        });
+        sc.analytic = self.analytic.map(|p| Analytic {
+            n_tasks: p.n_tasks,
+            w: p.w,
+            refs: p.refs,
+            warmup: p.warmup,
+        });
+        sc.ops = self.ops.clone();
+        sc
     }
 
-    /// Parses the `.case` corpus text format.
+    /// The case a scenario describes. The op script is the scenario's
+    /// full materialization, so workload-bearing scenarios become
+    /// explicit-op cases.
+    pub fn from_scenario(sc: &Scenario) -> CaseSpec {
+        CaseSpec {
+            seed: sc.seed,
+            n_caches: sc.machine.n_caches,
+            sets: sc.machine.sets,
+            ways: sc.machine.ways,
+            words_log2: sc.machine.words_log2,
+            scheme: sc.machine.scheme,
+            policy: sc.machine.policy,
+            owner_bypass: sc.machine.owner_bypass,
+            shards: sc.machine.shards,
+            fault_seed: sc.faults.map(|f| f.seed).unwrap_or(0),
+            analytic: sc.analytic.map(|a| AnalyticProbe {
+                n_tasks: a.n_tasks,
+                w: a.w,
+                refs: a.refs,
+                warmup: a.warmup,
+            }),
+            ops: tmc_scenario::ops::materialize(sc),
+        }
+    }
+
+    /// Serializes the case as canonical `.tmcs` scenario text.
+    pub fn encode(&self) -> String {
+        self.to_scenario().encode()
+    }
+
+    /// Parses a case from `.tmcs` scenario text.
     ///
     /// # Errors
     ///
-    /// Returns a message naming the first malformed line.
+    /// Returns the scenario parser's line/column-addressed message.
     pub fn decode(text: &str) -> Result<CaseSpec, String> {
-        let mut case = CaseSpec {
-            seed: 0,
-            n_caches: 4,
-            sets: 4,
-            ways: 1,
-            words_log2: 2,
-            scheme: SchemeKind::Combined,
-            policy: ModePolicy::Fixed(Mode::GlobalRead),
-            owner_bypass: true,
-            shards: 1,
-            fault_seed: 0,
-            analytic: None,
-            ops: Vec::new(),
-        };
-        for (i, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let (key, val) = line
-                .split_once('=')
-                .ok_or_else(|| format!("line {}: expected `key = value`", i + 1))?;
-            let (key, val) = (key.trim(), val.trim());
-            let bad = |what: &str| format!("line {}: bad {what}: {val:?}", i + 1);
-            match key {
-                "seed" => case.seed = val.parse().map_err(|_| bad("seed"))?,
-                "n_caches" => case.n_caches = val.parse().map_err(|_| bad("n_caches"))?,
-                "sets" => case.sets = val.parse().map_err(|_| bad("sets"))?,
-                "ways" => case.ways = val.parse().map_err(|_| bad("ways"))?,
-                "words_log2" => case.words_log2 = val.parse().map_err(|_| bad("words_log2"))?,
-                "scheme" => case.scheme = parse_scheme_kind(val).ok_or_else(|| bad("scheme"))?,
-                "policy" => case.policy = parse_policy(val).ok_or_else(|| bad("policy"))?,
-                "owner_bypass" => {
-                    case.owner_bypass = val.parse().map_err(|_| bad("owner_bypass"))?
-                }
-                "shards" => case.shards = val.parse().map_err(|_| bad("shards"))?,
-                "fault_seed" => case.fault_seed = val.parse().map_err(|_| bad("fault_seed"))?,
-                "analytic" => {
-                    let f: Vec<&str> = val.split_whitespace().collect();
-                    if f.len() != 4 {
-                        return Err(bad("analytic (want `n_tasks w refs warmup`)"));
-                    }
-                    case.analytic = Some(AnalyticProbe {
-                        n_tasks: f[0].parse().map_err(|_| bad("analytic n_tasks"))?,
-                        w: f[1].parse().map_err(|_| bad("analytic w"))?,
-                        refs: f[2].parse().map_err(|_| bad("analytic refs"))?,
-                        warmup: f[3].parse().map_err(|_| bad("analytic warmup"))?,
-                    });
-                }
-                "op" => case.ops.push(parse_op(val).ok_or_else(|| bad("op"))?),
-                "pair" | "note" => {} // corpus metadata, not part of the case
-                _ => return Err(format!("line {}: unknown key {key:?}", i + 1)),
-            }
-        }
-        Ok(case)
+        let sc = tmc_scenario::parse(text).map_err(|e| e.to_string())?;
+        Ok(CaseSpec::from_scenario(&sc))
     }
 
     /// Renders the case as a self-contained `#[test]` snippet that rebuilds
@@ -215,34 +183,11 @@ impl CaseSpec {
     }
 }
 
-fn parse_op(s: &str) -> Option<ShardOp> {
-    let f: Vec<&str> = s.split_whitespace().collect();
-    match *f.first()? {
-        "R" if f.len() == 3 => Some(ShardOp::Read {
-            proc: f[1].parse().ok()?,
-            addr: WordAddr::new(f[2].parse().ok()?),
-        }),
-        "W" if f.len() == 4 => Some(ShardOp::Write {
-            proc: f[1].parse().ok()?,
-            addr: WordAddr::new(f[2].parse().ok()?),
-            value: f[3].parse().ok()?,
-        }),
-        "M" if f.len() == 4 => Some(ShardOp::SetMode {
-            proc: f[1].parse().ok()?,
-            addr: WordAddr::new(f[2].parse().ok()?),
-            mode: match f[3] {
-                "dw" => Mode::DistributedWrite,
-                "gr" => Mode::GlobalRead,
-                _ => return None,
-            },
-        }),
-        _ => None,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tmc_core::Mode;
+    use tmc_memsys::WordAddr;
 
     fn sample() -> CaseSpec {
         CaseSpec {
@@ -285,15 +230,34 @@ mod tests {
     fn encode_decode_roundtrip() {
         let case = sample();
         let text = case.encode();
+        assert!(text.contains("[machine]"), "scenario text:\n{text}");
         let back = CaseSpec::decode(&text).expect("decodes");
         assert_eq!(case, back);
     }
 
     #[test]
-    fn decode_rejects_garbage() {
-        assert!(CaseSpec::decode("n_caches = frog").is_err());
-        assert!(CaseSpec::decode("op = X 1 2").is_err());
+    fn decode_reports_line_and_column() {
+        let err = CaseSpec::decode("[scenario]\nname = x\n[machine]\nn_caches = frog\n")
+            .expect_err("rejects");
+        assert!(err.contains("line 4"), "{err}");
         assert!(CaseSpec::decode("mystery = 3").is_err());
+    }
+
+    #[test]
+    fn workload_scenarios_materialize_into_cases() {
+        let text = "\
+[scenario]
+name = mini
+[machine]
+n_caches = 8
+[workload]
+family = shared-block
+tasks = 4
+references = 50
+";
+        let case = CaseSpec::decode(text).expect("decodes");
+        assert_eq!(case.ops.len(), 50);
+        assert_eq!(case.n_caches, 8);
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Corpus persistence and regression replay.
 //!
 //! Every real bug the fuzzer has found lives on under
-//! `conformance/corpus/` as a minimized `.case` file: the case text (see
-//! [`CaseSpec::encode`]) plus a `pair = <name>` line recording which
-//! engine pair it tripped and a free-form `note = ...` rationale. The
-//! regression runner replays every file and requires every pair to hold —
-//! a fixed bug that regresses fails CI with its original minimal
-//! reproducer.
+//! `conformance/corpus/` as a minimized `.tmcs` scenario file: the full
+//! case in the repo-wide scenario format, with the tripped engine pair
+//! recorded as `pair = <name>` in the `[scenario]` section and a
+//! free-form `note` rationale. The regression runner replays every file
+//! through the scenario parser and requires every pair to hold — a fixed
+//! bug that regresses fails CI with its original minimal reproducer, and
+//! every reproducer doubles as input to `tmc scenario run`.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -35,55 +36,45 @@ pub struct CorpusReport {
     pub failures: Vec<(PathBuf, Divergence)>,
 }
 
-/// Serializes a minimized reproducer for persistence.
+/// Serializes a minimized reproducer as a named `.tmcs` scenario.
 pub fn entry_text(case: &CaseSpec, pair: Pair, note: &str) -> String {
-    let mut s = String::new();
-    s.push_str("# tmc-conformance minimized reproducer\n");
-    s.push_str(&format!("pair = {}\n", pair.name()));
-    if !note.is_empty() {
-        s.push_str(&format!("note = {note}\n"));
-    }
-    s.push_str(&case.encode());
-    s
+    let mut sc = case.to_scenario();
+    sc.name = format!("{}-seed{}", pair.name(), case.seed);
+    sc.pair = Some(pair.name().to_string());
+    sc.note = note.to_string();
+    sc.encode()
 }
 
 /// Writes a minimized reproducer under `dir` as
-/// `<pair>-seed<seed>.case`.
+/// `<pair>-seed<seed>.tmcs`.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors as messages.
 pub fn save(dir: &Path, case: &CaseSpec, pair: Pair, note: &str) -> Result<PathBuf, String> {
     fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-    let path = dir.join(format!("{}-seed{}.case", pair.name(), case.seed));
+    let path = dir.join(format!("{}-seed{}.tmcs", pair.name(), case.seed));
     fs::write(&path, entry_text(case, pair, note)).map_err(|e| e.to_string())?;
     Ok(path)
 }
 
-/// Loads one `.case` file.
+/// Loads one `.tmcs` reproducer.
 ///
 /// # Errors
 ///
-/// Fails on unreadable files or malformed case text.
+/// Fails on unreadable files or malformed scenario text.
 pub fn load(path: &Path) -> Result<CorpusEntry, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let case = CaseSpec::decode(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-    let pair = text.lines().find_map(|l| {
-        let (k, v) = l.split_once('=')?;
-        if k.trim() == "pair" {
-            Pair::parse(v.trim())
-        } else {
-            None
-        }
-    });
+    let sc = tmc_scenario::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let pair = sc.pair.as_deref().and_then(Pair::parse);
     Ok(CorpusEntry {
         path: path.to_path_buf(),
-        case,
+        case: CaseSpec::from_scenario(&sc),
         pair,
     })
 }
 
-/// Loads every `.case` file under `dir`, sorted by file name.
+/// Loads every `.tmcs` file under `dir`, sorted by file name.
 ///
 /// An absent directory is an empty corpus, not an error.
 ///
@@ -98,7 +89,7 @@ pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
     };
     let mut paths: Vec<PathBuf> = rd
         .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .filter(|p| p.extension().is_some_and(|x| x == "tmcs"))
         .collect();
     paths.sort();
     for p in paths {
@@ -147,12 +138,23 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         let case = generate_case(9);
         let path = save(&dir, &case, Pair::SerialVsShard, "unit test").unwrap();
+        assert!(path.extension().is_some_and(|x| x == "tmcs"));
         let entry = load(&path).unwrap();
         assert_eq!(entry.case, case);
         assert_eq!(entry.pair, Some(Pair::SerialVsShard));
         let all = load_dir(&dir).unwrap();
         assert_eq!(all.len(), 1);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_text_is_a_named_scenario() {
+        let case = generate_case(3);
+        let text = entry_text(&case, Pair::SerialVsReplay, "why it tripped");
+        let sc = tmc_scenario::parse(&text).unwrap();
+        assert_eq!(sc.name, format!("serial-vs-replay-seed{}", case.seed));
+        assert_eq!(sc.pair.as_deref(), Some("serial-vs-replay"));
+        assert_eq!(sc.note, "why it tripped");
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! engine pair and diffs fingerprints, counters, per-link charges, memory
 //! images and JSONL event streams; on divergence [`shrink::shrink`]
 //! reduces the case to a minimal reproducer and [`corpus`] persists it as
-//! a replayable `.case` file plus a self-contained `#[test]` snippet.
+//! a replayable `.tmcs` scenario file (the repo-wide scenario format —
+//! see `tmc-scenario`) plus a self-contained `#[test]` snippet.
 //!
 //! The `fuzz_conformance` binary drives the loop:
 //!

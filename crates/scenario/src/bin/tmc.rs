@@ -1,0 +1,256 @@
+//! `tmc scenario` — run, list, check, and pin the committed corpus.
+//!
+//! ```text
+//! tmc scenario list [--dir D]
+//! tmc scenario run <name>... [--dir D]
+//! tmc scenario check (--all | <name>...) [--dir D] [--reshard K] [--sample N]
+//! tmc scenario pin (--all | <name>...) [--dir D]
+//! ```
+//!
+//! `check` is the CI entry point: every scenario runs twice (determinism),
+//! goldens are compared, and the applicable cross engines execute. With
+//! `--reshard K --sample N` it instead reruns every N-th scenario with the
+//! shard count forced to `K`, asserting bit-identity under resharding.
+//! `pin` reruns scenarios and rewrites their `[expect]` sections in place
+//! (the golden-regeneration workflow after an intentional protocol
+//! change).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tmc_scenario::corpus;
+use tmc_scenario::run::{check_scenario, run_scenario};
+use tmc_scenario::spec::{encode_expect, Scenario};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Cli {
+    names: Vec<String>,
+    all: bool,
+    dir: PathBuf,
+    reshard: Option<usize>,
+    sample: usize,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        names: Vec::new(),
+        all: false,
+        dir: corpus::default_dir(),
+        reshard: None,
+        sample: 1,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => cli.all = true,
+            "--dir" => {
+                cli.dir = PathBuf::from(it.next().ok_or("--dir needs a path")?);
+            }
+            "--reshard" => {
+                let k = it.next().ok_or("--reshard needs a shard count")?;
+                cli.reshard = Some(k.parse().map_err(|_| format!("bad shard count `{k}`"))?);
+            }
+            "--sample" => {
+                let n = it.next().ok_or("--sample needs a stride")?;
+                cli.sample = n.parse().map_err(|_| format!("bad sample stride `{n}`"))?;
+                if cli.sample == 0 {
+                    return Err("--sample stride must be >= 1".into());
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            name => cli.names.push(name.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+fn usage() -> String {
+    "usage: tmc scenario <list|run|check|pin> [--all | <name>...] \
+     [--dir D] [--reshard K] [--sample N]"
+        .into()
+}
+
+fn run_cli(args: &[String]) -> Result<(), String> {
+    let Some(first) = args.first() else {
+        return Err(usage());
+    };
+    if first != "scenario" {
+        return Err(usage());
+    }
+    let Some(verb) = args.get(1) else {
+        return Err(usage());
+    };
+    let cli = parse_cli(&args[2..])?;
+    match verb.as_str() {
+        "list" => cmd_list(&cli),
+        "run" => cmd_run(&cli),
+        "check" => cmd_check(&cli),
+        "pin" => cmd_pin(&cli),
+        other => Err(format!("unknown subcommand `{other}`\n{}", usage())),
+    }
+}
+
+/// The scenarios the command applies to: the whole corpus with `--all`
+/// (or for `list`), otherwise the named subset.
+fn select(cli: &Cli, verb: &str) -> Result<Vec<(PathBuf, Scenario)>, String> {
+    let entries = corpus::load_dir(&cli.dir)?;
+    if cli.all || (verb == "list" && cli.names.is_empty()) {
+        if entries.is_empty() {
+            return Err(format!("no .tmcs scenarios in {}", cli.dir.display()));
+        }
+        return Ok(entries);
+    }
+    if cli.names.is_empty() {
+        return Err(format!("scenario {verb} needs --all or scenario names"));
+    }
+    let mut selected = Vec::new();
+    for name in &cli.names {
+        let found = entries.iter().find(|(_, sc)| &sc.name == name);
+        match found {
+            Some(e) => selected.push(e.clone()),
+            None => {
+                return Err(format!(
+                    "no scenario named `{name}` in {} ({} available: {})",
+                    cli.dir.display(),
+                    entries.len(),
+                    entries
+                        .iter()
+                        .map(|(_, sc)| sc.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            }
+        }
+    }
+    Ok(selected)
+}
+
+fn cmd_list(cli: &Cli) -> Result<(), String> {
+    let entries = select(cli, "list")?;
+    println!("{} scenarios in {}", entries.len(), cli.dir.display());
+    for (_, sc) in &entries {
+        let mut tags = Vec::new();
+        if let Some(w) = &sc.workload {
+            tags.push(w.family.name().to_string());
+        }
+        if !sc.ops.is_empty() {
+            tags.push(format!("{} explicit ops", sc.ops.len()));
+        }
+        if sc.fault_configured() {
+            tags.push("faults".into());
+        }
+        if sc.machine.shards > 1 {
+            tags.push(format!("shards={}", sc.machine.shards));
+        }
+        tags.push(
+            if sc.expect.is_pinned() {
+                "pinned"
+            } else {
+                "unpinned"
+            }
+            .into(),
+        );
+        println!(
+            "  {:<24} N={:<5} {}",
+            sc.name,
+            sc.machine.n_caches,
+            tags.join(", ")
+        );
+        if !sc.note.is_empty() {
+            println!("  {:<24} {}", "", sc.note);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(cli: &Cli) -> Result<(), String> {
+    let entries = select(cli, "run")?;
+    for (_, sc) in &entries {
+        let outcome = run_scenario(sc).map_err(|e| format!("{}: {e}", sc.name))?;
+        println!("{}:", sc.name);
+        println!(
+            "  ops          = {} ({} reads, {} writes)",
+            outcome.ops, outcome.reads, outcome.writes
+        );
+        println!("  events       = {}", outcome.events);
+        println!("  fingerprint  = 0x{:016x}", outcome.fingerprint);
+        println!("  total_bits   = {}", outcome.total_bits);
+        println!("  link_chksum  = 0x{:016x}", outcome.link_checksum);
+        println!("  reads_chksum = 0x{:016x}", outcome.reads_checksum);
+        for (name, v) in &outcome.counters {
+            if *v != 0 {
+                println!("  counter {name:<28} {v}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check(cli: &Cli) -> Result<(), String> {
+    let entries = select(cli, "check")?;
+    let mut checked = 0usize;
+    let mut goldens = 0usize;
+    let mut failures = Vec::new();
+    for (i, (_, sc)) in entries.iter().enumerate() {
+        if i % cli.sample != 0 {
+            continue;
+        }
+        match check_scenario(sc, cli.reshard) {
+            Ok(report) => {
+                checked += 1;
+                goldens += report.goldens;
+                let engines = if report.engines.is_empty() {
+                    "serial+oracle".to_string()
+                } else {
+                    format!("serial+oracle+{}", report.engines.join("+"))
+                };
+                println!(
+                    "ok   {:<24} {} goldens, engines: {engines}",
+                    sc.name, report.goldens
+                );
+            }
+            Err(e) => {
+                println!("FAIL {:<24} {e}", sc.name);
+                failures.push(format!("{}: {e}", sc.name));
+            }
+        }
+    }
+    println!("checked {checked} scenarios, {goldens} golden fields");
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} scenario(s) failed:\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_pin(cli: &Cli) -> Result<(), String> {
+    let entries = select(cli, "pin")?;
+    for (path, sc) in &entries {
+        let outcome = run_scenario(sc).map_err(|e| format!("{}: {e}", sc.name))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let body = match text.find("[expect]") {
+            Some(at) => text[..at].trim_end().to_string(),
+            None => text.trim_end().to_string(),
+        };
+        let pinned = format!("{body}\n\n{}", encode_expect(&outcome.to_expect()));
+        std::fs::write(path, &pinned).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "pinned {:<24} fingerprint 0x{:016x}",
+            sc.name, outcome.fingerprint
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Loading the committed scenario corpus from disk.
+//!
+//! Scenario files use the `.tmcs` extension and live in `scenarios/` at
+//! the repository root; [`default_dir`] resolves it relative to this
+//! crate so the sweep works from any working directory.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::parse::parse;
+use crate::spec::Scenario;
+
+/// The committed corpus directory, `scenarios/` at the repository root.
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+/// Loads and parses one scenario file.
+///
+/// # Errors
+///
+/// Returns `"<path>: <error>"` on I/O or parse failure.
+pub fn load_file(path: &Path) -> Result<Scenario, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Loads every `.tmcs` file in `dir`, sorted by file name.
+///
+/// # Errors
+///
+/// Returns the first unreadable or unparsable file, or a duplicate
+/// scenario name.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Scenario)>, String> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "tmcs"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let sc = load_file(&path)?;
+        if out
+            .iter()
+            .any(|(_, s): &(PathBuf, Scenario)| s.name == sc.name)
+        {
+            return Err(format!(
+                "{}: duplicate scenario name `{}`",
+                path.display(),
+                sc.name
+            ));
+        }
+        out.push((path, sc));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_dir_points_at_scenarios() {
+        assert!(default_dir().ends_with("../../scenarios"));
+    }
+}

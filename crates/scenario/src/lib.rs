@@ -1,0 +1,55 @@
+//! Scenario DSL and golden corpus runner for the two-mode coherence
+//! protocol.
+//!
+//! A *scenario* is a named, declarative experiment in a small text format
+//! (`.tmcs`): machine shape, workload mix, per-block mode directives,
+//! fault plan, explicit op script, and the golden observables CI asserts
+//! (protocol fingerprint, counter totals, per-link charge checksums).
+//! The committed corpus under `scenarios/` is swept deterministically by
+//! the `tmc scenario check --all` CI job against every applicable
+//! engine: the serial reference system with its sequential-consistency
+//! oracle, the block-sharded engine (bit-identity), and JSONL trace
+//! replay (full obligation suite).
+//!
+//! ```text
+//! # tmc scenario
+//! [scenario]
+//! name = stencil-8
+//!
+//! [machine]
+//! n_caches = 8
+//! sets = 64
+//! ways = 4
+//! words_log2 = 2
+//! scheme = combined
+//! policy = fixed-gr
+//! owner_bypass = true
+//! shards = 4
+//!
+//! [workload]
+//! family = stencil
+//! seed = 1
+//! tasks = 8
+//! placement = adjacent:0
+//! rows_per_task = 4
+//! iterations = 4
+//! ```
+//!
+//! The format is the single reproducer currency of the repo: the
+//! conformance fuzzer emits shrunken divergences as scenario files, and
+//! the corpus regression replays them through [`parse`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod ops;
+pub mod parse;
+pub mod run;
+pub mod spec;
+
+pub use parse::{parse, ParseError};
+pub use run::{check_scenario, run_scenario, CheckReport, ScenarioOutcome};
+pub use spec::{
+    Analytic, Engine, Expect, Family, Faults, Machine, ModeDirective, Scenario, Workload,
+};

@@ -1,0 +1,140 @@
+//! Statistical properties of the Zipfian samplers that the scenario
+//! corpus leans on: rank-frequency monotonicity, θ sensitivity, and the
+//! single-writer discipline surviving `generate_into` buffer reuse.
+
+use std::collections::BTreeMap;
+
+use tmc_simcore::SimRng;
+use tmc_workload::{MultiTenantZipfWorkload, Op, Placement, Trace, ZipfSampler};
+
+const DRAWS: usize = 60_000;
+
+/// Average per-rank frequency inside geometric rank bins
+/// `[1,2) [2,4) [4,8) …` must decrease as rank grows — the defining
+/// rank-frequency shape of a Zipfian law, robust to per-rank noise.
+#[test]
+fn rank_frequency_is_monotone_across_geometric_bins() {
+    let mut rng = SimRng::seed_from(11);
+    let zipf = ZipfSampler::new(1 << 16, 0.9);
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    for _ in 0..DRAWS {
+        *counts.entry(zipf.sample(&mut rng)).or_insert(0) += 1;
+    }
+    let mut densities = Vec::new();
+    let mut lo = 1u64;
+    while lo < zipf.population() {
+        let hi = (lo * 2).min(zipf.population());
+        let total: u64 = counts.range(lo..hi).map(|(_, c)| c).sum();
+        densities.push(total as f64 / (hi - lo) as f64);
+        lo = hi;
+    }
+    for pair in densities.windows(2) {
+        assert!(
+            pair[0] >= pair[1],
+            "per-rank density must fall with rank: {densities:?}"
+        );
+    }
+    // And rank 0 alone beats the whole first bin's per-rank density.
+    let rank0 = counts.get(&0).copied().unwrap_or(0) as f64;
+    assert!(
+        rank0 > densities[0],
+        "rank 0 not the mode: {rank0} vs {densities:?}"
+    );
+}
+
+/// Larger θ concentrates more mass on the head of the distribution.
+#[test]
+fn theta_controls_head_concentration() {
+    let population = 1u64 << 20;
+    let head = population / 100; // top 1%
+    let share = |theta: f64, seed: u64| {
+        let mut rng = SimRng::seed_from(seed);
+        let zipf = ZipfSampler::new(population, theta);
+        let hits = (0..DRAWS).filter(|_| zipf.sample(&mut rng) < head).count();
+        hits as f64 / DRAWS as f64
+    };
+    let low = share(0.2, 5);
+    let mid = share(0.6, 5);
+    let high = share(0.95, 5);
+    assert!(
+        low < mid && mid < high,
+        "head share must grow with theta: {low} < {mid} < {high}"
+    );
+    // θ→0 approaches uniform: the top 1% draws about 1%.
+    assert!(low < 0.1, "theta=0.2 head share {low} suspiciously skewed");
+    assert!(high > 0.5, "theta=0.95 head share {high} not skewed enough");
+}
+
+/// Every block is written by exactly one processor — the designated
+/// `writer_of_block` under the trace's task assignment — and the
+/// discipline survives reusing the `generate_into` buffers across
+/// differently-sized generations.
+#[test]
+fn single_writer_discipline_survives_generate_into_reuse() {
+    let wl_big = MultiTenantZipfWorkload::new(8, 100_000, 0.3)
+        .tenants(8)
+        .blocks_per_tenant(16)
+        .references(4000)
+        .placement(Placement::Strided { base: 0, stride: 2 });
+    let wl_small = MultiTenantZipfWorkload::new(4, 1000, 0.5)
+        .tenants(2)
+        .blocks_per_tenant(4)
+        .references(600)
+        .placement(Placement::Adjacent { base: 0 });
+
+    let mut trace = Trace::new(16);
+    let mut assignment = Vec::new();
+    let mut rng = SimRng::seed_from(23);
+    // Interleave two workloads through the same buffers; each generation
+    // must stand alone.
+    for (round, wl) in [&wl_big, &wl_small, &wl_big].into_iter().enumerate() {
+        wl.generate_into(&mut rng, &mut trace, &mut assignment);
+        let expected_refs = if round == 1 { 600 } else { 4000 };
+        assert_eq!(trace.len(), expected_refs, "round {round}: stale buffer");
+
+        let mut writer_seen: BTreeMap<u64, usize> = BTreeMap::new();
+        for r in trace.iter() {
+            let block = wl.spec().block_of(r.addr);
+            if r.op == Op::Write {
+                let designated = assignment[wl.writer_of_block(block)];
+                assert_eq!(
+                    r.proc,
+                    designated,
+                    "round {round}: write to block {} from P{} instead of designated P{designated}",
+                    block.index(),
+                    r.proc
+                );
+                let prev = writer_seen.insert(block.index(), r.proc);
+                assert!(
+                    prev.is_none_or(|p| p == r.proc),
+                    "round {round}: block {} written by two processors",
+                    block.index()
+                );
+            }
+        }
+        assert!(!writer_seen.is_empty(), "round {round}: no writes sampled");
+    }
+}
+
+/// `generate_into` is deterministic for a given rng state, with or
+/// without buffer reuse.
+#[test]
+fn generate_into_matches_fresh_generation() {
+    let wl = MultiTenantZipfWorkload::new(8, 50_000, 0.2)
+        .tenants(4)
+        .blocks_per_tenant(8)
+        .references(1500);
+
+    let mut rng_a = SimRng::seed_from(99);
+    let fresh = wl.clone().generate(8, &mut rng_a);
+
+    let mut rng_b = SimRng::seed_from(99);
+    let mut trace = Trace::new(8);
+    let mut assignment = vec![7usize; 64]; // dirty scratch on purpose
+    wl.generate_into(&mut rng_b, &mut trace, &mut assignment);
+
+    assert_eq!(fresh.len(), trace.len());
+    for (a, b) in fresh.iter().zip(trace.iter()) {
+        assert_eq!(a, b);
+    }
+}
