@@ -36,9 +36,9 @@
 use std::hint::black_box;
 
 use tmc_baselines::{two_mode_adaptive, CoherentSystem};
-use tmc_bench::{drive, drive_steady_state, shardsim, sweep, timer};
+use tmc_bench::{drive, drive_batched, drive_steady_state, shardsim, sweep, timer};
 use tmc_simcore::{EventQueue, SimRng, SimTime};
-use tmc_workload::{MultiTenantZipfWorkload, Placement, SharedBlockWorkload};
+use tmc_workload::{MultiTenantZipfWorkload, Placement, SharedBlockWorkload, Trace};
 
 const N_PROCS: usize = 16;
 const N_TASKS: usize = 8;
@@ -60,20 +60,112 @@ const BIG_N_BLOCKS: u64 = 1 << 17;
 /// Footprint of the big-M cell: 2048 tenants × 1024 blocks = 2^21 blocks.
 const BIG_M_BLOCKS: u64 = 1 << 21;
 
-/// One big-machine scaling cell: the serial two-mode adaptive engine over
-/// the multi-tenant Zipfian workload at `n_procs` caches and
-/// `tenants × 1024` blocks. Returns refs/s.
-fn big_cell(n_procs: usize, tenants: u64, users: u64) -> f64 {
-    let trace = MultiTenantZipfWorkload::new(n_procs, users, 0.2)
+/// The multi-tenant Zipfian trace backing every big-machine cell.
+fn big_trace(n_procs: usize, tenants: u64, users: u64) -> Trace {
+    MultiTenantZipfWorkload::new(n_procs, users, 0.2)
         .tenants(tenants)
         .blocks_per_tenant(1024)
         .references(BIG_REFS)
-        .generate(n_procs, &mut SimRng::seed_from(0xB16 ^ n_procs as u64));
-    let mut sys = two_mode_adaptive(n_procs, 64);
-    let (_, t) = timer::time_once(|| {
-        black_box(drive(&mut sys, &trace));
-    });
-    BIG_REFS as f64 / t.as_secs_f64()
+        .generate(n_procs, &mut SimRng::seed_from(0xB16 ^ n_procs as u64))
+}
+
+/// One big-machine scaling cell: the two-mode adaptive engine over the
+/// multi-tenant Zipfian workload at `n_procs` caches and `tenants × 1024`
+/// blocks, driven through the batched reference pipeline. The trace is
+/// lowered to a batch script *before* the timer starts — workload prep is
+/// not protocol work. Returns refs/s.
+fn big_cell(n_procs: usize, tenants: u64, users: u64) -> f64 {
+    let trace = big_trace(n_procs, tenants, users);
+    let script = shardsim::script_from_trace(&trace);
+    // Best-of-3 on a fresh machine each time, like `shard_bench`: the first
+    // run pays the allocator/page-fault cost of a cold heap, the minimum
+    // reports the protocol work.
+    let mut secs = f64::INFINITY;
+    for _ in 0..3 {
+        let mut sys = two_mode_adaptive(n_procs, 64);
+        let (_, t) = timer::time_once(|| {
+            for ops in script.chunks(shardsim::BATCH_CHUNK) {
+                sys.inner_mut()
+                    .execute_batch(ops)
+                    .expect("valid processors");
+            }
+            black_box(sys.inner().traffic().total_bits());
+        });
+        secs = secs.min(t.as_secs_f64());
+    }
+    BIG_REFS as f64 / secs
+}
+
+/// The N=1024 cell once through the legacy per-op driver and once per
+/// batch size through `execute_batch`, asserting every batched machine
+/// bit-identical to the scalar one before any rate is reported.
+/// Returns `(scalar refs/s, [refs/s at batch 1, 64, 4096])`.
+fn big_cell_1024_comparison() -> (f64, [f64; 3]) {
+    let trace = big_trace(1024, BIG_N_BLOCKS / 1024, 1_000_000);
+    let script = shardsim::script_from_trace(&trace);
+    // Best-of-2 per arm (every machine in a run is identical, so timing
+    // noise is the only thing the repeat discards).
+    let mut scalar_secs = f64::INFINITY;
+    let mut scalar = two_mode_adaptive(1024, 64);
+    for rerun in 0..2 {
+        if rerun > 0 {
+            scalar = two_mode_adaptive(1024, 64);
+        }
+        let (_, t) = timer::time_once(|| {
+            shardsim::apply_script_scalar(scalar.inner_mut(), &script);
+            black_box(scalar.inner().traffic().total_bits());
+        });
+        scalar_secs = scalar_secs.min(t.as_secs_f64());
+    }
+    let scalar_rps = BIG_REFS as f64 / scalar_secs;
+
+    let mut rates = [0.0f64; 3];
+    for (slot, chunk) in [1usize, 64, shardsim::BATCH_CHUNK].into_iter().enumerate() {
+        let mut secs = f64::INFINITY;
+        let mut sys = two_mode_adaptive(1024, 64);
+        for rerun in 0..2 {
+            if rerun > 0 {
+                sys = two_mode_adaptive(1024, 64);
+            }
+            let (_, t) = timer::time_once(|| {
+                for ops in script.chunks(chunk) {
+                    sys.inner_mut()
+                        .execute_batch(ops)
+                        .expect("valid processors");
+                }
+                black_box(sys.inner().traffic().total_bits());
+            });
+            secs = secs.min(t.as_secs_f64());
+        }
+        rates[slot] = BIG_REFS as f64 / secs;
+        assert_eq!(
+            sys.inner().protocol_fingerprint(),
+            scalar.inner().protocol_fingerprint(),
+            "batch size {chunk} must be bit-identical to the scalar driver"
+        );
+        assert_eq!(sys.inner().counters(), scalar.inner().counters());
+        assert_eq!(sys.inner().traffic(), scalar.inner().traffic());
+    }
+    (scalar_rps, rates)
+}
+
+/// Per-phase attribution of the N=1024 cell: a separate, untimed pass with
+/// 1-in-64 transaction sampling. Returns the `(tag lookup, network
+/// billing, memory copy, directory residual)` shares of sampled
+/// transaction time.
+fn big_cell_phase_shares() -> (f64, f64, f64, f64) {
+    use tmc_core::Phase;
+    let trace = big_trace(1024, BIG_N_BLOCKS / 1024, 1_000_000);
+    let mut sys = two_mode_adaptive(1024, 64);
+    sys.inner_mut().set_profiling(64);
+    black_box(drive_batched(sys.inner_mut(), &trace));
+    let r = sys.inner().phase_report();
+    (
+        r.share(Phase::TagLookup),
+        r.share(Phase::NetBilling),
+        r.share(Phase::MemCopy),
+        r.directory_share(),
+    )
 }
 
 /// The sim_fig8 grid: 8 write fractions × 6 systems.
@@ -260,6 +352,11 @@ fn check_report(text: &str) -> Result<Vec<String>, String> {
         "bigN_256_refs_per_sec",
         "bigN_1024_refs_per_sec",
         "bigM_1024_refs_per_sec",
+        "bigN_1024_scalar_refs_per_sec",
+        "bigN_gap",
+        "batch_1_refs_per_sec",
+        "batch_64_refs_per_sec",
+        "batch_4096_refs_per_sec",
     ] {
         let v: f64 = field(key)?
             .parse()
@@ -284,6 +381,22 @@ fn check_report(text: &str) -> Result<Vec<String>, String> {
             .map_err(|e| format!("field {key:?}: {e}"))?;
         if v == 0 {
             return Err(format!("field {key:?} must be nonzero"));
+        }
+    }
+    // Phase shares are fractions of sampled transaction time: each must be
+    // a finite value in [0, 1] (zero is legal — a phase can be unmeasurably
+    // cheap at the sampling rate).
+    for key in [
+        "phase_tag_lookup_share",
+        "phase_net_billing_share",
+        "phase_mem_copy_share",
+        "phase_directory_share",
+    ] {
+        let v: f64 = field(key)?
+            .parse()
+            .map_err(|e| format!("field {key:?}: {e}"))?;
+        if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+            return Err(format!("field {key:?} must be a share in [0, 1], got {v}"));
         }
     }
     // A shard speedup below 1 means the parallel engine *lost* to serial.
@@ -443,6 +556,30 @@ fn main() {
     let bigm_1024 = big_cell(1024, BIG_M_BLOCKS / 1024, 4_000_000);
     println!("bigM 1024        : {bigm_1024:.0} refs/s (2^21 blocks)");
 
+    // Legacy-vs-batched comparison at N=1024 (bit-identity asserted), the
+    // batch-size curve, and the gap the batched pipeline is closing.
+    let (bign_1024_scalar, batch_rates) = big_cell_1024_comparison();
+    let bign_gap = refs_per_sec / bign_1024;
+    println!("bigN 1024 scalar : {bign_1024_scalar:.0} refs/s (legacy per-op driver)");
+    println!(
+        "batch sizes      : {:.0} / {:.0} / {:.0} refs/s at 1 / 64 / {}",
+        batch_rates[0],
+        batch_rates[1],
+        batch_rates[2],
+        shardsim::BATCH_CHUNK
+    );
+    println!("bigN gap         : {bign_gap:.2}x (protocol N=16 vs bigN 1024)");
+
+    // Per-phase attribution of the N=1024 cell (separate untimed pass).
+    let (ph_tag, ph_net, ph_copy, ph_dir) = big_cell_phase_shares();
+    println!(
+        "phases (N=1024)  : tag {:.1}% | net {:.1}% | copy {:.1}% | directory {:.1}%",
+        ph_tag * 100.0,
+        ph_net * 100.0,
+        ph_copy * 100.0,
+        ph_dir * 100.0
+    );
+
     let faults = match std::env::var("TMC_PERF_FAULTS")
         .ok()
         .and_then(|s| s.trim().parse::<u64>().ok())
@@ -460,10 +597,13 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": {n_cells},\n  \"refs_per_cell\": {REFS},\n  \"sweep_threads\": {threads},\n  \"physical_cores\": {physical_cores},\n  \"event_queue_events_per_sec\": {events_per_sec:.1},\n  \"protocol_refs_per_sec\": {refs_per_sec:.1},\n  \"sweep_serial_seconds\": {:.6},\n  \"sweep_parallel_seconds\": {:.6},\n  \"sweep_parallel_refs_per_sec\": {:.1},\n  \"sweep_speedup\": {speedup:.4},\n  \"shards\": {shards},\n  \"shard_workers\": {shard_workers},\n  \"shard_refs\": {SHARD_REFS},\n  \"shard_serial_refs_per_sec\": {shard_serial_rps:.1},\n  \"shard_refs_per_sec\": {shard_rps:.1},\n  \"shard_speedup\": {shard_speedup:.4},\n  \"big_refs\": {BIG_REFS},\n  \"bigN_blocks\": {BIG_N_BLOCKS},\n  \"bigM_blocks\": {BIG_M_BLOCKS},\n  \"bigN_64_refs_per_sec\": {bign_64:.1},\n  \"bigN_256_refs_per_sec\": {bign_256:.1},\n  \"bigN_1024_refs_per_sec\": {bign_1024:.1},\n  \"bigM_1024_refs_per_sec\": {bigm_1024:.1},\n  \"faults_injected\": {},\n  \"fault_retries\": {},\n  \"fault_recoveries\": {},\n  \"fault_degradations\": {},\n  \"deterministic\": true\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": {n_cells},\n  \"refs_per_cell\": {REFS},\n  \"sweep_threads\": {threads},\n  \"physical_cores\": {physical_cores},\n  \"event_queue_events_per_sec\": {events_per_sec:.1},\n  \"protocol_refs_per_sec\": {refs_per_sec:.1},\n  \"sweep_serial_seconds\": {:.6},\n  \"sweep_parallel_seconds\": {:.6},\n  \"sweep_parallel_refs_per_sec\": {:.1},\n  \"sweep_speedup\": {speedup:.4},\n  \"shards\": {shards},\n  \"shard_workers\": {shard_workers},\n  \"shard_refs\": {SHARD_REFS},\n  \"shard_serial_refs_per_sec\": {shard_serial_rps:.1},\n  \"shard_refs_per_sec\": {shard_rps:.1},\n  \"shard_speedup\": {shard_speedup:.4},\n  \"big_refs\": {BIG_REFS},\n  \"bigN_blocks\": {BIG_N_BLOCKS},\n  \"bigM_blocks\": {BIG_M_BLOCKS},\n  \"bigN_64_refs_per_sec\": {bign_64:.1},\n  \"bigN_256_refs_per_sec\": {bign_256:.1},\n  \"bigN_1024_refs_per_sec\": {bign_1024:.1},\n  \"bigM_1024_refs_per_sec\": {bigm_1024:.1},\n  \"bigN_1024_scalar_refs_per_sec\": {bign_1024_scalar:.1},\n  \"bigN_gap\": {bign_gap:.4},\n  \"batch_1_refs_per_sec\": {:.1},\n  \"batch_64_refs_per_sec\": {:.1},\n  \"batch_4096_refs_per_sec\": {:.1},\n  \"phase_tag_lookup_share\": {ph_tag:.4},\n  \"phase_net_billing_share\": {ph_net:.4},\n  \"phase_mem_copy_share\": {ph_copy:.4},\n  \"phase_directory_share\": {ph_dir:.4},\n  \"faults_injected\": {},\n  \"fault_retries\": {},\n  \"fault_recoveries\": {},\n  \"fault_degradations\": {},\n  \"deterministic\": true\n}}\n",
         serial_time.as_secs_f64(),
         parallel_time.as_secs_f64(),
         sweep_refs / parallel_time.as_secs_f64(),
+        batch_rates[0],
+        batch_rates[1],
+        batch_rates[2],
         faults.injected,
         faults.retries,
         faults.recoveries,
@@ -497,6 +637,11 @@ mod tests {
              \"bigN_blocks\": 131072,\n  \"bigM_blocks\": 2097152,\n  \
              \"bigN_64_refs_per_sec\": 1e6,\n  \"bigN_256_refs_per_sec\": 1e6,\n  \
              \"bigN_1024_refs_per_sec\": 1e6,\n  \"bigM_1024_refs_per_sec\": 1e6,\n  \
+             \"bigN_1024_scalar_refs_per_sec\": 1e6,\n  \"bigN_gap\": 2.5,\n  \
+             \"batch_1_refs_per_sec\": 1e6,\n  \"batch_64_refs_per_sec\": 1e6,\n  \
+             \"batch_4096_refs_per_sec\": 1e6,\n  \"phase_tag_lookup_share\": 0.2,\n  \
+             \"phase_net_billing_share\": 0.3,\n  \"phase_mem_copy_share\": 0.1,\n  \
+             \"phase_directory_share\": 0.4,\n  \
              \"faults_injected\": 0,\n  \
              \"fault_retries\": 0,\n  \"fault_recoveries\": 0,\n  \
              \"fault_degradations\": 0,\n  \"deterministic\": true\n}}\n"

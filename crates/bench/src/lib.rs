@@ -16,6 +16,7 @@ pub mod timer;
 pub mod tracecheck;
 
 use tmc_baselines::CoherentSystem;
+use tmc_core::System;
 use tmc_memsys::ReferenceMemory;
 use tmc_workload::{Op, Trace};
 
@@ -224,6 +225,106 @@ pub fn drive_steady_state_checked(
         };
     }
     let total_bits = sys.total_traffic_bits() - warm_bits;
+    RunReport {
+        references: measured,
+        total_bits,
+        bits_per_ref: total_bits as f64 / measured as f64,
+    }
+}
+
+/// Batched counterpart of [`drive`] for the reference engine: scripts the
+/// trace once, then feeds [`tmc_core::System::execute_batch`] in
+/// [`shardsim::BATCH_CHUNK`]-op chunks. Bit-identical to [`drive`] on a
+/// two-mode machine — same fingerprint, counters, per-link charges.
+pub fn drive_batched(sys: &mut System, trace: &Trace) -> RunReport {
+    let script = shardsim::script_from_trace(trace);
+    shardsim::apply_script(sys, &script);
+    let total_bits = sys.traffic().total_bits();
+    RunReport {
+        references: trace.len(),
+        total_bits,
+        bits_per_ref: if trace.is_empty() {
+            0.0
+        } else {
+            total_bits as f64 / trace.len() as f64
+        },
+    }
+}
+
+/// Batched counterpart of [`drive_steady_state`]: the warmup boundary is
+/// a batch boundary, so the warm-bits snapshot lands at exactly the same
+/// reference as the scalar driver's.
+pub fn drive_steady_state_batched(sys: &mut System, trace: &Trace, warmup: usize) -> RunReport {
+    let script = shardsim::script_from_trace(trace);
+    batched_steady_state(sys, &script, warmup, None)
+}
+
+/// Batched counterpart of [`drive_steady_state_checked`]: read values are
+/// still oracle-checked, but the oracle runs as a *precomputation* over
+/// the script (writes carry precomputed stamps, so expected read values
+/// are known before execution) and the engine's batched read results are
+/// compared afterwards — keeping the hot loop on the batched pipeline.
+///
+/// # Panics
+///
+/// Panics on the first read that returns a value other than the last one
+/// written to that word (a sequential-consistency violation).
+pub fn drive_steady_state_batched_checked(
+    sys: &mut System,
+    trace: &Trace,
+    warmup: usize,
+) -> RunReport {
+    let script = shardsim::script_from_trace(trace);
+    let mut oracle = ReferenceMemory::new();
+    let mut expected = Vec::new();
+    for op in &script {
+        match *op {
+            shardsim::ShardOp::Read { addr, .. } => expected.push(oracle.read(addr)),
+            shardsim::ShardOp::Write { addr, value, .. } => oracle.write(addr, value),
+            shardsim::ShardOp::SetMode { .. } => {}
+        }
+    }
+    batched_steady_state(sys, &script, warmup, Some(&expected))
+}
+
+fn batched_steady_state(
+    sys: &mut System,
+    script: &[shardsim::ShardOp],
+    warmup: usize,
+    expected_reads: Option<&[u64]>,
+) -> RunReport {
+    let cut = warmup.min(script.len());
+    let mut got = expected_reads.map(|e| Vec::with_capacity(e.len()));
+    for chunk in script[..cut].chunks(shardsim::BATCH_CHUNK) {
+        match got.as_mut() {
+            Some(values) => sys.execute_batch_reads(chunk, values),
+            None => sys.execute_batch(chunk),
+        }
+        .expect("valid processors");
+    }
+    let warm_bits = sys.traffic().total_bits();
+    for chunk in script[cut..].chunks(shardsim::BATCH_CHUNK) {
+        match got.as_mut() {
+            Some(values) => sys.execute_batch_reads(chunk, values),
+            None => sys.execute_batch(chunk),
+        }
+        .expect("valid processors");
+    }
+    if let (Some(expected), Some(got)) = (expected_reads, got.as_ref()) {
+        assert_eq!(expected.len(), got.len(), "read count mismatch");
+        for (i, (want, have)) in expected.iter().zip(got).enumerate() {
+            assert_eq!(want, have, "stale read at read #{i} of the script");
+        }
+    }
+    if script.len() <= warmup {
+        return RunReport {
+            references: 0,
+            total_bits: 0,
+            bits_per_ref: 0.0,
+        };
+    }
+    let measured = script.len() - warmup;
+    let total_bits = sys.traffic().total_bits() - warm_bits;
     RunReport {
         references: measured,
         total_bits,

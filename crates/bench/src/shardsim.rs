@@ -69,8 +69,8 @@
 //! assert_eq!(sharded.system.traffic(), serial.traffic());
 //! ```
 
-use tmc_core::{Mode, System, SystemConfig};
-use tmc_memsys::{ReferenceMemory, WordAddr};
+use tmc_core::{System, SystemConfig};
+use tmc_memsys::ReferenceMemory;
 use tmc_obs::{interleave, ProtocolEvent, ShardEvents};
 use tmc_workload::{Op, Trace};
 
@@ -91,47 +91,16 @@ pub fn env_shards() -> usize {
         .unwrap_or(0)
 }
 
-/// One scripted reference with globally precomputed operands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ShardOp {
-    /// Processor `proc` reads `addr`.
-    Read {
-        /// Issuing processor.
-        proc: usize,
-        /// Word address.
-        addr: WordAddr,
-    },
-    /// Processor `proc` writes `value` (its precomputed global stamp).
-    Write {
-        /// Issuing processor.
-        proc: usize,
-        /// Word address.
-        addr: WordAddr,
-        /// The value to write — the global stamp sequence position the
-        /// serial drivers would have used.
-        value: u64,
-    },
-    /// Software mode directive for `addr`'s block.
-    SetMode {
-        /// Issuing processor.
-        proc: usize,
-        /// Word address naming the block.
-        addr: WordAddr,
-        /// Target mode.
-        mode: Mode,
-    },
-}
+/// One scripted reference with globally precomputed operands — the
+/// engine's own batched-pipeline op type, re-exported under its historical
+/// shard-script name. Shard scripts, scenario programs and conformance
+/// cases all feed [`tmc_core::System::execute_batch`] without conversion.
+pub use tmc_core::BatchOp as ShardOp;
 
-impl ShardOp {
-    /// The word address this op touches.
-    pub fn addr(&self) -> WordAddr {
-        match *self {
-            ShardOp::Read { addr, .. }
-            | ShardOp::Write { addr, .. }
-            | ShardOp::SetMode { addr, .. } => addr,
-        }
-    }
-}
+/// Ops per [`tmc_core::System::execute_batch`] call when replaying a
+/// script: large enough to amortize the per-batch billing flush, small
+/// enough that the per-op decode scratch stays cache-resident.
+pub const BATCH_CHUNK: usize = 4096;
 
 /// Converts a workload trace into a shard script, assigning each write its
 /// global stamp value — the same `1, 2, 3, …` sequence [`crate::drive`] and
@@ -159,9 +128,20 @@ pub fn script_from_trace(trace: &Trace) -> Vec<ShardOp> {
         .collect()
 }
 
-/// Executes `script` serially on `sys` — the reference behavior a sharded
-/// run must reproduce, and the serial baseline the perf report times.
+/// Executes `script` on `sys` through the batched pipeline
+/// ([`tmc_core::System::execute_batch`] in [`BATCH_CHUNK`]-op chunks) —
+/// bit-identical to [`apply_script_scalar`] but with per-batch deferred
+/// billing and scratch reuse.
 pub fn apply_script(sys: &mut System, script: &[ShardOp]) {
+    for chunk in script.chunks(BATCH_CHUNK) {
+        sys.execute_batch(chunk).expect("valid processors");
+    }
+}
+
+/// Executes `script` one reference at a time through the scalar entry
+/// points — the reference behavior both the sharded and the batched
+/// pipelines must reproduce bit-for-bit.
+pub fn apply_script_scalar(sys: &mut System, script: &[ShardOp]) {
     for op in script {
         apply_op(sys, op);
     }
@@ -328,6 +308,26 @@ pub fn run(
             let mut sys = System::new(cfg.clone()).map_err(|e| e.to_string())?;
             sys.set_tracing(tracing);
             let mut events = ShardEvents::new();
+            if !tracing && !check {
+                // Neither per-op trace grouping nor the oracle needs
+                // per-reference control: feed the shard's subsequence to
+                // the batched pipeline. Indices ascend within a shard, so
+                // the warmup boundary is a batch boundary.
+                let cut = ops.partition_point(|&(idx, _)| idx < warmup);
+                let flat: Vec<ShardOp> = ops.iter().map(|&(_, op)| op).collect();
+                for chunk in flat[..cut].chunks(BATCH_CHUNK) {
+                    sys.execute_batch(chunk).map_err(|e| e.to_string())?;
+                }
+                let warm_bits = sys.traffic().total_bits();
+                for chunk in flat[cut..].chunks(BATCH_CHUNK) {
+                    sys.execute_batch(chunk).map_err(|e| e.to_string())?;
+                }
+                return Ok(ShardOutcome {
+                    system: sys,
+                    events,
+                    warm_bits,
+                });
+            }
             let mut traced_len = 0usize;
             let mut oracle = check.then(ReferenceMemory::new);
             let mut warm_bits = 0u64;
@@ -485,6 +485,7 @@ pub fn capture_sharded(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tmc_core::Mode;
     use tmc_simcore::SimRng;
     use tmc_workload::{Placement, SharedBlockWorkload};
 

@@ -1,0 +1,94 @@
+//! Batched reference execution: the op type the batched pipeline drives.
+//!
+//! [`BatchOp`] is one scripted reference with every operand precomputed —
+//! the issuing processor, the word address, and (for writes) the global
+//! stamp value the serial drivers would have produced. A slice of them is
+//! what [`System::execute_batch`](crate::System::execute_batch) consumes:
+//! because nothing in the slice depends on execution results, the engine
+//! can pre-validate the whole batch, reuse scratch across it, and defer
+//! traffic/counter billing to one flush per batch while staying
+//! bit-identical to the scalar path.
+//!
+//! The sharded simulator's `ShardOp` is a re-export of this type, so shard
+//! scripts, scenario programs, and conformance cases all feed the batched
+//! driver without conversion.
+
+use tmc_memsys::WordAddr;
+
+use crate::state::Mode;
+
+/// One scripted reference with globally precomputed operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Processor `proc` reads `addr`.
+    Read {
+        /// Issuing processor.
+        proc: usize,
+        /// Word address.
+        addr: WordAddr,
+    },
+    /// Processor `proc` writes `value` (its precomputed global stamp).
+    Write {
+        /// Issuing processor.
+        proc: usize,
+        /// Word address.
+        addr: WordAddr,
+        /// The value to write — the global stamp sequence position the
+        /// serial drivers would have used.
+        value: u64,
+    },
+    /// Software mode directive for `addr`'s block.
+    SetMode {
+        /// Issuing processor.
+        proc: usize,
+        /// Word address naming the block.
+        addr: WordAddr,
+        /// Target mode.
+        mode: Mode,
+    },
+}
+
+impl BatchOp {
+    /// The word address this op touches.
+    pub fn addr(&self) -> WordAddr {
+        match *self {
+            BatchOp::Read { addr, .. }
+            | BatchOp::Write { addr, .. }
+            | BatchOp::SetMode { addr, .. } => addr,
+        }
+    }
+
+    /// The issuing processor.
+    pub fn proc(&self) -> usize {
+        match *self {
+            BatchOp::Read { proc, .. }
+            | BatchOp::Write { proc, .. }
+            | BatchOp::SetMode { proc, .. } => proc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let a = WordAddr::new(96);
+        let ops = [
+            BatchOp::Read { proc: 3, addr: a },
+            BatchOp::Write {
+                proc: 4,
+                addr: a,
+                value: 7,
+            },
+            BatchOp::SetMode {
+                proc: 5,
+                addr: a,
+                mode: Mode::GlobalRead,
+            },
+        ];
+        assert_eq!(ops.iter().map(BatchOp::proc).collect::<Vec<_>>(), [3, 4, 5]);
+        assert!(ops.iter().all(|op| op.addr() == a));
+    }
+}

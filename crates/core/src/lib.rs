@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod driver;
 pub mod error;
@@ -52,6 +53,7 @@ pub mod msg;
 pub mod state;
 pub mod system;
 
+pub use batch::BatchOp;
 pub use config::{ModePolicy, SystemConfig};
 pub use driver::{run_concurrent, DriveOutcome, DriverOp};
 pub use error::{CoreError, InvariantViolation};
@@ -59,4 +61,4 @@ pub use msg::{Destination, MsgKind, TraceEvent, TransactionLog};
 pub use state::{CacheLine, Mode, StateName, Validity};
 pub use system::{AccessStats, System};
 pub use tmc_faults::{FaultError, FaultSpec, RetryPolicy};
-pub use tmc_obs::{ProtocolEvent, TraceMode, Tracer};
+pub use tmc_obs::{Phase, PhaseReport, ProtocolEvent, TraceMode, Tracer};

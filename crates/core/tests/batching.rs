@@ -1,0 +1,163 @@
+//! Batched execution must be bit-identical to the scalar path.
+//!
+//! These are the engine-level checks; the cross-configuration property
+//! sweep lives in `tmc-bench/tests/batch_equivalence.rs` and the fuzzing
+//! harness exercises the same invariant via the `BatchedVsScalar`
+//! conformance pair.
+
+use tmc_core::{BatchOp, Mode, System, SystemConfig};
+use tmc_memsys::WordAddr;
+use tmc_simcore::SimRng;
+
+/// A deterministic mixed op script touching enough blocks to evict.
+fn script(n_procs: usize, refs: usize, seed: u64) -> Vec<BatchOp> {
+    let mut rng = SimRng::seed_from(seed);
+    let mut stamp = 1u64;
+    (0..refs)
+        .map(|_| {
+            let proc = rng.gen_range(0..n_procs);
+            let addr = WordAddr::new(rng.gen_range(0..96u64) * 4);
+            match rng.gen_range(0..10u32) {
+                0..=5 => BatchOp::Read { proc, addr },
+                6..=8 => {
+                    let value = stamp;
+                    stamp += 1;
+                    BatchOp::Write { proc, addr, value }
+                }
+                _ => BatchOp::SetMode {
+                    proc,
+                    addr,
+                    mode: if rng.gen_bool(0.5) {
+                        Mode::DistributedWrite
+                    } else {
+                        Mode::GlobalRead
+                    },
+                },
+            }
+        })
+        .collect()
+}
+
+fn apply_scalar(sys: &mut System, ops: &[BatchOp], out: &mut Vec<u64>) {
+    for op in ops {
+        match *op {
+            BatchOp::Read { proc, addr } => out.push(sys.read(proc, addr).unwrap()),
+            BatchOp::Write { proc, addr, value } => sys.write(proc, addr, value).unwrap(),
+            BatchOp::SetMode { proc, addr, mode } => sys.set_mode(proc, addr, mode).unwrap(),
+        }
+    }
+}
+
+fn assert_identical(a: &System, b: &System, what: &str) {
+    assert_eq!(
+        a.protocol_fingerprint(),
+        b.protocol_fingerprint(),
+        "{what}: fingerprints diverge"
+    );
+    assert_eq!(a.traffic(), b.traffic(), "{what}: per-link charges diverge");
+    assert_eq!(a.counters(), b.counters(), "{what}: counters diverge");
+}
+
+#[test]
+fn batch_matches_scalar_across_batch_sizes() {
+    let ops = script(8, 600, 0xBA7C);
+    let mut scalar = System::new(SystemConfig::new(8)).unwrap();
+    let mut scalar_reads = Vec::new();
+    apply_scalar(&mut scalar, &ops, &mut scalar_reads);
+    for chunk_size in [1usize, 7, 64, 4096] {
+        let mut batched = System::new(SystemConfig::new(8)).unwrap();
+        let mut batched_reads = Vec::new();
+        for chunk in ops.chunks(chunk_size) {
+            batched
+                .execute_batch_reads(chunk, &mut batched_reads)
+                .unwrap();
+        }
+        assert_identical(&scalar, &batched, &format!("batch size {chunk_size}"));
+        assert_eq!(scalar_reads, batched_reads, "read values diverge");
+    }
+}
+
+#[test]
+fn batch_matches_scalar_with_tracing() {
+    let ops = script(4, 300, 0x7ACE);
+    let mut scalar = System::new(SystemConfig::new(4)).unwrap();
+    scalar.set_tracing(true);
+    let mut sink = Vec::new();
+    apply_scalar(&mut scalar, &ops, &mut sink);
+    let mut batched = System::new(SystemConfig::new(4)).unwrap();
+    batched.set_tracing(true);
+    for chunk in ops.chunks(32) {
+        batched.execute_batch(chunk).unwrap();
+    }
+    assert_identical(&scalar, &batched, "traced run");
+    assert_eq!(
+        scalar.drain_trace(),
+        batched.drain_trace(),
+        "trace events diverge"
+    );
+}
+
+#[test]
+fn ineligible_configs_fall_back_bit_identically() {
+    // Transaction logging forces the internal scalar fallback; results
+    // must still match a plain scalar run, log included.
+    let ops = script(4, 200, 0x10C);
+    let mut cfg = SystemConfig::new(4);
+    cfg.log_transactions = true;
+    let mut scalar = System::new(cfg.clone()).unwrap();
+    let mut sink = Vec::new();
+    apply_scalar(&mut scalar, &ops, &mut sink);
+    let mut batched = System::new(cfg).unwrap();
+    batched.execute_batch(&ops).unwrap();
+    assert_identical(&scalar, &batched, "logging fallback");
+    assert_eq!(scalar.take_log(), batched.take_log(), "logs diverge");
+}
+
+#[test]
+fn batch_validation_is_all_or_nothing() {
+    let mut sys = System::new(SystemConfig::new(4)).unwrap();
+    let ops = [
+        BatchOp::Write {
+            proc: 0,
+            addr: WordAddr::new(0),
+            value: 1,
+        },
+        BatchOp::Read {
+            proc: 99,
+            addr: WordAddr::new(0),
+        },
+    ];
+    assert!(sys.execute_batch(&ops).is_err());
+    assert_eq!(
+        sys.traffic().total_bits(),
+        0,
+        "no op may execute when any op is invalid"
+    );
+    assert_eq!(sys.counters().iter().count(), 0);
+}
+
+#[test]
+fn empty_batch_is_a_no_op() {
+    let mut sys = System::new(SystemConfig::new(4)).unwrap();
+    sys.execute_batch(&[]).unwrap();
+    assert_eq!(sys.traffic().total_bits(), 0);
+}
+
+#[test]
+fn profiling_never_changes_results() {
+    let ops = script(8, 400, 0xF0F);
+    let mut plain = System::new(SystemConfig::new(8)).unwrap();
+    for chunk in ops.chunks(64) {
+        plain.execute_batch(chunk).unwrap();
+    }
+    let mut profiled = System::new(SystemConfig::new(8)).unwrap();
+    profiled.set_profiling(4);
+    for chunk in ops.chunks(64) {
+        profiled.execute_batch(chunk).unwrap();
+    }
+    assert_identical(&plain, &profiled, "profiled run");
+    let report = profiled.phase_report();
+    assert_eq!(report.txns, ops.len() as u64);
+    assert!(report.sampled_txns > 0);
+    assert!(report.phase_ns(tmc_core::Phase::Txn) >= report.directory_ns());
+}

@@ -19,7 +19,23 @@
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockData {
-    words: Vec<u64>,
+    words: Words,
+}
+
+/// Words a block stores inline; covers every paper-plausible block size
+/// (the default spec is 4 words), so the protocol hot path — block fills,
+/// ownership transfers, writebacks — copies a fixed array instead of
+/// allocating. Larger experimental blocks spill to the heap.
+const INLINE_WORDS: usize = 8;
+
+/// The representation is canonical in the word count: `len ≤ INLINE_WORDS`
+/// is always `Inline` (unused tail slots zeroed), so the derived
+/// `PartialEq`/`Hash` agree with value equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+enum Words {
+    Inline { words: [u64; INLINE_WORDS], len: u8 },
+    Heap(Vec<u64>),
 }
 
 impl BlockData {
@@ -31,7 +47,39 @@ impl BlockData {
     pub fn zeroed(words: usize) -> Self {
         assert!(words > 0, "a block holds at least one word");
         BlockData {
-            words: vec![0; words],
+            words: if words <= INLINE_WORDS {
+                Words::Inline {
+                    words: [0; INLINE_WORDS],
+                    len: words as u8,
+                }
+            } else {
+                Words::Heap(vec![0; words])
+            },
+        }
+    }
+
+    /// A block initialized by copying a word slice — allocation-free for
+    /// inline-sized blocks, which makes it the right fill constructor on
+    /// the protocol hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty.
+    pub fn from_slice(words: &[u64]) -> Self {
+        assert!(!words.is_empty(), "a block holds at least one word");
+        if words.len() <= INLINE_WORDS {
+            let mut inline = [0u64; INLINE_WORDS];
+            inline[..words.len()].copy_from_slice(words);
+            BlockData {
+                words: Words::Inline {
+                    words: inline,
+                    len: words.len() as u8,
+                },
+            }
+        } else {
+            BlockData {
+                words: Words::Heap(words.to_vec()),
+            }
         }
     }
 
@@ -42,12 +90,28 @@ impl BlockData {
     /// Panics if `words` is empty.
     pub fn from_words(words: Vec<u64>) -> Self {
         assert!(!words.is_empty(), "a block holds at least one word");
-        BlockData { words }
+        if words.len() <= INLINE_WORDS {
+            let mut inline = [0u64; INLINE_WORDS];
+            inline[..words.len()].copy_from_slice(&words);
+            BlockData {
+                words: Words::Inline {
+                    words: inline,
+                    len: words.len() as u8,
+                },
+            }
+        } else {
+            BlockData {
+                words: Words::Heap(words),
+            }
+        }
     }
 
     /// Number of words.
     pub fn len(&self) -> usize {
-        self.words.len()
+        match &self.words {
+            Words::Inline { len, .. } => *len as usize,
+            Words::Heap(v) => v.len(),
+        }
     }
 
     /// Always false: blocks are never empty.
@@ -61,7 +125,7 @@ impl BlockData {
     ///
     /// Panics if `offset` is out of range.
     pub fn word(&self, offset: usize) -> u64 {
-        self.words[offset]
+        self.words()[offset]
     }
 
     /// Writes the word at `offset`.
@@ -70,12 +134,22 @@ impl BlockData {
     ///
     /// Panics if `offset` is out of range.
     pub fn set_word(&mut self, offset: usize, value: u64) {
-        self.words[offset] = value;
+        let len = self.len();
+        match &mut self.words {
+            Words::Inline { words, .. } => {
+                assert!(offset < len, "word offset out of range");
+                words[offset] = value;
+            }
+            Words::Heap(v) => v[offset] = value,
+        }
     }
 
     /// All words, in offset order.
     pub fn words(&self) -> &[u64] {
-        &self.words
+        match &self.words {
+            Words::Inline { words, len } => &words[..*len as usize],
+            Words::Heap(v) => v,
+        }
     }
 }
 

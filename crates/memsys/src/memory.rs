@@ -104,7 +104,7 @@ impl MainMemory {
     /// Reads a block into an owned [`BlockData`] — the write-back / fill
     /// companion of [`MainMemory::read_block`].
     pub fn block_data(&self, block: BlockAddr) -> BlockData {
-        BlockData::from_words(self.read_block(block).to_vec())
+        BlockData::from_slice(self.read_block(block))
     }
 
     /// A block's words if it was ever written, `None` otherwise. A block

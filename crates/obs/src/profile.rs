@@ -1,0 +1,312 @@
+//! Per-phase hot-path attribution profiling.
+//!
+//! Aggregate throughput numbers say the big-N cells are slow; they cannot
+//! say *where* the nanoseconds go. [`PhaseProfiler`] decomposes a
+//! transaction into the phases the engine actually executes — cache tag
+//! lookup, network billing, block-data copying, and the residual directory
+//! transition work — by sampling whole transactions with a monotonic
+//! clock.
+//!
+//! The design follows [`crate::Tracer`]: the engine owns a profiler by
+//! value, every hook costs one predictable branch while disabled, and
+//! enabling it never changes protocol behavior (wall-clock time is not an
+//! input to any transition). Sampling is 1-in-`every` *transactions*, not
+//! phases: a sampled transaction times all of its phases, so the phase
+//! shares within a sample stay internally consistent.
+//!
+//! Timer overhead caveat: a `TagLookup` probe brackets an operation of a
+//! few nanoseconds with two `Instant::now()` calls, so absolute
+//! nanosecond totals overstate cheap phases. Use the *shares* for
+//! attribution and keep `every` large enough (the default is 64) that
+//! sampling does not distort the run being measured.
+//!
+//! # Example
+//!
+//! ```
+//! use tmc_obs::{Phase, PhaseProfiler};
+//!
+//! let mut p = PhaseProfiler::new();
+//! p.set_sampling(1); // sample every transaction
+//! let txn = p.txn_start();
+//! let t = p.start();
+//! let _work = (0..100u64).sum::<u64>();
+//! p.end(Phase::TagLookup, t);
+//! p.txn_end(txn);
+//! let report = p.report();
+//! assert_eq!(report.txns, 1);
+//! assert_eq!(report.sampled_txns, 1);
+//! assert!(report.phase_ns(Phase::Txn) >= report.phase_ns(Phase::TagLookup));
+//! ```
+
+use std::time::Instant;
+
+/// A timed phase of one engine transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The whole transaction, issue to retire.
+    Txn,
+    /// Cache tag/state lookup.
+    TagLookup,
+    /// Network routing and per-link bit billing.
+    NetBilling,
+    /// Block-data movement (block fills, write-backs, datum copies).
+    MemCopy,
+}
+
+impl Phase {
+    /// Number of phases (array dimension).
+    pub const COUNT: usize = 4;
+
+    /// All phases, in display order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Txn,
+        Phase::TagLookup,
+        Phase::NetBilling,
+        Phase::MemCopy,
+    ];
+
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Txn => "txn",
+            Phase::TagLookup => "tag_lookup",
+            Phase::NetBilling => "net_billing",
+            Phase::MemCopy => "mem_copy",
+        }
+    }
+}
+
+/// Aggregated phase attribution over the sampled transactions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Transactions observed (sampled or not).
+    pub txns: u64,
+    /// Transactions actually timed.
+    pub sampled_txns: u64,
+    nanos: [u64; Phase::COUNT],
+    counts: [u64; Phase::COUNT],
+}
+
+impl PhaseReport {
+    /// Nanoseconds attributed to `phase` across all sampled transactions.
+    pub fn phase_ns(&self, phase: Phase) -> u64 {
+        self.nanos[phase as usize]
+    }
+
+    /// Number of timed intervals recorded for `phase`.
+    pub fn phase_count(&self, phase: Phase) -> u64 {
+        self.counts[phase as usize]
+    }
+
+    /// Nanoseconds not covered by any leaf phase — the directory/state
+    /// transition work plus dispatch overhead. Computed as a residual so
+    /// the leaf hooks never have to bracket the protocol logic itself.
+    pub fn directory_ns(&self) -> u64 {
+        let leaves = self.phase_ns(Phase::TagLookup)
+            + self.phase_ns(Phase::NetBilling)
+            + self.phase_ns(Phase::MemCopy);
+        self.phase_ns(Phase::Txn).saturating_sub(leaves)
+    }
+
+    /// `phase`'s share of total sampled transaction time, in `0.0..=1.0`
+    /// (0 when nothing was sampled).
+    pub fn share(&self, phase: Phase) -> f64 {
+        let total = self.phase_ns(Phase::Txn);
+        if total == 0 {
+            0.0
+        } else {
+            self.phase_ns(phase) as f64 / total as f64
+        }
+    }
+
+    /// The residual directory share (see [`PhaseReport::directory_ns`]).
+    pub fn directory_share(&self) -> f64 {
+        let total = self.phase_ns(Phase::Txn);
+        if total == 0 {
+            0.0
+        } else {
+            self.directory_ns() as f64 / total as f64
+        }
+    }
+}
+
+/// A zero-cost-when-disabled sampling profiler the engine owns by value.
+///
+/// Disabled (the default), every hook is one branch on a bool that never
+/// changes — the same discipline as [`crate::Tracer`]. Enabled via
+/// [`PhaseProfiler::set_sampling`], it times 1 in `every` transactions.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfiler {
+    enabled: bool,
+    /// Whether the *current* transaction is being timed.
+    sampling: bool,
+    every: u32,
+    tick: u32,
+    report: PhaseReport,
+}
+
+impl PhaseProfiler {
+    /// Creates a disabled profiler.
+    pub fn new() -> Self {
+        PhaseProfiler::default()
+    }
+
+    /// Enables sampling of 1 in `every` transactions (`0` disables).
+    /// Resets accumulated totals.
+    pub fn set_sampling(&mut self, every: u32) {
+        self.enabled = every > 0;
+        self.every = every;
+        self.tick = 0;
+        self.sampling = false;
+        self.report = PhaseReport::default();
+    }
+
+    /// Whether any sampling is active.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Marks the start of a transaction; decides whether this one is
+    /// sampled. Returns the transaction timestamp to hand back to
+    /// [`PhaseProfiler::txn_end`].
+    #[inline]
+    pub fn txn_start(&mut self) -> Option<Instant> {
+        if !self.enabled {
+            return None;
+        }
+        self.report.txns += 1;
+        self.tick += 1;
+        if self.tick >= self.every {
+            self.tick = 0;
+            self.sampling = true;
+            self.report.sampled_txns += 1;
+            Some(Instant::now())
+        } else {
+            self.sampling = false;
+            None
+        }
+    }
+
+    /// Closes the transaction opened by [`PhaseProfiler::txn_start`].
+    #[inline]
+    pub fn txn_end(&mut self, start: Option<Instant>) {
+        if let Some(t) = start {
+            self.record(Phase::Txn, t);
+            self.sampling = false;
+        }
+    }
+
+    /// Starts timing a leaf phase — `None` (one branch) unless the
+    /// current transaction is sampled.
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.sampling {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes a leaf-phase interval opened by [`PhaseProfiler::start`].
+    #[inline]
+    pub fn end(&mut self, phase: Phase, start: Option<Instant>) {
+        if let Some(t) = start {
+            self.record(phase, t);
+        }
+    }
+
+    fn record(&mut self, phase: Phase, start: Instant) {
+        self.report.nanos[phase as usize] += start.elapsed().as_nanos() as u64;
+        self.report.counts[phase as usize] += 1;
+    }
+
+    /// The attribution accumulated since [`PhaseProfiler::set_sampling`].
+    pub fn report(&self) -> &PhaseReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = PhaseProfiler::new();
+        assert!(!p.is_enabled());
+        let txn = p.txn_start();
+        assert!(txn.is_none());
+        let t = p.start();
+        assert!(t.is_none());
+        p.end(Phase::TagLookup, t);
+        p.txn_end(txn);
+        assert_eq!(p.report(), &PhaseReport::default());
+    }
+
+    #[test]
+    fn samples_one_in_every() {
+        let mut p = PhaseProfiler::new();
+        p.set_sampling(4);
+        let mut sampled = 0;
+        for _ in 0..16 {
+            let txn = p.txn_start();
+            if txn.is_some() {
+                sampled += 1;
+                let t = p.start();
+                assert!(t.is_some());
+                p.end(Phase::NetBilling, t);
+            } else {
+                assert!(p.start().is_none(), "leaf hooks follow the txn decision");
+            }
+            p.txn_end(txn);
+        }
+        assert_eq!(sampled, 4);
+        let r = p.report();
+        assert_eq!(r.txns, 16);
+        assert_eq!(r.sampled_txns, 4);
+        assert_eq!(r.phase_count(Phase::Txn), 4);
+        assert_eq!(r.phase_count(Phase::NetBilling), 4);
+        assert_eq!(r.phase_count(Phase::MemCopy), 0);
+    }
+
+    #[test]
+    fn directory_is_the_residual() {
+        let mut r = PhaseReport {
+            txns: 1,
+            sampled_txns: 1,
+            ..PhaseReport::default()
+        };
+        r.nanos[Phase::Txn as usize] = 100;
+        r.nanos[Phase::TagLookup as usize] = 20;
+        r.nanos[Phase::NetBilling as usize] = 30;
+        r.nanos[Phase::MemCopy as usize] = 10;
+        assert_eq!(r.directory_ns(), 40);
+        assert!((r.directory_share() - 0.4).abs() < 1e-12);
+        assert!((r.share(Phase::NetBilling) - 0.3).abs() < 1e-12);
+        // A residual never underflows even if timer jitter makes the
+        // leaves sum past the total.
+        r.nanos[Phase::MemCopy as usize] = 80;
+        assert_eq!(r.directory_ns(), 0);
+    }
+
+    #[test]
+    fn set_sampling_resets_and_zero_disables() {
+        let mut p = PhaseProfiler::new();
+        p.set_sampling(1);
+        let txn = p.txn_start();
+        p.txn_end(txn);
+        assert_eq!(p.report().sampled_txns, 1);
+        p.set_sampling(1);
+        assert_eq!(p.report().sampled_txns, 0, "re-arming resets totals");
+        p.set_sampling(0);
+        assert!(!p.is_enabled());
+        assert!(p.txn_start().is_none());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<&str> = Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, ["txn", "tag_lookup", "net_billing", "mem_copy"]);
+    }
+}

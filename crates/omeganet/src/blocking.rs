@@ -58,7 +58,7 @@ impl Omega {
         for (idx, &(src, dst)) in pairs.iter().enumerate() {
             self.check_port(src)?;
             self.check_port(dst)?;
-            for link in self.route(src, dst) {
+            for link in self.route_iter(src, dst) {
                 if let Some(&prev) = used.get(&link) {
                     return Ok(Routability::Blocked {
                         link,

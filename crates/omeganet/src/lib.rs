@@ -53,5 +53,5 @@ pub use destset::DestSet;
 pub use error::NetError;
 pub use multicast::{CastReceipt, SchemeChoice, SchemeKind};
 pub use timing::{LinkSchedule, TimingModel};
-pub use topology::{LinkId, Omega, PortId};
-pub use traffic::TrafficMatrix;
+pub use topology::{LinkId, Omega, PortId, RouteIter};
+pub use traffic::{ChargeSink, LinkDeltas, TrafficMatrix};

@@ -28,7 +28,7 @@
 use crate::destset::DestSet;
 use crate::error::NetError;
 use crate::topology::{LinkId, Omega, PortId};
-use crate::traffic::TrafficMatrix;
+use crate::traffic::{ChargeSink, TrafficMatrix};
 
 /// Which multicast scheme to use for a cast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,23 +88,52 @@ impl Omega {
         payload_bits: u64,
         traffic: &mut TrafficMatrix,
     ) -> Result<CastReceipt, NetError> {
-        self.check_port(src)?;
-        self.check_port(dst)?;
-        let m = self.stages() as u64;
-        let mut cost = 0;
-        let mut links = 0;
-        for link in self.route(src, dst) {
-            let bits = payload_bits + (m - link.layer as u64);
-            traffic.add(link, bits);
-            cost += bits;
-            links += 1;
-        }
+        let cost = self.charge_unicast(src, dst, payload_bits, traffic)?;
         Ok(CastReceipt {
             scheme: SchemeChoice::Replicated,
             delivered: vec![dst],
             cost_bits: cost,
-            links_crossed: links,
+            links_crossed: self.link_layers() as usize,
         })
+    }
+
+    /// Bills a `src`→`dst` unicast of `payload_bits` into `sink` and
+    /// returns its total cost — the allocation-free fast path behind
+    /// [`Omega::unicast`]. Per-stage link charges are computed straight
+    /// from the routing digits (`payload + (m − layer)` tag bits at layer
+    /// `layer`); no link list or receipt is ever materialized, so the hot
+    /// protocol paths call this with either the live [`TrafficMatrix`] or
+    /// a deferred [`crate::LinkDeltas`] batch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PortOutOfRange`] for invalid ports.
+    #[inline]
+    pub fn charge_unicast<S: ChargeSink>(
+        &self,
+        src: PortId,
+        dst: PortId,
+        payload_bits: u64,
+        sink: &mut S,
+    ) -> Result<u64, NetError> {
+        self.check_port(src)?;
+        self.check_port(dst)?;
+        let m = self.stages() as u64;
+        let mut cost = 0;
+        for link in self.route_iter(src, dst) {
+            let bits = payload_bits + (m - link.layer as u64);
+            sink.charge(link, bits);
+            cost += bits;
+        }
+        Ok(cost)
+    }
+
+    /// Total cost of a unicast without billing any link: destination-tag
+    /// routes always cross `m + 1` layers, so the cost is closed-form and
+    /// destination-independent — `(m+1)·payload + m(m+1)/2`.
+    #[inline]
+    pub fn unicast_cost(&self, payload_bits: u64) -> u64 {
+        self.cost_replicated(1, payload_bits)
     }
 
     /// The first out-of-service link (per `is_down`) on the unique route
@@ -121,7 +150,7 @@ impl Omega {
     ) -> Result<Option<LinkId>, NetError> {
         self.check_port(src)?;
         self.check_port(dst)?;
-        Ok(self.route(src, dst).into_iter().find(|&l| is_down(l)))
+        Ok(self.route_iter(src, dst).find(|&l| is_down(l)))
     }
 
     /// [`Omega::unicast`] that respects link outages: when the route crosses
@@ -174,7 +203,7 @@ impl Omega {
         self.check_port(dst)?;
         let m = self.stages() as u64;
         let mut cost = 0;
-        for link in self.route(src, dst) {
+        for link in self.route_iter(src, dst) {
             if link.layer >= stop_layer {
                 break;
             }
@@ -351,11 +380,10 @@ impl Omega {
         let mut links = 0;
         let mut delivered = Vec::with_capacity(dests.len());
         for dst in dests.iter() {
-            let r = self
-                .unicast(src, dst, payload, traffic)
+            cost += self
+                .charge_unicast(src, dst, payload, traffic)
                 .expect("ports pre-validated");
-            cost += r.cost_bits;
-            links += r.links_crossed;
+            links += self.link_layers() as usize;
             delivered.push(dst);
         }
         debug_assert_eq!(cost, self.cost_replicated(dests.len() as u64, payload));

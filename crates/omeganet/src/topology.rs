@@ -38,6 +38,55 @@ pub struct LinkId {
     pub line: usize,
 }
 
+/// Lazily yields the links of one unicast route, layer 0 first — the
+/// allocation-free form of [`Omega::route`]. Built by [`Omega::route_iter`];
+/// self-contained (it copies the network's shape), so it borrows nothing.
+#[derive(Debug, Clone)]
+pub struct RouteIter {
+    m: u32,
+    mask: usize,
+    line: usize,
+    dst: PortId,
+    layer: u32,
+}
+
+impl Iterator for RouteIter {
+    type Item = LinkId;
+
+    #[inline]
+    fn next(&mut self) -> Option<LinkId> {
+        if self.layer > self.m {
+            return None;
+        }
+        let layer = self.layer;
+        if layer > 0 {
+            // Perfect shuffle into stage `layer − 1`, then exit on the
+            // destination-tag bit that stage consumes.
+            let stage = layer - 1;
+            let shuffled = ((self.line << 1) | (self.line >> (self.m - 1))) & self.mask;
+            self.line = (shuffled & !1) | ((self.dst >> (self.m - 1 - stage)) & 1);
+            if layer == self.m {
+                debug_assert_eq!(
+                    self.line, self.dst,
+                    "destination-tag routing must land on dst"
+                );
+            }
+        }
+        self.layer += 1;
+        Some(LinkId {
+            layer,
+            line: self.line,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.m + 1 - self.layer) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for RouteIter {}
+
 /// An N×N omega network of 2×2 switches.
 ///
 /// # Example
@@ -139,29 +188,59 @@ impl Omega {
     /// The unique path from `src` to `dst`, as `m + 1` [`LinkId`]s,
     /// layer 0 first.
     ///
+    /// This form allocates a fresh `Vec` per call and is kept for cold
+    /// paths (tests, diagnostics, the blocking analyzer's collision
+    /// report). Hot callers use [`Omega::route_iter`] (no allocation) or
+    /// [`Omega::route_into`] (caller-provided scratch).
+    ///
     /// # Panics
     ///
     /// Panics if `src` or `dst` is out of range (use [`Omega::check_port`]
     /// to validate untrusted input first).
     pub fn route(&self, src: PortId, dst: PortId) -> Vec<LinkId> {
-        assert!(src < self.n && dst < self.n, "port out of range");
         let mut links = Vec::with_capacity(self.m as usize + 1);
-        links.push(LinkId {
-            layer: 0,
-            line: src,
-        });
-        let mut line = src;
-        for stage in 0..self.m {
-            line = self.shuffle(line);
-            let sw = line >> 1;
-            line = (sw << 1) | self.routing_bit(dst, stage);
-            links.push(LinkId {
-                layer: stage + 1,
-                line,
-            });
-        }
-        debug_assert_eq!(line, dst, "destination-tag routing must land on dst");
+        self.route_into(src, dst, &mut links);
         links
+    }
+
+    /// Appends the `src`→`dst` path to `links` without allocating beyond
+    /// the scratch vector's capacity — the `multicast_into` idiom for
+    /// unicast routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn route_into(&self, src: PortId, dst: PortId, links: &mut Vec<LinkId>) {
+        links.extend(self.route_iter(src, dst));
+    }
+
+    /// Iterates the `src`→`dst` path layer by layer, computing each link
+    /// from the routing digits — no link list is ever materialized. This
+    /// is the hot-path form behind every billed unicast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tmc_omeganet::Omega;
+    ///
+    /// let net = Omega::new(3)?;
+    /// let collected: Vec<_> = net.route_iter(2, 6).collect();
+    /// assert_eq!(collected, net.route(2, 6));
+    /// # Ok::<(), tmc_omeganet::NetError>(())
+    /// ```
+    pub fn route_iter(&self, src: PortId, dst: PortId) -> RouteIter {
+        assert!(src < self.n && dst < self.n, "port out of range");
+        RouteIter {
+            m: self.m,
+            mask: self.n - 1,
+            line: src,
+            dst,
+            layer: 0,
+        }
     }
 
     /// The switch (stage, index) a layer-`layer` link feeds, or `None` for
@@ -279,6 +358,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn route_iter_matches_route_for_all_pairs() {
+        for m in 1..=5 {
+            let net = Omega::new(m).unwrap();
+            for src in 0..net.ports() {
+                for dst in 0..net.ports() {
+                    let it = net.route_iter(src, dst);
+                    assert_eq!(it.len(), m as usize + 1);
+                    let lazy: Vec<LinkId> = it.collect();
+                    assert_eq!(lazy, net.route(src, dst), "m={m} {src}->{dst}");
+                    let mut scratch = Vec::new();
+                    net.route_into(src, dst, &mut scratch);
+                    assert_eq!(scratch, lazy);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "port out of range")]
+    fn route_iter_validates_ports() {
+        let _ = Omega::new(2).unwrap().route_iter(0, 4);
     }
 
     #[test]

@@ -355,11 +355,26 @@ impl fmt::Display for Counter {
 /// assert_eq!(cs.get("read_hit"), 10);
 /// assert_eq!(cs.get("never_touched"), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct CounterSet {
-    counters: BTreeMap<&'static str, u64>,
+    /// Sorted name → slot in `values`; the source of truth for lookups and
+    /// the name-ordered iteration the reports rely on.
+    index: BTreeMap<&'static str, usize>,
+    /// Dense counter values; a slot never moves once created.
+    values: Vec<u64>,
+    /// Pointer-identity fast path. A string literal's address is stable
+    /// for the life of the program, so the same `incr("read_hit")` call
+    /// site resolves to its slot with a short linear scan instead of a
+    /// tree walk. Correctness never depends on it: a miss (including two
+    /// identical literals at different addresses) falls back to the name
+    /// index, which maps both to the same slot.
+    fast: Vec<(usize, usize)>,
 }
+
+/// Fast-path rows kept before new names degrade to tree lookups; protocol
+/// engines use a few dozen distinct counters, so the scan stays short.
+const FAST_LANES: usize = 64;
 
 impl CounterSet {
     /// Creates an empty set.
@@ -368,23 +383,52 @@ impl CounterSet {
     }
 
     /// Adds `n` to the counter `name`, creating it at zero first if needed.
+    #[inline]
     pub fn add(&mut self, name: &'static str, n: u64) {
-        *self.counters.entry(name).or_insert(0) += n;
+        let addr = name.as_ptr() as usize;
+        for &(a, slot) in &self.fast {
+            if a == addr {
+                self.values[slot] += n;
+                return;
+            }
+        }
+        self.add_slow(name, addr, n);
+    }
+
+    #[cold]
+    fn add_slow(&mut self, name: &'static str, addr: usize, n: u64) {
+        let next = self.values.len();
+        let slot = match self.index.entry(name) {
+            std::collections::btree_map::Entry::Occupied(e) => *e.get(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(next);
+                self.values.push(0);
+                next
+            }
+        };
+        if self.fast.len() < FAST_LANES {
+            self.fast.push((addr, slot));
+        }
+        self.values[slot] += n;
     }
 
     /// Adds one to the counter `name`.
+    #[inline]
     pub fn incr(&mut self, name: &'static str) {
         self.add(name, 1);
     }
 
     /// Current value of `name` (zero if never touched).
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.index
+            .get(name)
+            .map(|&slot| self.values[slot])
+            .unwrap_or(0)
     }
 
     /// Iterates over `(name, value)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(&k, &v)| (k, v))
+        self.index.iter().map(|(&k, &slot)| (k, self.values[slot]))
     }
 
     /// Folds another counter set into this one.
@@ -395,9 +439,20 @@ impl CounterSet {
     }
 }
 
+/// Equality is over the logical `(name, value)` pairs — the fast-path
+/// cache is an implementation detail two otherwise-equal sets may differ
+/// in.
+impl PartialEq for CounterSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for CounterSet {}
+
 impl fmt::Display for CounterSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.counters.is_empty() {
+        if self.index.is_empty() {
             return write!(f, "(no counters)");
         }
         for (i, (name, value)) in self.iter().enumerate() {
