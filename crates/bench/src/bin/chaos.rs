@@ -24,7 +24,7 @@
 use std::collections::BTreeMap;
 
 use tmc_bench::Table;
-use tmc_core::{FaultSpec, Mode, ModePolicy, System, SystemConfig};
+use tmc_core::{decode_system, encode_system, FaultSpec, Mode, ModePolicy, System, SystemConfig};
 use tmc_memsys::WordAddr;
 use tmc_omeganet::SchemeKind;
 use tmc_simcore::SimRng;
@@ -51,6 +51,7 @@ struct CampaignOutcome {
     recoveries: u64,
     degradations: u64,
     quiescent_checks: u64,
+    crash_thaws: u64,
 }
 
 /// Runs one seeded campaign and verifies it end to end.
@@ -80,6 +81,7 @@ fn campaign(
     let mut rng = SimRng::seed_from(seed ^ 0xc4a0_5eed);
     let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
     let mut quiescent_checks = 0u64;
+    let mut crash_thaws = 0u64;
     for i in 0..ops {
         let proc = rng.gen_range(0..N_PROCS);
         let a = rng.gen_range(0..WORDS);
@@ -96,6 +98,18 @@ fn campaign(
             sys.check_invariants()
                 .unwrap_or_else(|v| panic!("seed {seed}: invariant at quiescent op {i}: {v}"));
             quiescent_checks += 1;
+        }
+        if i + 1 == ops / 3 || i + 1 == 2 * ops / 3 {
+            // Crash sweep: freeze the machine through the checkpoint codec
+            // and carry on from the thawed copy — mid-outage, mid-plan,
+            // mid-adaptive-window. The rest of the campaign (oracle reads,
+            // invariants, plan drain, final memory sweep) then proves the
+            // resumed machine indistinguishable from the original.
+            let frame = encode_system(&sys)
+                .unwrap_or_else(|e| panic!("seed {seed}: snapshot at op {i}: {e}"));
+            sys = decode_system(&frame)
+                .unwrap_or_else(|e| panic!("seed {seed}: thaw at op {i}: {e}"));
+            crash_thaws += 1;
         }
     }
 
@@ -122,6 +136,7 @@ fn campaign(
         recoveries: c.get("fault_recoveries"),
         degradations: c.get("fault_degraded_blocks") + c.get("fault_quarantined_caches"),
         quiescent_checks,
+        crash_thaws,
     }
 }
 
@@ -142,6 +157,7 @@ fn main() {
         "recovered".into(),
         "degraded".into(),
         "quiescent checks".into(),
+        "crash thaws".into(),
     ]);
     let mut total = CampaignOutcome {
         injected: 0,
@@ -149,6 +165,7 @@ fn main() {
         recoveries: 0,
         degradations: 0,
         quiescent_checks: 0,
+        crash_thaws: 0,
     };
     for seed in 0..seeds {
         let scheme = SCHEMES[seed as usize % SCHEMES.len()];
@@ -163,12 +180,14 @@ fn main() {
             o.recoveries.to_string(),
             o.degradations.to_string(),
             o.quiescent_checks.to_string(),
+            o.crash_thaws.to_string(),
         ]);
         total.injected += o.injected;
         total.retries += o.retries;
         total.recoveries += o.recoveries;
         total.degradations += o.degradations;
         total.quiescent_checks += o.quiescent_checks;
+        total.crash_thaws += o.crash_thaws;
     }
     t.print(if smoke {
         "chaos campaigns (smoke)"
@@ -189,14 +208,20 @@ fn main() {
         total.recoveries <= total.degradations,
         "recoveries only follow degradations"
     );
+    assert_eq!(
+        total.crash_thaws,
+        seeds * 2,
+        "every campaign crash-thawed twice mid-plan"
+    );
     println!(
         "chaos: OK — {} campaigns, {} faults injected, {} retries, {}/{} degradations healed, \
-         {} invariant checks",
+         {} invariant checks, {} crash thaws",
         seeds,
         total.injected,
         total.retries,
         total.recoveries,
         total.degradations,
         total.quiescent_checks,
+        total.crash_thaws,
     );
 }

@@ -28,6 +28,10 @@
 //! small seeded fault campaign (invariant-checked) and reports its
 //! counters, so fault-handling cost is diffable like any other number.
 //!
+//! Three `checkpoint_every_*` fields record the N=1024 cell's refs/s
+//! with whole-machine journal checkpoints every 0 / 10k / 100k ops, so
+//! the crash-recovery subsystem's overhead curve is diffable too.
+//!
 //! Every timed run executes with tracing *disabled* — the zero-cost path.
 //! With `TMC_TRACE_OUT=FILE` in the environment, one representative cell
 //! (two-mode adaptive, w = 0.2) is additionally re-run *after* all timing
@@ -147,6 +151,49 @@ fn big_cell_1024_comparison() -> (f64, [f64; 3]) {
         assert_eq!(sys.inner().traffic(), scalar.inner().traffic());
     }
     (scalar_rps, rates)
+}
+
+/// Checkpoint overhead at N=1024: the big-N cell re-run with a whole-
+/// machine journal checkpoint (encode + framed, checksummed, atomically
+/// replaced file) every `every` ops — `0` means never, the costless
+/// baseline. Returns refs/s, so the three cells make the overhead curve
+/// of the crash-recovery subsystem diffable like any other number.
+fn checkpoint_cell(every: u64) -> f64 {
+    use tmc_core::{encode_system, Journal};
+    let trace = big_trace(1024, BIG_N_BLOCKS / 1024, 1_000_000);
+    let script = shardsim::script_from_trace(&trace);
+    let path = std::env::temp_dir().join(format!(
+        "tmc-perf-ckpt-{}-{every}.journal",
+        std::process::id()
+    ));
+    // Best-of-2 on a fresh machine each time, like the other big cells.
+    let mut secs = f64::INFINITY;
+    for _ in 0..2 {
+        let mut sys = two_mode_adaptive(1024, 64);
+        let mut journal = Journal::create(&path).expect("journal in temp dir");
+        let (_, t) = timer::time_once(|| {
+            let mut done = 0u64;
+            let mut next = if every == 0 { u64::MAX } else { every };
+            for ops in script.chunks(shardsim::BATCH_CHUNK) {
+                sys.inner_mut()
+                    .execute_batch(ops)
+                    .expect("valid processors");
+                done += ops.len() as u64;
+                if done >= next {
+                    let frame = encode_system(sys.inner()).expect("snapshot");
+                    journal.append(&frame).expect("append");
+                    next += every;
+                }
+            }
+            black_box(sys.inner().traffic().total_bits());
+        });
+        secs = secs.min(t.as_secs_f64());
+        if every > 0 {
+            assert!(journal.frames() > 0, "cadence {every} never checkpointed");
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    BIG_REFS as f64 / secs
 }
 
 /// Per-phase attribution of the N=1024 cell: a separate, untimed pass with
@@ -357,6 +404,9 @@ fn check_report(text: &str) -> Result<Vec<String>, String> {
         "batch_1_refs_per_sec",
         "batch_64_refs_per_sec",
         "batch_4096_refs_per_sec",
+        "checkpoint_every_0_refs_per_sec",
+        "checkpoint_every_10k_refs_per_sec",
+        "checkpoint_every_100k_refs_per_sec",
     ] {
         let v: f64 = field(key)?
             .parse()
@@ -570,6 +620,16 @@ fn main() {
     );
     println!("bigN gap         : {bign_gap:.2}x (protocol N=16 vs bigN 1024)");
 
+    // Checkpoint overhead curve at N=1024: no checkpoints, every 10k
+    // ops, every 100k ops.
+    let ckpt_0 = checkpoint_cell(0);
+    let ckpt_10k = checkpoint_cell(10_000);
+    let ckpt_100k = checkpoint_cell(100_000);
+    println!(
+        "checkpoints      : {ckpt_0:.0} / {ckpt_10k:.0} / {ckpt_100k:.0} refs/s at \
+         every 0 / 10k / 100k ops (N=1024)"
+    );
+
     // Per-phase attribution of the N=1024 cell (separate untimed pass).
     let (ph_tag, ph_net, ph_copy, ph_dir) = big_cell_phase_shares();
     println!(
@@ -597,7 +657,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": {n_cells},\n  \"refs_per_cell\": {REFS},\n  \"sweep_threads\": {threads},\n  \"physical_cores\": {physical_cores},\n  \"event_queue_events_per_sec\": {events_per_sec:.1},\n  \"protocol_refs_per_sec\": {refs_per_sec:.1},\n  \"sweep_serial_seconds\": {:.6},\n  \"sweep_parallel_seconds\": {:.6},\n  \"sweep_parallel_refs_per_sec\": {:.1},\n  \"sweep_speedup\": {speedup:.4},\n  \"shards\": {shards},\n  \"shard_workers\": {shard_workers},\n  \"shard_refs\": {SHARD_REFS},\n  \"shard_serial_refs_per_sec\": {shard_serial_rps:.1},\n  \"shard_refs_per_sec\": {shard_rps:.1},\n  \"shard_speedup\": {shard_speedup:.4},\n  \"big_refs\": {BIG_REFS},\n  \"bigN_blocks\": {BIG_N_BLOCKS},\n  \"bigM_blocks\": {BIG_M_BLOCKS},\n  \"bigN_64_refs_per_sec\": {bign_64:.1},\n  \"bigN_256_refs_per_sec\": {bign_256:.1},\n  \"bigN_1024_refs_per_sec\": {bign_1024:.1},\n  \"bigM_1024_refs_per_sec\": {bigm_1024:.1},\n  \"bigN_1024_scalar_refs_per_sec\": {bign_1024_scalar:.1},\n  \"bigN_gap\": {bign_gap:.4},\n  \"batch_1_refs_per_sec\": {:.1},\n  \"batch_64_refs_per_sec\": {:.1},\n  \"batch_4096_refs_per_sec\": {:.1},\n  \"phase_tag_lookup_share\": {ph_tag:.4},\n  \"phase_net_billing_share\": {ph_net:.4},\n  \"phase_mem_copy_share\": {ph_copy:.4},\n  \"phase_directory_share\": {ph_dir:.4},\n  \"faults_injected\": {},\n  \"fault_retries\": {},\n  \"fault_recoveries\": {},\n  \"fault_degradations\": {},\n  \"deterministic\": true\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"grid_cells\": {n_cells},\n  \"refs_per_cell\": {REFS},\n  \"sweep_threads\": {threads},\n  \"physical_cores\": {physical_cores},\n  \"event_queue_events_per_sec\": {events_per_sec:.1},\n  \"protocol_refs_per_sec\": {refs_per_sec:.1},\n  \"sweep_serial_seconds\": {:.6},\n  \"sweep_parallel_seconds\": {:.6},\n  \"sweep_parallel_refs_per_sec\": {:.1},\n  \"sweep_speedup\": {speedup:.4},\n  \"shards\": {shards},\n  \"shard_workers\": {shard_workers},\n  \"shard_refs\": {SHARD_REFS},\n  \"shard_serial_refs_per_sec\": {shard_serial_rps:.1},\n  \"shard_refs_per_sec\": {shard_rps:.1},\n  \"shard_speedup\": {shard_speedup:.4},\n  \"big_refs\": {BIG_REFS},\n  \"bigN_blocks\": {BIG_N_BLOCKS},\n  \"bigM_blocks\": {BIG_M_BLOCKS},\n  \"bigN_64_refs_per_sec\": {bign_64:.1},\n  \"bigN_256_refs_per_sec\": {bign_256:.1},\n  \"bigN_1024_refs_per_sec\": {bign_1024:.1},\n  \"bigM_1024_refs_per_sec\": {bigm_1024:.1},\n  \"bigN_1024_scalar_refs_per_sec\": {bign_1024_scalar:.1},\n  \"bigN_gap\": {bign_gap:.4},\n  \"batch_1_refs_per_sec\": {:.1},\n  \"batch_64_refs_per_sec\": {:.1},\n  \"batch_4096_refs_per_sec\": {:.1},\n  \"checkpoint_every_0_refs_per_sec\": {ckpt_0:.1},\n  \"checkpoint_every_10k_refs_per_sec\": {ckpt_10k:.1},\n  \"checkpoint_every_100k_refs_per_sec\": {ckpt_100k:.1},\n  \"phase_tag_lookup_share\": {ph_tag:.4},\n  \"phase_net_billing_share\": {ph_net:.4},\n  \"phase_mem_copy_share\": {ph_copy:.4},\n  \"phase_directory_share\": {ph_dir:.4},\n  \"faults_injected\": {},\n  \"fault_retries\": {},\n  \"fault_recoveries\": {},\n  \"fault_degradations\": {},\n  \"deterministic\": true\n}}\n",
         serial_time.as_secs_f64(),
         parallel_time.as_secs_f64(),
         sweep_refs / parallel_time.as_secs_f64(),
@@ -639,7 +699,11 @@ mod tests {
              \"bigN_1024_refs_per_sec\": 1e6,\n  \"bigM_1024_refs_per_sec\": 1e6,\n  \
              \"bigN_1024_scalar_refs_per_sec\": 1e6,\n  \"bigN_gap\": 2.5,\n  \
              \"batch_1_refs_per_sec\": 1e6,\n  \"batch_64_refs_per_sec\": 1e6,\n  \
-             \"batch_4096_refs_per_sec\": 1e6,\n  \"phase_tag_lookup_share\": 0.2,\n  \
+             \"batch_4096_refs_per_sec\": 1e6,\n  \
+             \"checkpoint_every_0_refs_per_sec\": 1e6,\n  \
+             \"checkpoint_every_10k_refs_per_sec\": 9e5,\n  \
+             \"checkpoint_every_100k_refs_per_sec\": 1e6,\n  \
+             \"phase_tag_lookup_share\": 0.2,\n  \
              \"phase_net_billing_share\": 0.3,\n  \"phase_mem_copy_share\": 0.1,\n  \
              \"phase_directory_share\": 0.4,\n  \
              \"faults_injected\": 0,\n  \

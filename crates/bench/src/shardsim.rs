@@ -193,6 +193,11 @@ pub struct ShardRunOptions {
     /// (valid because a word's reads depend only on that word's writes,
     /// which live on the same shard).
     pub check: bool,
+    /// Freeze every shard machine through the crash-recovery snapshot
+    /// codec ([`tmc_core::encode_system`] → [`tmc_core::decode_system`])
+    /// before merging — proves checkpoint frames are transparent to the
+    /// sharded pipeline (a resumed shard merges bit-identically).
+    pub snapshot_roundtrip: bool,
 }
 
 impl ShardRunOptions {
@@ -205,6 +210,7 @@ impl ShardRunOptions {
             warmup: 0,
             tracing: false,
             check: false,
+            snapshot_roundtrip: false,
         }
     }
 
@@ -223,6 +229,12 @@ impl ShardRunOptions {
     /// Enables per-shard oracle value checking.
     pub fn check(mut self, on: bool) -> Self {
         self.check = on;
+        self
+    }
+
+    /// Enables the per-shard snapshot round-trip before merging.
+    pub fn snapshot_roundtrip(mut self, on: bool) -> Self {
+        self.snapshot_roundtrip = on;
         self
     }
 }
@@ -377,7 +389,15 @@ pub fn run(
         let o = outcome?;
         warm_total += o.warm_bits;
         streams.push(o.events);
-        merged.merge_shard(o.system);
+        let shard_sys = if opts.snapshot_roundtrip {
+            // Freeze + thaw the shard machine through the checkpoint
+            // codec; the merge below must not be able to tell.
+            let bytes = tmc_core::encode_system(&o.system).map_err(|e| e.to_string())?;
+            tmc_core::decode_system(&bytes).map_err(|e| e.to_string())?
+        } else {
+            o.system
+        };
+        merged.merge_shard(shard_sys);
     }
     let events = if tracing {
         interleave(streams)
@@ -572,6 +592,31 @@ mod tests {
         assert_eq!((report.references, report.total_bits), (0, 0));
         assert_eq!(report.bits_per_ref, 0.0);
         assert!(sys.traffic().total_bits() > 0, "warmup still executed");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_invisible_to_the_merge() {
+        let cfg = SystemConfig::new(8);
+        let script = script_from_trace(&workload(400, 21));
+        let mut serial = System::new(cfg.clone()).unwrap();
+        serial.set_tracing(true);
+        apply_script(&mut serial, &script);
+        let serial_events = serial.drain_trace();
+        let got = run(
+            &cfg,
+            &script,
+            &ShardRunOptions::new(4, 2)
+                .tracing(true)
+                .snapshot_roundtrip(true),
+        )
+        .unwrap();
+        assert_eq!(
+            got.system.protocol_fingerprint(),
+            serial.protocol_fingerprint()
+        );
+        assert_eq!(got.system.counters(), serial.counters());
+        assert_eq!(got.system.traffic(), serial.traffic());
+        assert_eq!(got.events, serial_events);
     }
 
     #[test]

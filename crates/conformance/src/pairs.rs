@@ -9,6 +9,7 @@
 //! | `adaptive-vs-fixed` | adaptive policy vs both fixed modes | identical read values; traffic bounded by the best fixed mode |
 //! | `oracle-self` | serial `System` vs `ReferenceMemory` | every read's value, memory image, invariants, re-run determinism |
 //! | `batched-vs-scalar` | scalar `read`/`write` loop vs chunked `execute_batch` | fingerprint, counters, per-link charges, memory image, read values, event stream, byte-identical JSONL |
+//! | `resumed-vs-uninterrupted` | one straight run vs the same script frozen/thawed mid-flight through the checkpoint codec | fingerprint, counters, per-link charges, memory image, read values, event stream |
 //!
 //! Adaptive-vs-fixed deliberately does **not** compare fingerprints or
 //! traffic for equality: the adaptive policy changes block modes as its
@@ -48,15 +49,18 @@ pub enum Pair {
     OracleSelf,
     /// Scalar reference loop vs the batched pipeline.
     BatchedVsScalar,
+    /// One straight run vs a run checkpointed and resumed mid-script.
+    ResumedVsUninterrupted,
 }
 
 impl Pair {
     /// Every pair, in check order.
-    pub fn all() -> [Pair; 7] {
+    pub fn all() -> [Pair; 8] {
         [
             Pair::OracleSelf,
             Pair::SerialVsShard,
             Pair::BatchedVsScalar,
+            Pair::ResumedVsUninterrupted,
             Pair::SerialVsReplay,
             Pair::FaultsZeroVsOff,
             Pair::AdaptiveVsFixed,
@@ -74,6 +78,7 @@ impl Pair {
             Pair::AdaptiveVsFixed => "adaptive-vs-fixed",
             Pair::OracleSelf => "oracle-self",
             Pair::BatchedVsScalar => "batched-vs-scalar",
+            Pair::ResumedVsUninterrupted => "resumed-vs-uninterrupted",
         }
     }
 
@@ -89,7 +94,8 @@ impl Pair {
             Pair::SerialVsReplay
             | Pair::FaultsZeroVsOff
             | Pair::OracleSelf
-            | Pair::BatchedVsScalar => true,
+            | Pair::BatchedVsScalar
+            | Pair::ResumedVsUninterrupted => true,
             Pair::AdaptiveVsFixed => matches!(case.policy, ModePolicy::Adaptive { .. }),
             Pair::SimVsAnalytic => {
                 case.analytic.is_some() && matches!(case.policy, ModePolicy::Fixed(_))
@@ -129,7 +135,46 @@ pub fn check_pair(case: &CaseSpec, pair: Pair) -> Result<(), Divergence> {
         Pair::AdaptiveVsFixed => check_adaptive_vs_fixed(case).or_else(fail),
         Pair::OracleSelf => check_oracle_self(case).or_else(fail),
         Pair::BatchedVsScalar => check_batched_vs_scalar(case).or_else(fail),
+        Pair::ResumedVsUninterrupted => check_resumed_vs_uninterrupted(case).or_else(fail),
     }
+}
+
+/// Freeze/thaw the machine through the crash-recovery checkpoint codec at
+/// one-third and two-thirds of the script (and once at the end), exactly
+/// as a twice-crashed, twice-resumed run would, and demand the final
+/// observables match one uninterrupted run bit for bit.
+fn check_resumed_vs_uninterrupted(case: &CaseSpec) -> Result<(), String> {
+    let cfg = case.config();
+    let clean = run_serial(cfg.clone(), &case.ops, true)?;
+
+    let mut sys = System::new(cfg).map_err(|e| e.to_string())?;
+    sys.set_tracing(true);
+    let mut read_values = Vec::new();
+    let mut events = Vec::new();
+    let cuts = [case.ops.len() / 3, 2 * case.ops.len() / 3, case.ops.len()];
+    let mut done = 0;
+    for cut in cuts {
+        for op in &case.ops[done..cut] {
+            match *op {
+                ShardOp::Read { proc, addr } => {
+                    read_values.push(sys.read(proc, addr).map_err(|e| e.to_string())?);
+                }
+                ShardOp::Write { proc, addr, value } => {
+                    sys.write(proc, addr, value).map_err(|e| e.to_string())?;
+                }
+                ShardOp::SetMode { proc, addr, mode } => {
+                    sys.set_mode(proc, addr, mode).map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        done = cut;
+        events.extend(sys.drain_trace());
+        let frame = tmc_core::encode_system(&sys).map_err(|e| e.to_string())?;
+        sys = tmc_core::decode_system(&frame).map_err(|e| e.to_string())?;
+    }
+    let mut resumed = snapshot(&mut sys, &case.ops, read_values);
+    resumed.events = Some(events);
+    diff_outcomes(&clean, &resumed, "uninterrupted", "resumed")
 }
 
 /// Batch chunking for the batched engine: small enough that multi-chunk
@@ -466,6 +511,16 @@ mod tests {
         assert!(Pair::OracleSelf.applies(&case));
         assert!(Pair::SerialVsReplay.applies(&case));
         assert!(Pair::FaultsZeroVsOff.applies(&case));
+        assert!(Pair::ResumedVsUninterrupted.applies(&case));
+    }
+
+    #[test]
+    fn resumed_pair_passes_on_generated_cases() {
+        for seed in [2, 5, 19] {
+            let case = generate_case(seed);
+            check_pair(&case, Pair::ResumedVsUninterrupted)
+                .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+        }
     }
 
     #[test]

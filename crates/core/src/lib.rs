@@ -50,6 +50,7 @@ pub mod driver;
 pub mod error;
 pub mod invariants;
 pub mod msg;
+pub mod snapshot;
 pub mod state;
 pub mod system;
 
@@ -58,6 +59,9 @@ pub use config::{ModePolicy, SystemConfig};
 pub use driver::{run_concurrent, DriveOutcome, DriverOp};
 pub use error::{CoreError, InvariantViolation};
 pub use msg::{Destination, MsgKind, TraceEvent, TransactionLog};
+pub use snapshot::{
+    decode_system, encode_system, memory_digest, recover_journal, Journal, Recovery, SnapshotError,
+};
 pub use state::{CacheLine, Mode, StateName, Validity};
 pub use system::{AccessStats, System};
 pub use tmc_faults::{FaultError, FaultSpec, RetryPolicy};

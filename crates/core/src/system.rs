@@ -49,16 +49,16 @@ enum FaultPath {
 /// hot path pays exactly one branch; `None` (and, observably, an empty
 /// plan) leaves the machine bit-identical to one built without faults.
 #[derive(Debug, Clone)]
-struct FaultState {
-    injector: FaultInjector,
+pub(crate) struct FaultState {
+    pub(crate) injector: FaultInjector,
     /// Op clock driving the schedule: one tick per public transaction.
-    op: u64,
+    pub(crate) op: u64,
     /// Blocks forced memory-direct (uncacheable) after retry exhaustion:
     /// block → (heal op, op at which it was degraded).
-    degraded: BTreeMap<BlockAddr, (u64, u64)>,
+    pub(crate) degraded: BTreeMap<BlockAddr, (u64, u64)>,
     /// Caches emptied and bypassed after a stall:
     /// cache → (heal op, op at which it was quarantined).
-    quarantined: BTreeMap<usize, (u64, u64)>,
+    pub(crate) quarantined: BTreeMap<usize, (u64, u64)>,
 }
 
 /// Deferred billing for one in-flight batch ([`System::execute_batch`]).
@@ -139,25 +139,25 @@ pub struct System {
     pub(crate) memory: MainMemory,
     pub(crate) store: BlockStore,
     pub(crate) modules: ModuleMap,
-    counters: CounterSet,
+    pub(crate) counters: CounterSet,
     log: TransactionLog,
     schedule: Option<LinkSchedule>,
-    now: SimTime,
-    latencies: Histogram,
+    pub(crate) now: SimTime,
+    pub(crate) latencies: Histogram,
     txn_bits: u64,
     txn_msgs: usize,
     /// Fault injection: the next `nak_budget` ownership offers are refused
     /// (never the last remaining candidate, so handoff always terminates).
-    nak_budget: usize,
+    pub(crate) nak_budget: usize,
     /// Deterministic fault-injection state ([`tmc_faults`]); `None` unless
     /// the config carries a [`tmc_faults::FaultSpec`].
-    faults: Option<Box<FaultState>>,
+    pub(crate) faults: Option<Box<FaultState>>,
     /// Memoized multicast traversals; repeat casts replay recorded link
     /// charges instead of re-walking the routing tree.
     cast_cache: CastCache,
     /// Structured protocol-event buffer (disabled by default; zero cost on
     /// the access path while off).
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
     /// Reusable scratch for [`System::mcast`]: the delivered-port list and
     /// the per-link charge record. Lets a steady-state multicast run without
     /// allocating at all (the cast cache replays memoized charges into

@@ -1,0 +1,222 @@
+//! Snapshot codec properties: the checkpoint byte format is a fixed
+//! point of encode∘decode across every protocol variant and machine
+//! scale, and journal recovery survives arbitrary single-byte damage
+//! and truncation without ever panicking or trusting a corrupt byte.
+
+use std::collections::BTreeMap;
+
+use tmc_core::{
+    decode_system, encode_system, recover_journal, Journal, Mode, ModePolicy, SnapshotError,
+    System, SystemConfig,
+};
+use tmc_memsys::WordAddr;
+use tmc_omeganet::SchemeKind;
+use tmc_simcore::SimRng;
+
+const SCHEMES: [SchemeKind; 4] = [
+    SchemeKind::Replicated,
+    SchemeKind::BitVector,
+    SchemeKind::BroadcastTag,
+    SchemeKind::Combined,
+];
+
+const POLICIES: [ModePolicy; 3] = [
+    ModePolicy::Fixed(Mode::DistributedWrite),
+    ModePolicy::Fixed(Mode::GlobalRead),
+    ModePolicy::Adaptive { window: 8 },
+];
+
+/// Drives a seeded workload so the machine carries non-trivial state —
+/// dirty blocks, populated sharer sets, adaptive-window history — before
+/// the codec is exercised.
+fn warmed_system(scheme: SchemeKind, policy: ModePolicy, n: usize, ops: usize) -> System {
+    let cfg = SystemConfig::new(n).multicast(scheme).mode_policy(policy);
+    let mut sys = System::new(cfg).expect("valid config");
+    let mut rng = SimRng::seed_from(0x5eed ^ (n as u64) << 8 ^ ops as u64);
+    let words = (n as u64) * 4;
+    for _ in 0..ops {
+        let proc = rng.gen_range(0..n);
+        let a = WordAddr::new(rng.gen_range(0..words));
+        match rng.gen_range(0..8u32) {
+            0..=3 => {
+                let _ = sys.read(proc, a).expect("valid proc");
+            }
+            4..=6 => sys.write(proc, a, rng.next_u64()).expect("valid proc"),
+            _ => {
+                let mode = if rng.gen_bool(0.5) {
+                    Mode::DistributedWrite
+                } else {
+                    Mode::GlobalRead
+                };
+                sys.set_mode(proc, a, mode).expect("valid proc");
+            }
+        }
+    }
+    sys
+}
+
+/// encode → decode → encode reproduces the exact same bytes, for all
+/// four §3 schemes × three mode policies × N ∈ {16, 256, 1024}.
+#[test]
+fn encode_decode_encode_is_a_byte_fixed_point() {
+    for &n in &[16usize, 256, 1024] {
+        // Keep big machines affordable in debug builds; state variety
+        // comes from the scheme/policy grid, not op count.
+        let ops = if n >= 1024 { 48 } else { 160 };
+        for scheme in SCHEMES {
+            for policy in POLICIES {
+                let sys = warmed_system(scheme, policy, n, ops);
+                let first = encode_system(&sys)
+                    .unwrap_or_else(|e| panic!("{scheme:?}/{policy:?}/N={n}: encode: {e}"));
+                let thawed = decode_system(&first)
+                    .unwrap_or_else(|e| panic!("{scheme:?}/{policy:?}/N={n}: decode: {e}"));
+                let second = encode_system(&thawed)
+                    .unwrap_or_else(|e| panic!("{scheme:?}/{policy:?}/N={n}: re-encode: {e}"));
+                assert_eq!(
+                    first, second,
+                    "{scheme:?}/{policy:?}/N={n}: codec is not a byte fixed point"
+                );
+                assert_eq!(
+                    sys.protocol_fingerprint(),
+                    thawed.protocol_fingerprint(),
+                    "{scheme:?}/{policy:?}/N={n}: fingerprint drifted through the codec"
+                );
+            }
+        }
+    }
+}
+
+/// Builds a small multi-frame journal on disk and returns its bytes and
+/// frame payloads.
+fn reference_journal(path: &std::path::Path) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let mut journal = Journal::create(path).expect("create journal");
+    let mut payloads = Vec::new();
+    for gen in 0..3u64 {
+        let sys = warmed_system(
+            SCHEMES[gen as usize % SCHEMES.len()],
+            POLICIES[gen as usize % POLICIES.len()],
+            16,
+            40 + gen as usize * 17,
+        );
+        let frame = encode_system(&sys).expect("encode");
+        journal.append(&frame).expect("append");
+        payloads.push(frame);
+    }
+    (std::fs::read(path).expect("journal bytes"), payloads)
+}
+
+/// Every single-byte flip of a valid journal is detected: recovery
+/// either rejects the file outright (header damage) or reports typed
+/// damage after a salvaged prefix — and the salvaged frames are always
+/// an exact prefix of the originals. Never a panic, never a silently
+/// accepted corrupt byte.
+#[test]
+fn every_single_byte_flip_is_detected() {
+    let dir = std::env::temp_dir().join(format!("tmc-snapprops-flip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("ref.journal");
+    let (pristine, payloads) = reference_journal(&path);
+
+    let mut by_outcome: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for at in 0..pristine.len() {
+        let mut bytes = pristine.clone();
+        bytes[at] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("write damaged journal");
+        let outcome = match recover_journal(&path) {
+            Err(SnapshotError::BadMagic { at: 0 }) => {
+                assert!(at < 8, "byte {at}: only header flips reject the whole file");
+                "rejected-header"
+            }
+            Err(e) => panic!("byte {at}: unexpected hard error {e}"),
+            Ok(rec) => {
+                assert!(
+                    rec.frames.len() < payloads.len() || rec.damage.is_some(),
+                    "byte {at}: flip went completely undetected"
+                );
+                for (i, frame) in rec.frames.iter().enumerate() {
+                    assert_eq!(
+                        frame, &payloads[i],
+                        "byte {at}: salvaged frame {i} is not a pristine prefix"
+                    );
+                    decode_system(frame)
+                        .unwrap_or_else(|e| panic!("byte {at}: salvaged frame {i}: {e}"));
+                }
+                match rec.damage {
+                    Some(SnapshotError::BadMagic { .. }) => "frame-magic",
+                    Some(SnapshotError::Truncated { .. }) => "length-field",
+                    Some(SnapshotError::ChecksumMismatch { .. }) => "checksum",
+                    Some(e) => panic!("byte {at}: unexpected damage {e}"),
+                    None => panic!("byte {at}: flip swallowed without damage report"),
+                }
+            }
+        };
+        *by_outcome.entry(outcome).or_default() += 1;
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The sweep must actually have exercised every detection path.
+    for kind in ["rejected-header", "frame-magic", "length-field", "checksum"] {
+        assert!(
+            by_outcome.contains_key(kind),
+            "flip sweep never hit the {kind} path: {by_outcome:?}"
+        );
+    }
+}
+
+/// Every prefix truncation of a valid journal is handled: shorter than
+/// the header it is rejected; anywhere else recovery returns exactly the
+/// frames that fit and reports the torn tail — except at precise frame
+/// boundaries, which are indistinguishable from a clean shorter journal.
+#[test]
+fn every_prefix_truncation_is_detected() {
+    let dir = std::env::temp_dir().join(format!("tmc-snapprops-trunc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("ref.journal");
+    let (pristine, payloads) = reference_journal(&path);
+
+    // Frame boundaries: header, then each frame's end offset.
+    let mut boundaries = vec![8usize];
+    let mut pos = 8usize;
+    for p in &payloads {
+        pos += 4 + 8 + p.len() + 8;
+        boundaries.push(pos);
+    }
+    assert_eq!(*boundaries.last().unwrap(), pristine.len());
+
+    for cut in 0..pristine.len() {
+        std::fs::write(&path, &pristine[..cut]).expect("write truncated journal");
+        match recover_journal(&path) {
+            Err(SnapshotError::BadMagic { at: 0 }) => {
+                assert!(
+                    cut < 8,
+                    "cut {cut}: only sub-header truncation rejects the file"
+                );
+            }
+            Err(e) => panic!("cut {cut}: unexpected hard error {e}"),
+            Ok(rec) => {
+                let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+                assert_eq!(
+                    rec.frames.len(),
+                    whole,
+                    "cut {cut}: recovery must salvage exactly the frames that fit"
+                );
+                for (i, frame) in rec.frames.iter().enumerate() {
+                    assert_eq!(frame, &payloads[i], "cut {cut}: frame {i} not pristine");
+                }
+                if boundaries.contains(&cut) {
+                    assert!(
+                        rec.damage.is_none(),
+                        "cut {cut}: a frame-boundary cut is a clean shorter journal"
+                    );
+                } else {
+                    assert!(
+                        matches!(rec.damage, Some(SnapshotError::Truncated { .. })),
+                        "cut {cut}: torn tail must be reported as truncation, got {:?}",
+                        rec.damage
+                    );
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -158,6 +158,61 @@ impl FaultInjector {
     pub fn retry(&self) -> RetryPolicy {
         self.plan.retry()
     }
+
+    /// Captures the injector's dynamic state for a checkpoint. The plan
+    /// itself is *not* part of the state: it is a pure function of the
+    /// `FaultSpec`, so a resuming process regenerates it and re-attaches
+    /// via [`FaultInjector::restore`].
+    pub fn state(&self) -> InjectorState {
+        InjectorState {
+            cursor: self.cursor,
+            op: self.op,
+            down_links: self.down_links.clone(),
+            stalled: self.stalled.clone(),
+            pending_msgs: self.pending_msgs.iter().copied().collect(),
+            injected: self.injected,
+        }
+    }
+
+    /// Rebuilds an injector mid-flight from a regenerated `plan` and the
+    /// dynamic `state` captured by [`FaultInjector::state`].
+    ///
+    /// Returns `None` (instead of panicking) when the state is inconsistent
+    /// with the plan — a cursor past the schedule end, which can only come
+    /// from a corrupted or mismatched checkpoint.
+    pub fn restore(plan: FaultPlan, state: InjectorState) -> Option<Self> {
+        if state.cursor > plan.len() {
+            return None;
+        }
+        Some(FaultInjector {
+            plan,
+            cursor: state.cursor,
+            op: state.op,
+            down_links: state.down_links,
+            stalled: state.stalled,
+            pending_msgs: state.pending_msgs.into_iter().collect(),
+            injected: state.injected,
+        })
+    }
+}
+
+/// The dynamic half of a [`FaultInjector`], as captured by
+/// [`FaultInjector::state`] — everything a checkpoint must persist beyond
+/// the (regenerable) plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectorState {
+    /// Index of the next scheduled fault to fire.
+    pub cursor: usize,
+    /// Last op passed to [`FaultInjector::advance`].
+    pub op: u64,
+    /// Active link outages as `(link, heal_at)`.
+    pub down_links: Vec<(LinkId, u64)>,
+    /// Active cache stalls as `(cache, heal_at)`.
+    pub stalled: Vec<(usize, u64)>,
+    /// Per-message faults not yet consumed, in queue order.
+    pub pending_msgs: Vec<MsgFault>,
+    /// Faults fired so far.
+    pub injected: u64,
 }
 
 #[cfg(test)]
@@ -213,6 +268,34 @@ mod tests {
             log
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_mid_plan() {
+        let spec = FaultSpec::new(21).count(48).horizon(100).mean_outage(16);
+        let plan = FaultPlan::generate(&spec, 8, 3).unwrap();
+        let mut live = FaultInjector::new(plan.clone());
+        for op in 1..=40 {
+            live.advance(op);
+        }
+        let state = live.state();
+        let mut resumed = FaultInjector::restore(plan.clone(), state).unwrap();
+        for op in 41..=200 {
+            assert_eq!(live.advance(op), resumed.advance(op));
+            loop {
+                let (a, b) = (live.take_msg_fault(), resumed.take_msg_fault());
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        assert_eq!(live.injected(), resumed.injected());
+        assert_eq!(live.state(), resumed.state());
+        // A cursor past the schedule end is rejected, not trusted.
+        let mut bad = live.state();
+        bad.cursor = plan.len() + 1;
+        assert!(FaultInjector::restore(plan, bad).is_none());
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub mod injector;
 pub mod plan;
 
 pub use error::FaultError;
-pub use injector::{FaultInjector, MsgFault};
+pub use injector::{FaultInjector, InjectorState, MsgFault};
 pub use plan::{FaultKind, FaultPlan, FaultSpec, RetryPolicy, ScheduledFault};

@@ -31,10 +31,20 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// Backoff before (zero-based) retry `attempt`, saturating so absurd
-    /// attempt counts cannot overflow simulated time.
+    /// Largest shift applied by [`RetryPolicy::backoff_cycles`]. Attempts
+    /// past this clamp to `backoff_base << BACKOFF_SHIFT_CAP`: any higher
+    /// shift would make `1u64 << attempt` undefined behavior territory
+    /// (shift ≥ 64) long before the simulated-cycle budget matters, and
+    /// `validate` already bounds `max_retries` to the same cap.
+    pub const BACKOFF_SHIFT_CAP: u32 = 32;
+
+    /// Backoff before (zero-based) retry `attempt`. The shift is clamped at
+    /// [`RetryPolicy::BACKOFF_SHIFT_CAP`] and the multiply saturates, so
+    /// absurd attempt counts (or an absurd base) can neither overflow nor
+    /// panic — they pin at the cap.
     pub fn backoff_cycles(self, attempt: u32) -> u64 {
-        self.backoff_base.saturating_mul(1u64 << attempt.min(32))
+        self.backoff_base
+            .saturating_mul(1u64 << attempt.min(Self::BACKOFF_SHIFT_CAP))
     }
 }
 
@@ -347,5 +357,26 @@ mod tests {
         assert_eq!(r.backoff_cycles(1), 16);
         assert_eq!(r.backoff_cycles(2), 32);
         assert!(r.backoff_cycles(200) >= r.backoff_cycles(32));
+    }
+
+    #[test]
+    fn backoff_clamps_at_the_cap_for_huge_attempts() {
+        let r = RetryPolicy {
+            max_retries: 32,
+            backoff_base: 8,
+        };
+        let cap = r.backoff_cycles(RetryPolicy::BACKOFF_SHIFT_CAP);
+        assert_eq!(cap, 8u64 << 32);
+        // Attempt ≥ 64 would be a shift-overflow panic without the clamp.
+        assert_eq!(r.backoff_cycles(64), cap);
+        assert_eq!(r.backoff_cycles(200), cap);
+        assert_eq!(r.backoff_cycles(u32::MAX), cap);
+        // A saturating base cannot overflow the multiply either.
+        let huge = RetryPolicy {
+            max_retries: 1,
+            backoff_base: u64::MAX,
+        };
+        assert_eq!(huge.backoff_cycles(64), u64::MAX);
+        assert_eq!(huge.backoff_cycles(0), u64::MAX);
     }
 }

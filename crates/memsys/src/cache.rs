@@ -260,6 +260,65 @@ impl<L> CacheArray<L> {
             })
     }
 
+    /// Iterates over every occupied slot as `(slot, tag, stamp, line)`, in
+    /// ascending slot order. This is the exact SoA state — together with
+    /// [`CacheArray::tick`] it lets a checkpoint codec rebuild the array
+    /// bit-identically via [`CacheArray::restore_slot`] /
+    /// [`CacheArray::restore_tick`], LRU order included.
+    pub fn slots(&self) -> impl Iterator<Item = (usize, u64, u64, &L)> {
+        self.stamps
+            .iter()
+            .enumerate()
+            .filter(|(_, &stamp)| stamp != FREE)
+            .map(|(s, &stamp)| {
+                (
+                    s,
+                    self.tags[s],
+                    stamp,
+                    self.lines[s].as_ref().expect("occupied slot has a line"),
+                )
+            })
+    }
+
+    /// The current LRU clock (the stamp most recently issued).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Places `line` into slot `slot` with the exact `tag` and `stamp`
+    /// recorded by [`CacheArray::slots`], without touching the LRU clock.
+    /// Restore every saved slot, then finish with
+    /// [`CacheArray::restore_tick`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range, already occupied, or `stamp` is the
+    /// free marker — a checkpoint codec must validate before calling.
+    pub fn restore_slot(&mut self, slot: usize, tag: u64, stamp: u64, line: L) {
+        assert!(slot < self.stamps.len(), "slot {slot} out of range");
+        assert!(self.stamps[slot] == FREE, "slot {slot} already occupied");
+        assert!(stamp != FREE, "stamp 0 marks a free slot");
+        self.tags[slot] = tag;
+        self.stamps[slot] = stamp;
+        self.lines[slot] = Some(line);
+        self.len += 1;
+    }
+
+    /// Restores the LRU clock saved via [`CacheArray::tick`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is smaller than some resident stamp (the clock must
+    /// never run behind issued stamps).
+    pub fn restore_tick(&mut self, tick: u64) {
+        let max_stamp = self.stamps.iter().copied().max().unwrap_or(FREE);
+        assert!(
+            tick >= max_stamp,
+            "tick {tick} runs behind resident stamp {max_stamp}"
+        );
+        self.tick = tick;
+    }
+
     /// Absorbs every resident line of `other` into `self`, asserting that no
     /// insertion evicts. Valid only when the two arrays' resident blocks map
     /// to disjoint sets (the shard-merge invariant: a shard's blocks fill
@@ -419,6 +478,41 @@ mod tests {
         assert_eq!(even.peek(b(1)), Some(&11));
         // Recency within the absorbed sets survived the merge.
         assert_eq!(even.would_evict(b(4)).map(|(bl, _)| bl), Some(b(2)));
+    }
+
+    #[test]
+    fn slots_roundtrip_rebuilds_exact_state() {
+        let mut c: CacheArray<u8> = CacheArray::new(CacheGeometry::new(2, 2));
+        for i in 0..5 {
+            c.insert(b(i), i as u8);
+        }
+        c.get(b(2)); // perturb recency so stamps are not insertion order
+        let mut rebuilt: CacheArray<u8> = CacheArray::new(c.geometry());
+        for (slot, tag, stamp, line) in c.slots() {
+            rebuilt.restore_slot(slot, tag, stamp, *line);
+        }
+        rebuilt.restore_tick(c.tick());
+        assert_eq!(rebuilt, c);
+        // The restored clock keeps issuing fresh stamps.
+        rebuilt.get(b(2));
+        c.get(b(2));
+        assert_eq!(rebuilt, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn restore_slot_rejects_double_restore() {
+        let mut c: CacheArray<u8> = CacheArray::new(CacheGeometry::new(1, 1));
+        c.restore_slot(0, 3, 1, 9);
+        c.restore_slot(0, 3, 2, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "runs behind")]
+    fn restore_tick_rejects_stale_clock() {
+        let mut c: CacheArray<u8> = CacheArray::new(CacheGeometry::new(1, 1));
+        c.restore_slot(0, 3, 7, 9);
+        c.restore_tick(3);
     }
 
     #[test]

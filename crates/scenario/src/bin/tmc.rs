@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! tmc scenario list [--dir D]
-//! tmc scenario run <name>... [--dir D]
+//! tmc scenario run <name>... [--dir D] [--checkpoint-every N] [--journal P]
+//!                            [--kill-at OP] [--resume P]
 //! tmc scenario check (--all | <name>...) [--dir D] [--reshard K] [--sample N]
 //! tmc scenario pin (--all | <name>...) [--dir D]
 //! ```
@@ -14,12 +15,25 @@
 //! `pin` reruns scenarios and rewrites their `[expect]` sections in place
 //! (the golden-regeneration workflow after an intentional protocol
 //! change).
+//!
+//! `run` honors a scenario's `[checkpoint]` section (or the
+//! `--checkpoint-every` override) by journaling whole-machine frames to
+//! `--journal P` (default `<name>.journal`); `--kill-at OP` injects a
+//! crash after that op, and `--resume P` restarts a killed run from the
+//! newest intact frame of its journal — bit-identical to an
+//! uninterrupted run. When a run diverges from pinned goldens, every
+//! divergence is reported as `file.tmcs:LINE: key: expected X, actual Y`
+//! (the line of that key in the `[expect]` section) and the exit code is
+//! nonzero.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tmc_scenario::corpus;
-use tmc_scenario::run::{check_scenario, run_scenario};
+use tmc_scenario::journal::{
+    cadence_for, default_journal_path, resume_journaled, run_journaled, JournalOptions,
+};
+use tmc_scenario::run::{check_scenario, expect_diffs, run_scenario, ScenarioOutcome};
 use tmc_scenario::spec::{encode_expect, Scenario};
 
 fn main() -> ExitCode {
@@ -39,6 +53,10 @@ struct Cli {
     dir: PathBuf,
     reshard: Option<usize>,
     sample: usize,
+    checkpoint_every: Option<u64>,
+    journal: Option<PathBuf>,
+    kill_at: Option<u64>,
+    resume: Option<PathBuf>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -48,6 +66,10 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         dir: corpus::default_dir(),
         reshard: None,
         sample: 1,
+        checkpoint_every: None,
+        journal: None,
+        kill_at: None,
+        resume: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -67,6 +89,26 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     return Err("--sample stride must be >= 1".into());
                 }
             }
+            "--checkpoint-every" => {
+                let n = it.next().ok_or("--checkpoint-every needs an op count")?;
+                let every: u64 = n.parse().map_err(|_| format!("bad op count `{n}`"))?;
+                if every == 0 {
+                    return Err("--checkpoint-every must be >= 1".into());
+                }
+                cli.checkpoint_every = Some(every);
+            }
+            "--journal" => {
+                cli.journal = Some(PathBuf::from(it.next().ok_or("--journal needs a path")?));
+            }
+            "--kill-at" => {
+                let n = it.next().ok_or("--kill-at needs an op count")?;
+                cli.kill_at = Some(n.parse().map_err(|_| format!("bad op count `{n}`"))?);
+            }
+            "--resume" => {
+                cli.resume = Some(PathBuf::from(
+                    it.next().ok_or("--resume needs a journal path")?,
+                ));
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             name => cli.names.push(name.to_string()),
         }
@@ -76,7 +118,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
 
 fn usage() -> String {
     "usage: tmc scenario <list|run|check|pin> [--all | <name>...] \
-     [--dir D] [--reshard K] [--sample N]"
+     [--dir D] [--reshard K] [--sample N] [--checkpoint-every N] \
+     [--journal P] [--kill-at OP] [--resume P]"
         .into()
 }
 
@@ -175,8 +218,55 @@ fn cmd_list(cli: &Cli) -> Result<(), String> {
 
 fn cmd_run(cli: &Cli) -> Result<(), String> {
     let entries = select(cli, "run")?;
-    for (_, sc) in &entries {
-        let outcome = run_scenario(sc).map_err(|e| format!("{}: {e}", sc.name))?;
+    if (cli.resume.is_some() || cli.kill_at.is_some()) && entries.len() != 1 {
+        return Err("--resume / --kill-at apply to exactly one scenario".into());
+    }
+    let mut golden_failures = 0usize;
+    for (path, sc) in &entries {
+        let every = cadence_for(sc, cli.checkpoint_every);
+        let journaled = every > 0 || cli.resume.is_some() || cli.kill_at.is_some();
+        let outcome = if journaled {
+            let jpath = cli
+                .journal
+                .clone()
+                .or_else(|| cli.resume.clone())
+                .unwrap_or_else(|| default_journal_path(sc));
+            let mut opts = JournalOptions::new(&jpath, every);
+            opts.kill_at = cli.kill_at;
+            let report = if cli.resume.is_some() {
+                resume_journaled(sc, &opts)
+            } else {
+                run_journaled(sc, &opts)
+            }
+            .map_err(|e| format!("{}: {e}", sc.name))?;
+            if let Some(d) = &report.damage {
+                eprintln!("warning: {}: journal tail dropped: {d}", sc.name);
+            }
+            if let Some(at) = report.resumed_at {
+                println!("{}: resumed at op {at} from {}", sc.name, jpath.display());
+            }
+            let Some(done) = report.outcome else {
+                println!(
+                    "{}: killed at op {} ({} frames in {})",
+                    sc.name,
+                    report.ops_done,
+                    report.frames,
+                    jpath.display()
+                );
+                continue;
+            };
+            println!(
+                "{}: journaled {} frames to {}",
+                sc.name,
+                report.frames,
+                jpath.display()
+            );
+            println!("  trace_chksum = 0x{:016x}", done.trace_checksum);
+            println!("  mem_digest   = 0x{:016x}", done.memory_digest);
+            done.outcome
+        } else {
+            run_scenario(sc).map_err(|e| format!("{}: {e}", sc.name))?
+        };
         println!("{}:", sc.name);
         println!(
             "  ops          = {} ({} reads, {} writes)",
@@ -192,8 +282,56 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
                 println!("  counter {name:<28} {v}");
             }
         }
+        golden_failures += report_golden_diffs(path, sc, &outcome);
+    }
+    if golden_failures > 0 {
+        return Err(format!("{golden_failures} golden field(s) diverged"));
     }
     Ok(())
+}
+
+/// Prints one `file.tmcs:LINE: key: expected X, actual Y` line per
+/// diverged golden and returns how many diverged.
+fn report_golden_diffs(path: &PathBuf, sc: &Scenario, outcome: &ScenarioOutcome) -> usize {
+    let (_, diffs) = expect_diffs(&sc.expect, outcome);
+    if diffs.is_empty() {
+        return 0;
+    }
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    for d in &diffs {
+        match expect_key_line(&text, &d.key) {
+            Some(line) => println!("{}:{line}: {d}", path.display()),
+            None => println!("{}: {d}", path.display()),
+        }
+    }
+    diffs.len()
+}
+
+/// 1-based line of `key` inside the `[expect]` section of `text`
+/// (`counter <name>` keys match their `counter = <name> ...` line).
+fn expect_key_line(text: &str, key: &str) -> Option<usize> {
+    let mut in_expect = false;
+    for (i, raw) in text.lines().enumerate() {
+        let t = raw.trim();
+        if t.starts_with('[') {
+            in_expect = t == "[expect]";
+            continue;
+        }
+        if !in_expect {
+            continue;
+        }
+        let Some(eq) = t.find('=') else { continue };
+        let k = t[..eq].trim();
+        let v = t[eq + 1..].trim();
+        let hit = match key.strip_prefix("counter ") {
+            Some(name) => k == "counter" && v.split_whitespace().next() == Some(name),
+            None => k == key,
+        };
+        if hit {
+            return Some(i + 1);
+        }
+    }
+    None
 }
 
 fn cmd_check(cli: &Cli) -> Result<(), String> {

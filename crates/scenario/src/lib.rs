@@ -43,13 +43,21 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod journal;
 pub mod ops;
 pub mod parse;
 pub mod run;
 pub mod spec;
 
+pub use journal::{
+    prove_crash_equivalence, resume_journaled, run_journaled, JournalOptions, JournalOutcome,
+    JournalReport,
+};
 pub use parse::{parse, ParseError};
-pub use run::{check_scenario, run_scenario, CheckReport, ScenarioOutcome};
+pub use run::{
+    check_scenario, expect_diffs, run_scenario, CheckReport, GoldenDiff, ScenarioOutcome,
+};
 pub use spec::{
-    Analytic, Engine, Expect, Family, Faults, Machine, ModeDirective, Scenario, Workload,
+    Analytic, Checkpoint, Engine, Expect, Family, Faults, Machine, ModeDirective, Scenario,
+    Workload,
 };

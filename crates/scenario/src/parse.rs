@@ -2,8 +2,8 @@
 //!
 //! The format is line-based: `[section]` headers, `key = value` pairs,
 //! `#` comments and blank lines. Sections are `[scenario]`, `[machine]`,
-//! `[workload]`, `[modes]`, `[faults]`, `[analytic]`, `[ops]` and
-//! `[expect]`. Every unknown section, unknown key, malformed value and
+//! `[workload]`, `[modes]`, `[faults]`, `[checkpoint]`, `[analytic]`,
+//! `[ops]` and `[expect]`. Every unknown section, unknown key, malformed value and
 //! semantic violation (non-power-of-two machine, fault plan handed to a
 //! non-fault engine, out-of-range fraction, op naming a processor the
 //! machine does not have) is rejected with the 1-based line and column
@@ -18,8 +18,8 @@ use tmc_core::ModePolicy;
 use tmc_memsys::WordAddr;
 
 use crate::spec::{
-    parse_mode, parse_placement, Analytic, Engine, Expect, Family, Faults, ModeDirective, Scenario,
-    Workload,
+    parse_mode, parse_placement, Analytic, Checkpoint, Engine, Expect, Family, Faults,
+    ModeDirective, Scenario, Workload,
 };
 
 /// A parse failure, addressed to the offending token.
@@ -56,6 +56,7 @@ enum Section {
     Workload,
     Modes,
     Faults,
+    Checkpoint,
     Analytic,
     Ops,
     Expect,
@@ -69,6 +70,7 @@ impl Section {
             "workload" => Some(Section::Workload),
             "modes" => Some(Section::Modes),
             "faults" => Some(Section::Faults),
+            "checkpoint" => Some(Section::Checkpoint),
             "analytic" => Some(Section::Analytic),
             "ops" => Some(Section::Ops),
             "expect" => Some(Section::Expect),
@@ -152,6 +154,9 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                     col: start_col,
                 });
             }
+            if s == Section::Checkpoint {
+                sc.checkpoint = Some(Checkpoint::default());
+            }
             if s == Section::Analytic {
                 sc.analytic = Some(Analytic {
                     n_tasks: 2,
@@ -200,6 +205,7 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
             Section::Workload => parse_workload_key(&mut sc, &p, &mut tasks_at)?,
             Section::Modes => parse_modes_key(&mut sc, &p)?,
             Section::Faults => parse_faults_key(&mut sc, &p)?,
+            Section::Checkpoint => parse_checkpoint_key(&mut sc, &p)?,
             Section::Analytic => parse_analytic_key(&mut sc, &p)?,
             Section::Ops => {
                 parse_ops_key(&mut sc, &p)?;
@@ -548,6 +554,15 @@ fn parse_faults_key(sc: &mut Scenario, p: &Pair<'_>) -> Result<(), ParseError> {
     Ok(())
 }
 
+fn parse_checkpoint_key(sc: &mut Scenario, p: &Pair<'_>) -> Result<(), ParseError> {
+    let c = sc.checkpoint.as_mut().expect("section sets default");
+    match p.key {
+        "every" => c.every = nonzero_u64(p, "every")?,
+        _ => return unknown_key(p, "checkpoint"),
+    }
+    Ok(())
+}
+
 fn parse_analytic_key(sc: &mut Scenario, p: &Pair<'_>) -> Result<(), ParseError> {
     let a = sc.analytic.as_mut().expect("section sets default");
     match p.key {
@@ -691,6 +706,22 @@ mod tests {
         let with_engines = text.replace("name = faulty", "name = faulty\nengines = serial shard");
         let e = parse(&with_engines).unwrap_err();
         assert!(e.msg.contains("non-fault engine"), "{e}");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_validation() {
+        let mut sc = Scenario::new("journaled");
+        sc.checkpoint = Some(Checkpoint { every: 250 });
+        let text = sc.encode();
+        assert_eq!(parse(&text).unwrap(), sc);
+
+        // Bare section header takes the default cadence.
+        let bare = parse("[scenario]\nname = x\n[checkpoint]\n").unwrap();
+        assert_eq!(bare.checkpoint, Some(Checkpoint::default()));
+
+        let e = parse("[scenario]\nname = x\n[checkpoint]\nevery = 0\n").unwrap_err();
+        assert_eq!((e.line, e.col), (4, 9));
+        assert!(e.msg.contains("every must be >= 1"), "{e}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! replay-obligation suite).
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use tmc_bench::shardsim::{run as shard_run, shard_count, ShardOp, ShardRunOptions};
 use tmc_bench::tracecheck::{self, nonzero_links};
@@ -80,7 +81,7 @@ pub fn link_checksum(links: &[LinkCharge]) -> u64 {
     fnv1a64(text.as_bytes())
 }
 
-fn counters_of(sys: &System) -> BTreeMap<String, u64> {
+pub(crate) fn counters_of(sys: &System) -> BTreeMap<String, u64> {
     sys.counters()
         .iter()
         .map(|(k, v)| (k.to_string(), v))
@@ -240,41 +241,75 @@ pub fn check_scenario(sc: &Scenario, reshard: Option<usize>) -> Result<CheckRepo
     })
 }
 
-/// Compares pinned goldens; returns how many fields were checked.
-fn check_expect(expect: &Expect, outcome: &ScenarioOutcome) -> Result<usize, String> {
-    let mut checked = 0;
-    let diff = |what: &str, want: u64, got: u64| -> Result<(), String> {
-        if want != got {
-            return Err(format!(
-                "{what}: golden 0x{want:x} ({want}), got 0x{got:x} ({got})"
-            ));
-        }
-        Ok(())
-    };
-    macro_rules! field {
-        ($name:literal, $want:expr, $got:expr) => {
-            if let Some(want) = $want {
-                diff($name, want, $got)?;
-                checked += 1;
-            }
-        };
+/// One pinned golden that diverged from the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenDiff {
+    /// The `[expect]` key (`total_bits`, `counter reads`, ...).
+    pub key: String,
+    /// The pinned value.
+    pub want: u64,
+    /// What the run produced.
+    pub got: u64,
+}
+
+impl fmt::Display for GoldenDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected 0x{:x} ({}), actual 0x{:x} ({})",
+            self.key, self.want, self.want, self.got, self.got
+        )
     }
-    field!("fingerprint", expect.fingerprint, outcome.fingerprint);
-    field!("total_bits", expect.total_bits, outcome.total_bits);
-    field!("link_checksum", expect.link_checksum, outcome.link_checksum);
-    field!(
+}
+
+/// Compares *every* pinned golden against the outcome; returns how many
+/// were checked plus each divergence (empty = all goldens hold).
+pub fn expect_diffs(expect: &Expect, outcome: &ScenarioOutcome) -> (usize, Vec<GoldenDiff>) {
+    let mut checked = 0;
+    let mut diffs = Vec::new();
+    let mut field = |key: &str, want: Option<u64>, got: u64| {
+        if let Some(want) = want {
+            checked += 1;
+            if want != got {
+                diffs.push(GoldenDiff {
+                    key: key.to_string(),
+                    want,
+                    got,
+                });
+            }
+        }
+    };
+    field("fingerprint", expect.fingerprint, outcome.fingerprint);
+    field("total_bits", expect.total_bits, outcome.total_bits);
+    field("link_checksum", expect.link_checksum, outcome.link_checksum);
+    field(
         "reads_checksum",
         expect.reads_checksum,
-        outcome.reads_checksum
+        outcome.reads_checksum,
     );
-    field!("events", expect.events, outcome.events);
-    field!("ops", expect.ops, outcome.ops);
+    field("events", expect.events, outcome.events);
+    field("ops", expect.ops, outcome.ops);
     for (name, &want) in &expect.counters {
         let got = outcome.counters.get(name).copied().unwrap_or(0);
-        diff(&format!("counter {name}"), want, got)?;
-        checked += 1;
+        field(&format!("counter {name}"), Some(want), got);
     }
-    Ok(checked)
+    (checked, diffs)
+}
+
+/// Compares pinned goldens; returns how many fields were checked.
+///
+/// Unlike a first-failure check, the error names **every** diverged
+/// golden, one per line.
+fn check_expect(expect: &Expect, outcome: &ScenarioOutcome) -> Result<usize, String> {
+    let (checked, diffs) = expect_diffs(expect, outcome);
+    if diffs.is_empty() {
+        return Ok(checked);
+    }
+    Err(diffs
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n"))
 }
 
 /// Sharded rerun: merged machine must match the serial outcome bit for
@@ -370,6 +405,25 @@ mod tests {
         sc.expect.total_bits = Some(outcome.total_bits + 1);
         let e = check_scenario(&sc, None).unwrap_err();
         assert!(e.contains("total_bits"), "{e}");
+    }
+
+    #[test]
+    fn every_diverged_golden_is_reported() {
+        let sc = small();
+        let outcome = run_scenario(&sc).unwrap();
+        let mut expect = outcome.to_expect();
+        expect.total_bits = Some(outcome.total_bits + 1);
+        expect.events = Some(outcome.events + 2);
+        expect.counters.insert("reads".into(), 1);
+        let (checked, diffs) = expect_diffs(&expect, &outcome);
+        assert!(checked >= 6);
+        let keys: Vec<&str> = diffs.iter().map(|d| d.key.as_str()).collect();
+        assert_eq!(keys, ["total_bits", "events", "counter reads"]);
+        let rendered = diffs[0].to_string();
+        assert!(
+            rendered.contains("expected") && rendered.contains("actual"),
+            "{rendered}"
+        );
     }
 
     #[test]

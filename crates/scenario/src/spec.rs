@@ -256,6 +256,21 @@ impl Faults {
     }
 }
 
+/// Periodic checkpointing request: snapshot the whole machine into a
+/// crash-recovery journal every `every` ops (see
+/// `tmc_core::snapshot` and `docs/ROBUSTNESS.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Ops between journal frames (>= 1).
+    pub every: u64,
+}
+
+impl Default for Checkpoint {
+    fn default() -> Self {
+        Checkpoint { every: 1000 }
+    }
+}
+
 /// Steady-state probe for the conformance sim-vs-analytic pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Analytic {
@@ -365,6 +380,8 @@ pub struct Scenario {
     pub faults: Option<Faults>,
     /// Analytic steady-state probe (conformance reproducers).
     pub analytic: Option<Analytic>,
+    /// Periodic crash-recovery checkpointing, if requested.
+    pub checkpoint: Option<Checkpoint>,
     /// Explicit op script, run after mode directives, before the workload.
     pub ops: Vec<ShardOp>,
     /// Golden expectations.
@@ -385,6 +402,7 @@ impl Scenario {
             modes: Vec::new(),
             faults: None,
             analytic: None,
+            checkpoint: None,
             ops: Vec::new(),
             expect: Expect::default(),
         }
@@ -499,6 +517,11 @@ impl Scenario {
             let _ = writeln!(s, "mean_outage = {}", f.mean_outage);
             let _ = writeln!(s, "max_retries = {}", f.max_retries);
             let _ = writeln!(s, "backoff_base = {}", f.backoff_base);
+        }
+
+        if let Some(c) = &self.checkpoint {
+            let _ = writeln!(s, "\n[checkpoint]");
+            let _ = writeln!(s, "every = {}", c.every);
         }
 
         if let Some(a) = &self.analytic {

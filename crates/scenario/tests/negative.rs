@@ -58,6 +58,14 @@ const EXPECTED: &[(&str, usize, usize, &str)] = &[
     ),
     ("bad-theta.tmcs", 5, 9, "theta must be in [0, 1), got 1.5"),
     (
+        "checkpoint-unknown-key.tmcs",
+        4,
+        1,
+        "unknown key `when` in [checkpoint]",
+    ),
+    ("checkpoint-zero-every.tmcs", 4, 9, "every must be >= 1"),
+    ("checkpoint-bad-every.tmcs", 4, 9, "bad every: \"soon\""),
+    (
         "bad-write-fraction.tmcs",
         5,
         18,

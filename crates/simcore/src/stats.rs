@@ -292,6 +292,29 @@ impl Histogram {
         self.count += other.count;
         self.total += other.total;
     }
+
+    /// Exact internal state, for checkpoint codecs: every bucket count
+    /// (including empty buckets), the sample count, and the running total.
+    ///
+    /// [`Histogram::iter`] is lossy for this purpose — replaying
+    /// `record(bucket_low)` per sample reconstructs the buckets but not the
+    /// exact `total`, so a round-trip through it would not be bit-identical.
+    pub fn to_raw_parts(&self) -> (&[u64], u64, u128) {
+        (&self.buckets, self.count, self.total)
+    }
+
+    /// Rebuilds a histogram from state captured by
+    /// [`Histogram::to_raw_parts`]. Short bucket vectors are zero-padded to
+    /// the fixed 65-bucket layout; extra buckets are truncated.
+    pub fn from_raw_parts(buckets: Vec<u64>, count: u64, total: u128) -> Self {
+        let mut buckets = buckets;
+        buckets.resize(65, 0);
+        Histogram {
+            buckets,
+            count,
+            total,
+        }
+    }
 }
 
 /// A single monotone counter.
@@ -550,6 +573,22 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.bucket_count(3), 2); // 5 and 7
         assert_eq!(a.bucket_count(0), 1);
+    }
+
+    #[test]
+    fn histogram_raw_parts_roundtrip_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let (buckets, count, total) = h.to_raw_parts();
+        let rebuilt = Histogram::from_raw_parts(buckets.to_vec(), count, total);
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.total(), h.total());
+        // Short vectors pad to the fixed layout.
+        let padded = Histogram::from_raw_parts(vec![3], 3, 0);
+        assert_eq!(padded.bucket_count(0), 3);
+        assert_eq!(padded.bucket_count(64), 0);
     }
 
     #[test]
