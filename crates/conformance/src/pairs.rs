@@ -10,6 +10,7 @@
 //! | `oracle-self` | serial `System` vs `ReferenceMemory` | every read's value, memory image, invariants, re-run determinism |
 //! | `batched-vs-scalar` | scalar `read`/`write` loop vs chunked `execute_batch` | fingerprint, counters, per-link charges, memory image, read values, event stream, byte-identical JSONL |
 //! | `resumed-vs-uninterrupted` | one straight run vs the same script frozen/thawed mid-flight through the checkpoint codec | fingerprint, counters, per-link charges, memory image, read values, event stream |
+//! | `ir-vs-handcoded` | hand-coded protocol paths vs the guarded-action IR interpreter | fingerprint, counters, per-link charges, memory image, read values, event stream, byte-identical JSONL |
 //!
 //! Adaptive-vs-fixed deliberately does **not** compare fingerprints or
 //! traffic for equality: the adaptive policy changes block modes as its
@@ -51,13 +52,16 @@ pub enum Pair {
     BatchedVsScalar,
     /// One straight run vs a run checkpointed and resumed mid-script.
     ResumedVsUninterrupted,
+    /// Hand-coded protocol paths vs the guarded-action IR interpreter.
+    IrVsHandcoded,
 }
 
 impl Pair {
     /// Every pair, in check order.
-    pub fn all() -> [Pair; 8] {
+    pub fn all() -> [Pair; 9] {
         [
             Pair::OracleSelf,
+            Pair::IrVsHandcoded,
             Pair::SerialVsShard,
             Pair::BatchedVsScalar,
             Pair::ResumedVsUninterrupted,
@@ -79,6 +83,7 @@ impl Pair {
             Pair::OracleSelf => "oracle-self",
             Pair::BatchedVsScalar => "batched-vs-scalar",
             Pair::ResumedVsUninterrupted => "resumed-vs-uninterrupted",
+            Pair::IrVsHandcoded => "ir-vs-handcoded",
         }
     }
 
@@ -95,7 +100,8 @@ impl Pair {
             | Pair::FaultsZeroVsOff
             | Pair::OracleSelf
             | Pair::BatchedVsScalar
-            | Pair::ResumedVsUninterrupted => true,
+            | Pair::ResumedVsUninterrupted
+            | Pair::IrVsHandcoded => true,
             Pair::AdaptiveVsFixed => matches!(case.policy, ModePolicy::Adaptive { .. }),
             Pair::SimVsAnalytic => {
                 case.analytic.is_some() && matches!(case.policy, ModePolicy::Fixed(_))
@@ -136,7 +142,45 @@ pub fn check_pair(case: &CaseSpec, pair: Pair) -> Result<(), Divergence> {
         Pair::OracleSelf => check_oracle_self(case).or_else(fail),
         Pair::BatchedVsScalar => check_batched_vs_scalar(case).or_else(fail),
         Pair::ResumedVsUninterrupted => check_resumed_vs_uninterrupted(case).or_else(fail),
+        Pair::IrVsHandcoded => check_ir_vs_handcoded(case).or_else(fail),
     }
+}
+
+/// Drive the same script once through the hand-coded protocol paths and
+/// once through the guarded-action IR interpreter
+/// ([`tmc_core::PROTOCOL_IR`]): every observable must match bit for bit,
+/// and the JSONL captures must be byte-identical. This is the conformance
+/// gate that lets the rule table stand in for the hand-coded engine.
+fn check_ir_vs_handcoded(case: &CaseSpec) -> Result<(), String> {
+    let cfg = case.config();
+    let hand = run_serial(cfg.clone(), &case.ops, true)?;
+
+    let mut sys = System::new(cfg.clone()).map_err(|e| e.to_string())?;
+    sys.set_ir_dispatch(true);
+    sys.set_tracing(true);
+    let read_values = crate::outcome::collect_reads(&mut sys, &case.ops);
+    let ir = snapshot(&mut sys, &case.ops, read_values);
+    diff_outcomes(&hand, &ir, "hand-coded", "ir")?;
+
+    // Byte-level JSONL: the interpreted drive must serialize to the exact
+    // trace the hand-coded drive produces.
+    let hand_jsonl = tracecheck::capture(cfg.clone(), |sys| {
+        crate::outcome::run_script(sys, &case.ops);
+    })?;
+    let ir_jsonl = tracecheck::capture(cfg, |sys| {
+        sys.set_ir_dispatch(true);
+        crate::outcome::run_script(sys, &case.ops);
+    })?;
+    if hand_jsonl != ir_jsonl {
+        let line = hand_jsonl
+            .lines()
+            .zip(ir_jsonl.lines())
+            .position(|(a, b)| a != b);
+        return Err(format!(
+            "JSONL captures differ (first differing line: {line:?})"
+        ));
+    }
+    Ok(())
 }
 
 /// Freeze/thaw the machine through the crash-recovery checkpoint codec at
@@ -512,6 +556,15 @@ mod tests {
         assert!(Pair::SerialVsReplay.applies(&case));
         assert!(Pair::FaultsZeroVsOff.applies(&case));
         assert!(Pair::ResumedVsUninterrupted.applies(&case));
+        assert!(Pair::IrVsHandcoded.applies(&case));
+    }
+
+    #[test]
+    fn ir_pair_passes_on_generated_cases() {
+        for seed in [3, 7, 23] {
+            let case = generate_case(seed);
+            check_pair(&case, Pair::IrVsHandcoded).unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod config;
 pub mod driver;
 pub mod error;
 pub mod invariants;
+pub mod ir;
 pub mod msg;
 pub mod snapshot;
 pub mod state;
@@ -58,6 +59,7 @@ pub use batch::BatchOp;
 pub use config::{ModePolicy, SystemConfig};
 pub use driver::{run_concurrent, DriveOutcome, DriverOp};
 pub use error::{CoreError, InvariantViolation};
+pub use ir::{ProtocolIr, PROTOCOL_IR};
 pub use msg::{Destination, MsgKind, TraceEvent, TransactionLog};
 pub use snapshot::{
     decode_system, encode_system, memory_digest, recover_journal, Journal, Recovery, SnapshotError,

@@ -23,6 +23,9 @@ use crate::error::CoreError;
 use crate::msg::{Destination, MsgKind, TraceEvent, TransactionLog};
 use crate::state::{CacheLine, Mode, StateName, Validity};
 
+#[path = "ir_exec.rs"]
+mod ir_exec;
+
 /// What one access cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessStats {
@@ -175,6 +178,22 @@ pub struct System {
     /// Per-phase hot-path attribution sampler (disabled by default; one
     /// branch per hook while off).
     profiler: PhaseProfiler,
+    /// When `Some`, the five protocol dispatch points (read, write,
+    /// set-mode, replacement, mode switch) interpret this guarded-action
+    /// table ([`crate::ir`]) instead of running the hand-coded paths.
+    /// Not protocol state: excluded from snapshots and fingerprints, and
+    /// bit-identical either way (the `ir-vs-handcoded` conformance pair
+    /// proves it). Defaults from the `TMC_IR` environment variable so
+    /// whole-binary sweeps can flip every `System` in a process.
+    ir: Option<&'static crate::ir::ProtocolIr>,
+}
+
+/// Whether `TMC_IR` asks for table-driven dispatch by default (any value
+/// but `0`). Read once per process.
+fn ir_env_default() -> Option<&'static crate::ir::ProtocolIr> {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    let on = *ON.get_or_init(|| std::env::var("TMC_IR").is_ok_and(|v| v != "0"));
+    on.then_some(&crate::ir::PROTOCOL_IR)
 }
 
 impl System {
@@ -230,10 +249,33 @@ impl System {
             batch: None,
             batch_scratch: None,
             profiler: PhaseProfiler::new(),
+            ir: ir_env_default(),
             net,
             traffic,
             cfg,
         })
+    }
+
+    /// Switches the protocol engine between hand-coded dispatch (`false`,
+    /// the default) and interpreting the guarded-action table
+    /// [`crate::ir::PROTOCOL_IR`] (`true`). Both paths are bit-identical —
+    /// same fingerprint, counters, per-link charges, traces — so this can
+    /// be flipped at any point, even mid-run. `TMC_IR=1` in the
+    /// environment sets the default for every machine in the process.
+    pub fn set_ir_dispatch(&mut self, on: bool) {
+        self.ir = on.then_some(&crate::ir::PROTOCOL_IR);
+    }
+
+    /// Installs a specific action table for interpretation. Intended for
+    /// verification harnesses that need a *modified* table — e.g. the
+    /// negative conformance test that proves a broken guard is caught.
+    pub fn set_ir_table(&mut self, table: &'static crate::ir::ProtocolIr) {
+        self.ir = Some(table);
+    }
+
+    /// Whether the machine currently interprets the guarded-action table.
+    pub fn ir_dispatch(&self) -> bool {
+        self.ir.is_some()
     }
 
     // ------------------------------------------------------------------
@@ -797,34 +839,38 @@ impl System {
         let lookup = self.lookup(proc, block);
         self.profiler.end(Phase::TagLookup, t);
         let hit = matches!(lookup, Lookup::OwnedHit | Lookup::UnOwnedHit);
-        let value = match lookup {
-            Lookup::OwnedHit | Lookup::UnOwnedHit => {
-                self.counters.incr("read_hit");
-                self.caches[proc]
-                    .get(block)
-                    .expect("hit verified")
-                    .data
-                    .word(offset)
-            }
-            Lookup::InvalidEntry => {
-                self.counters.incr("read_miss_invalid");
-                self.tracer.push(ProtocolEvent::Miss {
-                    proc,
-                    block,
-                    write: false,
-                    cold: false,
-                });
-                self.read_invalid(proc, block, offset)
-            }
-            Lookup::Missing => {
-                self.counters.incr("read_miss_cold");
-                self.tracer.push(ProtocolEvent::Miss {
-                    proc,
-                    block,
-                    write: false,
-                    cold: true,
-                });
-                self.read_cold(proc, block, offset)
+        let value = if let Some(table) = self.ir {
+            self.ir_read(table, proc, block, offset, lookup)
+        } else {
+            match lookup {
+                Lookup::OwnedHit | Lookup::UnOwnedHit => {
+                    self.counters.incr("read_hit");
+                    self.caches[proc]
+                        .get(block)
+                        .expect("hit verified")
+                        .data
+                        .word(offset)
+                }
+                Lookup::InvalidEntry => {
+                    self.counters.incr("read_miss_invalid");
+                    self.tracer.push(ProtocolEvent::Miss {
+                        proc,
+                        block,
+                        write: false,
+                        cold: false,
+                    });
+                    self.read_invalid(proc, block, offset)
+                }
+                Lookup::Missing => {
+                    self.counters.incr("read_miss_cold");
+                    self.tracer.push(ProtocolEvent::Miss {
+                        proc,
+                        block,
+                        write: false,
+                        cold: true,
+                    });
+                    self.read_cold(proc, block, offset)
+                }
             }
         };
         self.note_block_ref(block, false);
@@ -905,26 +951,30 @@ impl System {
         let lookup = self.lookup(proc, block);
         self.profiler.end(Phase::TagLookup, t);
         let hit = matches!(lookup, Lookup::OwnedHit | Lookup::UnOwnedHit);
-        match lookup {
-            Lookup::OwnedHit => {
-                self.counters.incr("write_hit_owner");
+        if let Some(table) = self.ir {
+            self.ir_write(table, proc, block, offset, value, lookup);
+        } else {
+            match lookup {
+                Lookup::OwnedHit => {
+                    self.counters.incr("write_hit_owner");
+                }
+                Lookup::UnOwnedHit => {
+                    self.counters.incr("write_hit_unowned");
+                    self.acquire_ownership_from_unowned(proc, block);
+                }
+                Lookup::InvalidEntry | Lookup::Missing => {
+                    self.counters.incr("write_miss");
+                    self.tracer.push(ProtocolEvent::Miss {
+                        proc,
+                        block,
+                        write: true,
+                        cold: matches!(lookup, Lookup::Missing),
+                    });
+                    self.load_with_ownership(proc, block);
+                }
             }
-            Lookup::UnOwnedHit => {
-                self.counters.incr("write_hit_unowned");
-                self.acquire_ownership_from_unowned(proc, block);
-            }
-            Lookup::InvalidEntry | Lookup::Missing => {
-                self.counters.incr("write_miss");
-                self.tracer.push(ProtocolEvent::Miss {
-                    proc,
-                    block,
-                    write: true,
-                    cold: matches!(lookup, Lookup::Missing),
-                });
-                self.load_with_ownership(proc, block);
-            }
+            self.perform_owned_write(proc, block, offset, value);
         }
-        self.perform_owned_write(proc, block, offset, value);
         self.note_block_ref(block, true);
         let stats = self.txn_end(start, value);
         if self.tracer.is_enabled() {
@@ -980,12 +1030,16 @@ impl System {
         let t = self.profiler.start();
         let lookup = self.lookup(proc, block);
         self.profiler.end(Phase::TagLookup, t);
-        match lookup {
-            Lookup::OwnedHit => {}
-            Lookup::UnOwnedHit => self.acquire_ownership_from_unowned(proc, block),
-            Lookup::InvalidEntry | Lookup::Missing => self.load_with_ownership(proc, block),
+        if let Some(table) = self.ir {
+            self.ir_set_mode(table, proc, block, mode, lookup);
+        } else {
+            match lookup {
+                Lookup::OwnedHit => {}
+                Lookup::UnOwnedHit => self.acquire_ownership_from_unowned(proc, block),
+                Lookup::InvalidEntry | Lookup::Missing => self.load_with_ownership(proc, block),
+            }
+            self.switch_mode_at_owner(proc, block, mode, /* adaptive */ false);
         }
-        self.switch_mode_at_owner(proc, block, mode, /* adaptive */ false);
         let _ = self.txn_end(start, 0);
         self.profiler.txn_end(ptxn);
     }
@@ -1551,6 +1605,9 @@ impl System {
     /// Runs the §2.2 case-5 actions for `victim` at `proc` and drops the
     /// entry.
     fn replace(&mut self, proc: usize, victim: BlockAddr) {
+        if let Some(table) = self.ir {
+            return self.ir_replace(table, proc, victim);
+        }
         self.counters.incr("replacements");
         let before = self.log_state(proc, victim);
         let h = self.home_port(victim);
@@ -1761,6 +1818,9 @@ impl System {
         target: Mode,
         adaptive: bool,
     ) {
+        if let Some(table) = self.ir {
+            return self.ir_switch_mode(table, owner, block, target, adaptive);
+        }
         let current = self.caches[owner].peek(block).expect("owner line").mode;
         if current == target {
             return;

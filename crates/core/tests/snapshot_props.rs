@@ -220,3 +220,51 @@ fn every_prefix_truncation_is_detected() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `Journal::append` is a true append: K appends cost O(Σ frame sizes)
+/// bytes of I/O, not O(K · journal length). Each append writes exactly
+/// one frame (magic + length + payload + checksum), the file grows by
+/// exactly that much, and the bytes already on disk are never rewritten
+/// — the quadratic whole-file rewrite would show up here as an
+/// `appended_bytes` total that grows with the journal, not the frame.
+#[test]
+fn journal_appends_cost_frame_bytes_not_journal_bytes() {
+    const FRAME_OVERHEAD: u64 = 4 + 8 + 8; // "TMCF" + len + digest trailer
+    const HEADER: u64 = 8; // "TMCJ0002"
+    let dir = std::env::temp_dir().join(format!("tmc-snapprops-cost-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("cost.journal");
+
+    let mut journal = Journal::create(&path).expect("create journal");
+    assert_eq!(journal.appended_bytes(), 0);
+
+    // One large frame followed by many small ones: under the old
+    // rewrite-everything scheme each small append would re-write the
+    // large frame too, inflating the byte cost ~K-fold.
+    let large = vec![0xa5u8; 1 << 20];
+    let small = vec![0x5au8; 64];
+    let mut expected = 0u64;
+    journal.append(&large).expect("append large");
+    expected += FRAME_OVERHEAD + large.len() as u64;
+    for k in 0..32u64 {
+        journal.append(&small).expect("append small");
+        expected += FRAME_OVERHEAD + small.len() as u64;
+        assert_eq!(
+            journal.appended_bytes(),
+            expected,
+            "append {k}: I/O must grow by one frame, not by the journal"
+        );
+        let on_disk = std::fs::metadata(&path).expect("stat").len();
+        assert_eq!(on_disk, HEADER + expected, "append {k}: file size mismatch");
+    }
+    assert_eq!(journal.frames(), 33);
+
+    // The appended file is byte-for-byte a valid journal: recovery reads
+    // back every payload intact.
+    let rec = recover_journal(&path).expect("recover");
+    assert!(rec.damage.is_none(), "clean journal reported damage");
+    assert_eq!(rec.frames.len(), 33);
+    assert_eq!(rec.frames[0], large);
+    assert!(rec.frames[1..].iter().all(|f| f == &small));
+    std::fs::remove_dir_all(&dir).ok();
+}
